@@ -1,0 +1,128 @@
+"""Ablation studies of Ohm-GPU's design choices (beyond the paper's own
+figures, as listed in DESIGN.md):
+
+* migration-function ablation — which of auto-read/write / swap /
+  reverse-write contributes how much;
+* hot-threshold sensitivity — planar migration aggressiveness;
+* WOM coding vs half-coupled transmitters — the bandwidth/laser-power
+  trade (Section V-B's two dual-route alternatives).
+"""
+
+from dataclasses import replace
+
+from conftest import bench_once, report
+
+from repro import MemoryMode, RunConfig, default_config
+from repro.core.platforms import PLATFORMS
+from repro.gpu.gpu import GpuModel
+from repro.harness.report import format_table
+from repro.workloads.registry import generate_traces, get_workload
+
+SIZING = RunConfig(num_warps=96, accesses_per_warp=64)
+APP = "backp"
+
+
+def _run(platform_name, cfg, traces):
+    spec = get_workload(APP)
+    return GpuModel(PLATFORMS[platform_name], cfg, spec, traces).run()
+
+
+def _traces(cfg):
+    spec = get_workload(APP)
+    return generate_traces(
+        spec,
+        spec.scaled_footprint(cfg.scale_down),
+        num_warps=SIZING.num_warps,
+        accesses_per_warp=SIZING.accesses_per_warp,
+        page_bytes=cfg.hetero.page_bytes,
+    )
+
+
+def test_ablation_function_stack(benchmark):
+    """Cumulative contribution of each migration function (planar)."""
+
+    def run():
+        cfg = default_config(MemoryMode.PLANAR)
+        traces = _traces(cfg)
+        rows = []
+        base = None
+        for p in ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW"):
+            r = _run(p, cfg, traces)
+            if base is None:
+                base = r.exec_time_ps
+            rows.append((p, base / r.exec_time_ps, r.migration_bandwidth_fraction))
+        return rows
+
+    rows = bench_once(benchmark, run)
+    report()
+    report(
+        format_table(
+            ["platform", "speedup_vs_base", "migration_bw"],
+            rows,
+            title=f"Ablation — migration-function stack ({APP}, planar)",
+        )
+    )
+    speedups = {p: s for p, s, _ in rows}
+    assert speedups["Auto-rw"] >= 1.0
+    assert speedups["Ohm-WOM"] >= speedups["Auto-rw"]
+
+
+def test_ablation_hot_threshold(benchmark):
+    """Planar hot-threshold sweep: migration volume vs performance."""
+
+    def run():
+        rows = []
+        for threshold in (6, 14, 28, 56):
+            cfg = default_config(MemoryMode.PLANAR)
+            cfg = replace(cfg, hetero=replace(cfg.hetero, hot_threshold=threshold))
+            traces = _traces(cfg)
+            r = _run("Ohm-base", cfg, traces)
+            rows.append(
+                (
+                    threshold,
+                    r.counters.get("mem.swaps", 0),
+                    r.migration_bandwidth_fraction,
+                    r.exec_time_ps / 1e6,
+                )
+            )
+        return rows
+
+    rows = bench_once(benchmark, run)
+    report()
+    report(
+        format_table(
+            ["hot_threshold", "swaps", "migration_bw", "exec_us"],
+            rows,
+            title=f"Ablation — hot-page threshold ({APP}, planar, Ohm-base)",
+        )
+    )
+    swaps = [r[1] for r in rows]
+    # Lower thresholds must migrate at least as often as higher ones.
+    assert all(a >= b for a, b in zip(swaps, swaps[1:]))
+
+
+def test_ablation_wom_vs_bw_laser_tradeoff(benchmark):
+    """WOM coding saves laser power (2x vs 4x) but costs data-route
+    bandwidth during swaps; half-coupled transmitters do the reverse."""
+
+    def run():
+        cfg = default_config(MemoryMode.PLANAR)
+        traces = _traces(cfg)
+        out = {}
+        for p in ("Ohm-WOM", "Ohm-BW"):
+            r = _run(p, cfg, traces)
+            out[p] = (r.exec_time_ps, PLATFORMS[p].laser_scale)
+        return out
+
+    out = bench_once(benchmark, run)
+    wom_t, wom_laser = out["Ohm-WOM"]
+    bw_t, bw_laser = out["Ohm-BW"]
+    report(
+        f"\nOhm-WOM: exec {wom_t / 1e6:.1f} us at {wom_laser:.0f}x laser\n"
+        f"Ohm-BW : exec {bw_t / 1e6:.1f} us at {bw_laser:.0f}x laser"
+    )
+    # BW is at least as fast up to scheduling noise (the WOM penalty is
+    # small at bench scale), while WOM needs half the laser power — the
+    # two sides of the Section V-B trade-off.
+    assert bw_t <= wom_t * 1.05
+    assert wom_laser < bw_laser

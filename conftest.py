@@ -1,0 +1,2 @@
+"""Root conftest (shared pytest configuration lives in pyproject.toml;
+benchmark-specific capture handling lives in benchmarks/conftest.py)."""

@@ -1,0 +1,83 @@
+"""Explore the optical design space: link budgets, BER, MRR layouts and
+waveguide scaling.
+
+This example uses only the analytic optical models (no GPU simulation),
+so it runs instantly.  It reproduces the reasoning of Sections IV-C, V-B
+and V-C: how much laser power each dual-route trick needs, what BER it
+achieves, and how many micro-ring resonators each operating mode buys.
+
+Run:  python examples/optical_design_space.py
+"""
+
+from repro import MemoryMode, default_config
+from repro.cost.model import CostModel
+from repro.optical.ber import RELIABILITY_REQUIREMENT, figure20b_budgets
+from repro.optical.layout import GENERAL_LAYOUT, layout_for_mode, mode_reduction
+from repro.optical.power import OpticalPowerModel
+from repro.optical.wom import WomCodec, two_writers_roundtrip
+
+
+def link_budgets() -> None:
+    cfg = default_config().optical
+    print("== Link budgets and BER (Fig. 20b) ==")
+    for budget in figure20b_budgets(cfg):
+        status = "OK " if budget.reliable else "FAIL"
+        print(
+            f"  {status} {budget.label:16s} laser x{budget.laser_scale:<3.0f} "
+            f"recv {budget.received_power_mw:.4f} mW  BER {budget.ber:.2e}"
+        )
+    print(f"  reliability requirement: {RELIABILITY_REQUIREMENT:.0e}\n")
+    model = OpticalPowerModel(cfg)
+    path = model.swap_bw_path()
+    print("  Ohm-BW swap path losses:")
+    for name, db in path.losses:
+        print(f"    {name:18s} {db:5.2f} dB")
+    print()
+
+
+def wom_demo() -> None:
+    print("== WOM coding (Fig. 14) ==")
+    codec = WomCodec()
+    d1, d2 = 0b10, 0b01
+    light = codec.encode_first(d1)
+    print(f"  memory controller sends {d1:02b} -> light {light:03b}")
+    light2 = codec.encode_second(d2, light)
+    print(f"  XPoint controller overlays {d2:02b} -> light {light2:03b} "
+          f"(only sets bits: {light:03b} -> {light2:03b})")
+    print(f"  receivers decode: {two_writers_roundtrip(d1, d2)}")
+    print(f"  bandwidth cost: {1 - 2 / 3:.0%} (3 light bits carry 2 data bits)\n")
+
+
+def mrr_layouts() -> None:
+    print("== MRR layout optimization (Fig. 15) ==")
+    print(f"  general design: {GENERAL_LAYOUT.total} MRRs per device pair per lane")
+    for mode in MemoryMode:
+        layout = layout_for_mode(mode)
+        print(
+            f"  {mode.value:9s}: {layout.total} MRRs "
+            f"({mode_reduction(mode):.0%} fewer than general)"
+        )
+    print()
+
+
+def cost_summary() -> None:
+    print("== Cost (Table III) ==")
+    for mode in MemoryMode:
+        cost = CostModel(mode)
+        for platform in ("Ohm-base", "Ohm-BW", "Oracle"):
+            print(
+                f"  {mode.value:9s} {platform:9s} "
+                f"${cost.platform_cost(platform):7.0f} "
+                f"(+{cost.cost_increase_fraction(platform):.1%} over the K80)"
+            )
+
+
+def main() -> None:
+    link_budgets()
+    wom_demo()
+    mrr_layouts()
+    cost_summary()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Ohm-GPU reproduction: an optical-network heterogeneous GPU memory
+simulator (Zhang & Jung, MICRO 2021).
+
+Quickstart::
+
+    from repro import Runner, RunConfig, MemoryMode
+
+    runner = Runner(RunConfig(num_warps=96, accesses_per_warp=40))
+    result = runner.run("Ohm-BW", "pagerank", MemoryMode.PLANAR)
+    print(result.ipc, result.mean_mem_latency_ps)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.config import (
+    GB,
+    KB,
+    MB,
+    MemoryMode,
+    SystemConfig,
+    default_config,
+)
+from repro.core.platforms import PLATFORMS, Platform, build_memory_system
+from repro.gpu.gpu import GpuModel, RunResult
+from repro.harness.runner import RunConfig, Runner
+from repro.workloads.registry import WORKLOADS, generate_traces, get_workload
+from repro.workloads.spec import WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MemoryMode",
+    "SystemConfig",
+    "default_config",
+    "PLATFORMS",
+    "Platform",
+    "build_memory_system",
+    "GpuModel",
+    "RunResult",
+    "Runner",
+    "RunConfig",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "get_workload",
+    "generate_traces",
+    "KB",
+    "MB",
+    "GB",
+]

@@ -1,0 +1,8 @@
+"""Memory-channel abstractions shared by the electrical baseline and the
+optical network: a channel port is the resource a memory controller
+occupies to move bits to/from memory devices."""
+
+from repro.channel.base import ChannelPort, RouteKind, TransferResult
+from repro.channel.electrical import ElectricalChannel
+
+__all__ = ["ChannelPort", "RouteKind", "TransferResult", "ElectricalChannel"]

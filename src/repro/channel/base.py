@@ -1,0 +1,71 @@
+"""Channel-port interface.
+
+A :class:`ChannelPort` is what a memory controller sees: a resource that
+serializes transfers.  The optical implementation adds a second,
+independent *memory route* (the paper's dual routes); the electrical
+implementation folds everything onto one bus.
+
+Every transfer is tagged with a :class:`~repro.sim.records.RequestKind`
+so the harness can split channel time into demand vs migration traffic
+(Figures 8 and 18).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+from repro.sim.records import RequestKind
+from repro.sim.stats import Stats
+
+
+class RouteKind(enum.Enum):
+    DATA = "data"  # memory controller <-> memory devices
+    MEMORY = "memory"  # memory device <-> memory device (dual route)
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    start_ps: int
+    end_ps: int
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+class ChannelPort(abc.ABC):
+    """One memory controller's view of its channel slice."""
+
+    def __init__(self, name: str, stats: Stats) -> None:
+        self.name = name
+        self.stats = stats
+
+    @property
+    @abc.abstractmethod
+    def dual_routes(self) -> bool:
+        """Whether device-to-device transfers bypass the data route."""
+
+    @abc.abstractmethod
+    def transfer(
+        self,
+        now_ps: int,
+        bits: int,
+        kind: RequestKind,
+        route: RouteKind = RouteKind.DATA,
+        device: int = 0,
+    ) -> TransferResult:
+        """Occupy the channel for ``bits``; returns the occupancy window."""
+
+    @abc.abstractmethod
+    def busy_until(self, route: RouteKind = RouteKind.DATA) -> int:
+        """Earliest time a new transfer could start on ``route``."""
+
+    def _account(
+        self, kind: RequestKind, route: RouteKind, bits: int, duration_ps: int
+    ) -> None:
+        self.stats.add(f"{self.name}.bits.{kind.value}", bits)
+        self.stats.add(f"{self.name}.busy_ps.{kind.value}", duration_ps)
+        self.stats.add(f"{self.name}.busy_ps.route.{route.value}", duration_ps)
+        self.stats.add(f"{self.name}.transfers", 1)

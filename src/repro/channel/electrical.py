@@ -1,0 +1,62 @@
+"""Electrical memory channel (the Origin / Hetero baseline).
+
+One 32-bit lane bundle at 15 GHz per memory controller (Table I).  The
+electrical bus has no second route: migrations and demand requests
+serialize, which is exactly the bottleneck Ohm-GPU attacks.  Energy is
+charged per bit at the electrical-lane rate (~10x the optical rate).
+"""
+
+from __future__ import annotations
+
+from repro.channel.base import ChannelPort, RouteKind, TransferResult
+from repro.config import ElectricalChannelConfig
+from repro.sim.records import RequestKind
+from repro.sim.stats import Stats
+
+
+class ElectricalChannel(ChannelPort):
+    """A single electrical channel slice owned by one memory controller."""
+
+    def __init__(
+        self,
+        cfg: ElectricalChannelConfig,
+        stats: Stats,
+        name: str = "echan",
+        bandwidth_scale_down: int = 1,
+    ) -> None:
+        super().__init__(name, stats)
+        self.cfg = cfg
+        # bits per picosecond = lane_bits * freq_GHz / 1000
+        self._bits_per_ps = (
+            cfg.lane_bits * cfg.freq_ghz / 1000.0 / bandwidth_scale_down
+        )
+        self._busy_until = 0
+
+    @property
+    def dual_routes(self) -> bool:
+        return False
+
+    @property
+    def bits_per_ps(self) -> float:
+        return self._bits_per_ps
+
+    def transfer(
+        self,
+        now_ps: int,
+        bits: int,
+        kind: RequestKind,
+        route: RouteKind = RouteKind.DATA,
+        device: int = 0,
+    ) -> TransferResult:
+        if bits <= 0:
+            raise ValueError("transfer needs a positive bit count")
+        start = max(now_ps, self._busy_until)
+        duration = max(1, int(round(bits / self._bits_per_ps)))
+        end = start + duration
+        self._busy_until = end
+        self._account(kind, RouteKind.DATA, bits, duration)
+        self.stats.add(f"{self.name}.energy_pj", bits * self.cfg.energy_pj_per_bit)
+        return TransferResult(start_ps=start, end_ps=end)
+
+    def busy_until(self, route: RouteKind = RouteKind.DATA) -> int:
+        return self._busy_until

@@ -1,0 +1,182 @@
+"""Command-line interface: run platforms, workloads and experiments.
+
+Usage examples::
+
+    python -m repro.cli run --platform Ohm-BW --workload pagerank --mode planar
+    python -m repro.cli compare --workload backp --mode two_level
+    python -m repro.cli experiment fig16 --quick
+    python -m repro.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import MemoryMode, RunConfig, Runner
+from repro.core.platforms import PLATFORMS
+from repro.harness import experiments
+from repro.harness.report import format_table
+from repro.workloads.registry import WORKLOADS
+
+EXPERIMENTS = {
+    "fig3": lambda runner: _print_fig3(),
+    "fig8": lambda runner: _print_two_mode(experiments.figure8(runner)),
+    "fig16": lambda runner: _print_two_mode(experiments.figure16(runner)),
+    "fig17": lambda runner: _print_two_mode(experiments.figure17(runner)),
+    "fig18": lambda runner: _print_two_mode(experiments.figure18(runner)),
+    "fig20b": lambda runner: _print_fig20b(),
+    "fig15": lambda runner: _print_fig15(),
+    "table3": lambda runner: _print_table3(),
+    "fig21": lambda runner: _print_two_mode(experiments.figure21(runner)),
+    "headline": lambda runner: _print_headline(runner),
+}
+
+
+def _mode(name: str) -> MemoryMode:
+    return MemoryMode(name)
+
+
+def _print_fig3() -> None:
+    rows = experiments.figure3()
+    print(
+        format_table(
+            ["workload", "data_move", "storage", "gpu"],
+            [(r["workload"], r["data_move_frac"], r["storage_frac"], r["gpu_frac"]) for r in rows],
+            title="Fig. 3a",
+        )
+    )
+
+
+def _print_two_mode(data) -> None:
+    for mode, fig in data.items():
+        platforms = sorted({p for (_, p) in fig.values})
+        print(f"\n== {fig.name} ({mode}) ==")
+        for p in platforms:
+            print(f"  {p:20s} {fig.mean_over_workloads(p):.3f}")
+
+
+def _print_fig20b() -> None:
+    for b in experiments.figure20b():
+        print(f"  {b.label:16s} BER {b.ber:.2e} ({'OK' if b.reliable else 'FAIL'})")
+
+
+def _print_fig15() -> None:
+    for r in experiments.figure15():
+        print(
+            f"  {r['layout']:9s} total {r['total']:2d} "
+            f"(reduction {r['reduction_vs_general']:.0%})"
+        )
+
+
+def _print_table3() -> None:
+    for r in experiments.table3():
+        print(
+            f"  {r['mode']:9s} {r['platform']:9s} ${r['total_cost']:.0f} "
+            f"(+{r['cost_increase']:.1%})"
+        )
+
+
+def _print_headline(runner: Runner) -> None:
+    h = experiments.headline(runner)
+    print(f"  Ohm-BW vs Origin  : {h['speedup_vs_origin']:.2f}x (paper 2.81x)")
+    print(f"  Ohm-BW vs Ohm-base: {h['speedup_vs_ohm_base']:.2f}x (paper 1.27x)")
+
+
+def _run_config(args: argparse.Namespace) -> RunConfig:
+    if getattr(args, "quick", False):
+        return RunConfig(num_warps=48, accesses_per_warp=32)
+    return RunConfig(num_warps=args.warps, accesses_per_warp=args.accesses)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = Runner(_run_config(args))
+    result = runner.run(args.platform, args.workload, _mode(args.mode))
+    print(f"platform        : {result.platform}")
+    print(f"workload        : {result.workload} ({result.mode})")
+    print(f"instructions    : {result.instructions}")
+    print(f"exec time       : {result.exec_time_ps / 1e6:.2f} us")
+    print(f"mean mem latency: {result.mean_mem_latency_ps / 1e3:.1f} ns")
+    print(f"migration bw    : {result.migration_bandwidth_fraction:.1%}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    runner = Runner(_run_config(args))
+    mode = _mode(args.mode)
+    base = runner.run("Ohm-base", args.workload, mode)
+    rows = []
+    for name in PLATFORMS:
+        r = runner.run(name, args.workload, mode)
+        rows.append(
+            (
+                name,
+                r.performance / base.performance,
+                r.mean_mem_latency_ps / 1e3,
+                r.migration_bandwidth_fraction,
+            )
+        )
+    print(
+        format_table(
+            ["platform", "perf_vs_base", "latency_ns", "migration_bw"],
+            rows,
+            title=f"{args.workload} ({mode.value})",
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    runner = Runner(_run_config(args))
+    EXPERIMENTS[args.name](runner)
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("platforms :", ", ".join(PLATFORMS))
+    print("workloads :", ", ".join(WORKLOADS))
+    print("modes     :", ", ".join(m.value for m in MemoryMode))
+    print("experiments:", ", ".join(EXPERIMENTS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sizing(p):
+        p.add_argument("--warps", type=int, default=96)
+        p.add_argument("--accesses", type=int, default=64)
+        p.add_argument("--quick", action="store_true", help="small fast run")
+
+    p_run = sub.add_parser("run", help="simulate one platform/workload")
+    p_run.add_argument("--platform", choices=list(PLATFORMS), required=True)
+    p_run.add_argument("--workload", choices=list(WORKLOADS), required=True)
+    p_run.add_argument("--mode", choices=[m.value for m in MemoryMode], default="planar")
+    add_sizing(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all platforms on one workload")
+    p_cmp.add_argument("--workload", choices=list(WORKLOADS), required=True)
+    p_cmp.add_argument("--mode", choices=[m.value for m in MemoryMode], default="planar")
+    add_sizing(p_cmp)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a figure/table")
+    p_exp.add_argument("name", choices=list(EXPERIMENTS))
+    add_sizing(p_exp)
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_list = sub.add_parser("list", help="list platforms/workloads/experiments")
+    p_list.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

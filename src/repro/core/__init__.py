@@ -1,0 +1,20 @@
+"""Ohm-GPU's primary contribution (Sections IV and V).
+
+This package orchestrates the substrates into the seven evaluated
+platforms: the migration functions (auto-read/write, swap,
+reverse-write), the dual-route usage policy, the revised memory
+controller with conflict detection, and the platform builders.
+"""
+
+from repro.core.functions import FunctionKind, MigrationCaps
+from repro.core.memsystem import MemorySystem
+from repro.core.platforms import PLATFORMS, Platform, build_memory_system
+
+__all__ = [
+    "MigrationCaps",
+    "FunctionKind",
+    "MemorySystem",
+    "Platform",
+    "PLATFORMS",
+    "build_memory_system",
+]

@@ -1,0 +1,73 @@
+"""Migration-function capability flags distinguishing the platforms.
+
+The evaluated GPU platforms (Section VI) differ only in *which* of the
+new memory functions their optical hardware supports and whether dual
+routes come from WOM coding (bandwidth penalty) or from half-coupled
+MRR transmitters (extra laser power).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FunctionKind(enum.Enum):
+    """The three migration-offload functions of Section IV-B."""
+
+    AUTO_READ_WRITE = "auto_rw"
+    SWAP = "swap"
+    REVERSE_WRITE = "reverse_write"
+
+
+@dataclass(frozen=True)
+class MigrationCaps:
+    """What the platform's memory system can do.
+
+    Attributes:
+        auto_rw: XPoint controller snarfs MC<->DRAM transfers, so a
+            DRAM->XPoint copy costs one channel transfer instead of two.
+        swap: the XPoint controller's DDR sequence generator runs whole
+            page swaps over the dual routes after a single SWAP-CMD.
+        reverse_write: on a DRAM-cache miss, XPoint streams the fill to
+            DRAM over the memory route while the MC snarfs the same data
+            off the channel for the demand response.
+        wom_coded: dual routes ride WOM coding — the data route drops to
+            2/3 effective bandwidth while a swap is in flight (Ohm-WOM);
+            ``False`` with dual routes means half-coupled transmitters
+            carry the second stream at full width (Ohm-BW).
+    """
+
+    auto_rw: bool = False
+    swap: bool = False
+    reverse_write: bool = False
+    wom_coded: bool = False
+
+    @property
+    def dual_routes(self) -> bool:
+        """Any function implies the dual-route optical hardware."""
+        return self.auto_rw or self.swap or self.reverse_write
+
+    @property
+    def laser_scale(self) -> float:
+        """Laser power multiplier required for reliable sensing
+        (Section VI: 2x for Auto-rw/Ohm-WOM, 4x for Ohm-BW)."""
+        if not self.dual_routes:
+            return 1.0
+        if self.swap and not self.wom_coded:
+            return 4.0
+        return 2.0
+
+    def supports(self, fn: FunctionKind) -> bool:
+        return {
+            FunctionKind.AUTO_READ_WRITE: self.auto_rw,
+            FunctionKind.SWAP: self.swap,
+            FunctionKind.REVERSE_WRITE: self.reverse_write,
+        }[fn]
+
+
+# Capability sets of the evaluated platforms.
+CAPS_NONE = MigrationCaps()
+CAPS_AUTO_RW = MigrationCaps(auto_rw=True)
+CAPS_WOM = MigrationCaps(auto_rw=True, swap=True, reverse_write=True, wom_coded=True)
+CAPS_BW = MigrationCaps(auto_rw=True, swap=True, reverse_write=True, wom_coded=False)

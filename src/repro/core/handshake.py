@@ -1,0 +1,114 @@
+"""Hardware handshake blocks added by Ohm-GPU (Figures 11 and 12).
+
+These are small state machines the memory controller and the XPoint
+controller exchange over the DDR-T side channel:
+
+* :class:`DdrSequenceGenerator` — lives in the XPoint controller; turns
+  a SWAP-CMD into the DDR read/write transactions that drive DRAM
+  directly (swap function, Fig. 11).
+* :class:`DdrMonitor` — lives in the memory controller; snoops the
+  channel while XPoint performs a reverse write so the controller can
+  collect the demand data without a second transfer (Fig. 12).
+
+They are modelled at protocol granularity: each step is an explicit
+method with its latency, and misuse (e.g. issuing a swap while one is
+active, or snarfing without arming the monitor) raises — the tests use
+that to pin the paper's sequencing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.engine import ns
+
+# DDR-T side-band message latency (ready / confirm / complete signals).
+SIGNAL_LATENCY_PS = ns(2.0)
+
+
+class SwapState(enum.Enum):
+    IDLE = "idle"
+    BANK_PRESET = "bank_preset"  # MC precharged/activated the target bank
+    RUNNING = "running"  # DDR sequence generator owns the DRAM bank
+    COMPLETE = "complete"  # ready signal sent, awaiting MC confirm
+
+
+@dataclass
+class DdrSequenceGenerator:
+    """SWAP-CMD execution state machine in the XPoint controller."""
+
+    state: SwapState = SwapState.IDLE
+    swaps_completed: int = 0
+    _target_addr: Optional[int] = None
+
+    def preset(self, dram_addr: int) -> None:
+        """Step 1 (MC side): the target bank was activated for us."""
+        if self.state is not SwapState.IDLE:
+            raise RuntimeError(f"cannot preset while {self.state.value}")
+        self.state = SwapState.BANK_PRESET
+        self._target_addr = dram_addr
+
+    def start(self, dram_addr: int) -> int:
+        """Step 2: SWAP-CMD received; returns handshake latency (ps)."""
+        if self.state is not SwapState.BANK_PRESET:
+            raise RuntimeError("SWAP-CMD without a preset bank")
+        if dram_addr != self._target_addr:
+            raise RuntimeError("SWAP-CMD targets a bank that was not preset")
+        self.state = SwapState.RUNNING
+        return SIGNAL_LATENCY_PS
+
+    def finish(self) -> int:
+        """Steps 3-5: transactions done; sends the ready signal."""
+        if self.state is not SwapState.RUNNING:
+            raise RuntimeError("finish without a running swap")
+        self.state = SwapState.COMPLETE
+        return SIGNAL_LATENCY_PS
+
+    def confirm(self) -> None:
+        """Step 6: MC confirmed; generator returns to idle."""
+        if self.state is not SwapState.COMPLETE:
+            raise RuntimeError("confirm without a completed swap")
+        self.state = SwapState.IDLE
+        self._target_addr = None
+        self.swaps_completed += 1
+
+    @property
+    def busy(self) -> bool:
+        return self.state in (SwapState.RUNNING, SwapState.COMPLETE)
+
+
+class MonitorState(enum.Enum):
+    DISABLED = "disabled"
+    ARMED = "armed"  # MC stopped issuing requests, monitor listening
+    SNARFING = "snarfing"
+
+
+@dataclass
+class DdrMonitor:
+    """Reverse-write snoop logic in the memory controller."""
+
+    state: MonitorState = MonitorState.DISABLED
+    snarfed_lines: int = 0
+
+    def arm(self) -> int:
+        """XPoint sent ready; MC enables the monitor and confirms."""
+        if self.state is not MonitorState.DISABLED:
+            raise RuntimeError("monitor already armed")
+        self.state = MonitorState.ARMED
+        return SIGNAL_LATENCY_PS
+
+    def snarf(self) -> None:
+        """Collect one line off the channel during the reverse write."""
+        if self.state is not MonitorState.ARMED:
+            raise RuntimeError("snarf without arming the DDR monitor")
+        self.state = MonitorState.SNARFING
+        self.snarfed_lines += 1
+
+    def complete(self) -> int:
+        """XPoint sent completion; monitor disables, MC resumes issue."""
+        if self.state not in (MonitorState.ARMED, MonitorState.SNARFING):
+            raise RuntimeError("completion for an inactive monitor")
+        self.state = MonitorState.DISABLED
+        return SIGNAL_LATENCY_PS

@@ -1,0 +1,384 @@
+"""Per-memory-controller slices of the Ohm memory system.
+
+A GPU has six memory controllers (Table I); each owns one virtual
+channel, one DRAM device and one XPoint device (with its logic-layer
+controller).  Addresses are page-interleaved across slices by
+:class:`repro.core.memsystem.MemorySystem`.
+
+Each slice variant implements ``serve(addr, is_write, now_ps) -> int``
+returning the demand request's completion time, reserving every
+resource (channel routes, DRAM banks, XPoint buffers) on the shared
+timeline.  Migration work triggered by a request reserves resources in
+the future without blocking the caller — *how much* of it lands on the
+data route is exactly what distinguishes the platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channel.base import ChannelPort, RouteKind
+from repro.config import SystemConfig
+from repro.core.functions import MigrationCaps
+from repro.core.handshake import DdrMonitor, DdrSequenceGenerator
+from repro.dram.device import DramDevice
+from repro.hetero.hotness import HotnessTracker
+from repro.hetero.planar import PlanarMapper
+from repro.hetero.two_level import DramCacheDirectory
+from repro.hoststorage.pcie import HostLink
+from repro.sim.records import RequestKind
+from repro.sim.stats import Stats
+from repro.xpoint.controller import XPointController
+
+CMD_BITS = 64  # command + address on the channel
+DEVICE_DRAM = 0  # demux target ids on the virtual channel
+DEVICE_XPOINT = 1
+
+
+class SliceBase:
+    """Shared plumbing: channel helpers and DRAM streaming occupancy."""
+
+    def __init__(self, cfg: SystemConfig, chan: ChannelPort, stats: Stats, name: str) -> None:
+        self.cfg = cfg
+        self.chan = chan
+        self.stats = stats
+        self.name = name
+        self.line_bits = cfg.gpu.line_bytes * 8
+        self.page_bits = cfg.hetero.page_bytes * 8
+        self.lines_per_page = cfg.hetero.page_bytes // cfg.gpu.line_bytes
+
+    # -- channel helpers -----------------------------------------------
+
+    def _cmd(self, now: int, kind: RequestKind, device: int) -> int:
+        return self.chan.transfer(now, CMD_BITS, kind, RouteKind.DATA, device).end_ps
+
+    def _data(
+        self,
+        now: int,
+        bits: int,
+        kind: RequestKind,
+        route: RouteKind = RouteKind.DATA,
+        device: int = 0,
+    ) -> int:
+        return self.chan.transfer(now, bits, kind, route, device).end_ps
+
+    def _dram_page_occupancy_ps(self) -> int:
+        """Streaming page read/write: activate + first CAS + pipelined
+        line bursts at the channel rate."""
+        line_burst = max(1, int(round(self.line_bits / self.chan.bits_per_ps)))
+        t = self._dram_timing()
+        return t.t_rcd_ps + t.t_cl_ps + self.lines_per_page * line_burst
+
+    def _dram_timing(self):
+        raise NotImplementedError
+
+    def serve(self, addr: int, is_write: bool, now_ps: int) -> int:
+        raise NotImplementedError
+
+
+class DramOnlySlice(SliceBase):
+    """Oracle: a DRAM device big enough that nothing ever migrates."""
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        chan: ChannelPort,
+        dram: DramDevice,
+        stats: Stats,
+        name: str,
+    ) -> None:
+        super().__init__(cfg, chan, stats, name)
+        self.dram = dram
+
+    def _dram_timing(self):
+        return self.dram.timing
+
+    def serve(self, addr: int, is_write: bool, now_ps: int) -> int:
+        t = self._cmd(now_ps, RequestKind.DEMAND, DEVICE_DRAM)
+        if is_write:
+            # Writes put the data on the channel first; the column write
+            # happens once it lands.
+            t = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+            return self.dram.access(addr, True, t)
+        t = self.dram.access(addr, False, t)
+        return self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+
+
+class OriginSlice(DramOnlySlice):
+    """Origin: small DRAM; non-resident pages fault to the host.
+
+    Page residency uses LRU over the slice's DRAM page frames.  A fault
+    costs host latency + a PCIe page transfer + writing the page into
+    DRAM through the memory channel (the DMA traffic of Fig. 3b).
+    """
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        chan: ChannelPort,
+        dram: DramDevice,
+        host: HostLink,
+        stats: Stats,
+        name: str,
+    ) -> None:
+        super().__init__(cfg, chan, dram, stats, name)
+        self.host = host
+        self.page_bytes = cfg.hetero.page_bytes
+        self.num_frames = max(1, dram.capacity_bytes // self.page_bytes)
+        self._resident: dict[int, list[int]] = {}  # page -> [tick, dirty]
+        self._tick = 0
+
+    def serve(self, addr: int, is_write: bool, now_ps: int) -> int:
+        page = addr // self.page_bytes
+        self._tick += 1
+        ready = now_ps
+        entry = self._resident.get(page)
+        if entry is not None:
+            entry[0] = self._tick
+        elif len(self._resident) < self.num_frames:
+            # Free frames left: the page was staged before kernel launch
+            # (bulk host->GPU copy ahead of time), no demand fault.
+            self._resident[page] = [self._tick, False]
+        else:
+            ready = self._fault(page, now_ps)
+        if is_write:
+            self._resident[page][1] = True
+        return super().serve(addr, is_write, ready)
+
+    def _fault(self, page: int, now_ps: int) -> int:
+        self.stats.add("host.faults")
+        if len(self._resident) >= self.num_frames:
+            victim = min(self._resident, key=lambda p: self._resident[p][0])
+            _, dirty = self._resident.pop(victim)
+            if dirty:
+                # Dirty victim: write the page back to the host first.
+                self.stats.add("host.writebacks")
+                now_ps = self.host.transfer(now_ps, self.page_bytes)
+        self._resident[page] = [self._tick, False]
+        # Host-side latency + PCIe transfer of the page.
+        arrive = self.host.transfer(now_ps, self.page_bytes)
+        # DMA the page into DRAM through the memory channel.
+        self.dram.occupy_bank(page * self.page_bytes, arrive, self._dram_page_occupancy_ps())
+        done = self._data(
+            arrive, self.page_bits, RequestKind.HOST_DMA, device=DEVICE_DRAM
+        )
+        self.stats.add("host.dma_time_ps", done - arrive)
+        return done
+
+
+class HeteroSliceBase(SliceBase):
+    """Shared parts of the planar and two-level hetero slices."""
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        chan: ChannelPort,
+        dram: DramDevice,
+        xp: XPointController,
+        caps: MigrationCaps,
+        stats: Stats,
+        name: str,
+    ) -> None:
+        super().__init__(cfg, chan, stats, name)
+        self.dram = dram
+        self.xp = xp
+        self.caps = caps
+        self.seq_gen = DdrSequenceGenerator()
+        self.ddr_monitor = DdrMonitor()
+
+    def _dram_timing(self):
+        return self.dram.timing
+
+    # -- device-side bulk helpers --------------------------------------
+
+    def _xp_page_read(self, xp_addr: int, now: int) -> int:
+        t = now
+        line = self.cfg.gpu.line_bytes
+        for i in range(self.lines_per_page):
+            t = max(t, self.xp.read(xp_addr + i * line, now))
+        return t
+
+    def _xp_page_write(self, xp_addr: int, now: int) -> int:
+        t = now
+        line = self.cfg.gpu.line_bytes
+        for i in range(self.lines_per_page):
+            t = max(t, self.xp.write(xp_addr + i * line, now))
+        return t
+
+
+class PlanarSlice(HeteroSliceBase):
+    """Planar memory mode (Fig. 7a) with per-platform swap execution."""
+
+    def __init__(self, cfg, chan, dram, xp, caps, stats, name) -> None:
+        super().__init__(cfg, chan, dram, xp, caps, stats, name)
+        page = cfg.hetero.page_bytes
+        num_groups = max(1, dram.capacity_bytes // page)
+        slots = cfg.hetero.dram_to_xpoint_ratio + 1
+        self.mapper = PlanarMapper(num_groups, slots)
+        self.hotness = HotnessTracker(
+            cfg.hetero.hot_threshold, cfg.hetero.hotness_decay_accesses
+        )
+        self.page_bytes = page
+
+    def serve(self, addr: int, is_write: bool, now_ps: int) -> int:
+        page = addr // self.page_bytes
+        offset = addr % self.page_bytes
+        place = self.mapper.lookup(page)
+        if place.in_dram:
+            dram_addr = place.device_page * self.page_bytes + offset
+            t = self._cmd(now_ps, RequestKind.DEMAND, DEVICE_DRAM)
+            if is_write:
+                t = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+                return self.dram.access(dram_addr, True, t)
+            t = self.dram.access(dram_addr, False, t)
+            return self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+        # XPoint access path.
+        xp_addr = place.device_page * self.page_bytes + offset
+        t = self._cmd(now_ps, RequestKind.DEMAND, DEVICE_XPOINT)
+        if is_write:
+            # Data rides the channel, then lands in the persistent write
+            # buffer (DDR-T posts the write; media persistence is async).
+            done = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_XPOINT)
+            self.xp.write(xp_addr, done)
+        else:
+            t = self.xp.read(xp_addr, t)
+            done = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_XPOINT)
+        # Hot-page detection happens on XPoint traffic only.
+        if self.hotness.record((place.group, place.slot)):
+            self._migrate(page, done)
+            self.hotness.reset((place.group, place.slot))
+        return done
+
+    # -- migration ------------------------------------------------------
+
+    def _migrate(self, page: int, now_ps: int) -> None:
+        plan = self.mapper.plan_swap(page)
+        if plan is None:
+            return
+        self.stats.add("mem.migrations")
+        self.stats.add("mem.swaps")
+        dram_addr = plan.dram_page * self.page_bytes
+        xp_addr = plan.xpoint_page * self.page_bytes
+        if self.caps.swap:
+            self._migrate_swap_function(dram_addr, xp_addr, now_ps)
+        else:
+            self._migrate_controller_copy(dram_addr, xp_addr, now_ps)
+        self.mapper.commit_swap(plan)
+
+    def _migrate_controller_copy(self, dram_addr: int, xp_addr: int, now: int) -> None:
+        """Baseline: the MC copies everything through its buffer; every
+        leg occupies the shared data route (Fig. 7a step 6 problem)."""
+        occupancy = self._dram_page_occupancy_ps()
+        # Leg 1: read the DRAM page to the MC buffer.
+        start, dev_done = self.dram.occupy_bank(dram_addr, now, occupancy)
+        t = self._data(dev_done, self.page_bits, RequestKind.MIGRATION, device=DEVICE_DRAM)
+        if self.caps.auto_rw:
+            # Auto-read/write: XPoint snarfed leg 1 off the waveguide, so
+            # the MC->XPoint transfer disappears (Fig. 9a).
+            for i in range(self.lines_per_page):
+                self.xp.snarf_write(xp_addr + i * self.cfg.gpu.line_bytes, t)
+        else:
+            t = self._data(t, self.page_bits, RequestKind.MIGRATION, device=DEVICE_XPOINT)
+            self._xp_page_write(xp_addr, t)
+        # Legs 3-4: XPoint page to DRAM (no snarf possible: DRAM has no
+        # controller to perform it — Section IV-B).
+        t2 = self._xp_page_read(xp_addr, now)
+        t2 = self._data(t2, self.page_bits, RequestKind.MIGRATION, device=DEVICE_XPOINT)
+        t2 = self._data(t2, self.page_bits, RequestKind.MIGRATION, device=DEVICE_DRAM)
+        self.dram.occupy_bank(dram_addr, t2, occupancy)
+
+    def _migrate_swap_function(self, dram_addr: int, xp_addr: int, now: int) -> None:
+        """SWAP-CMD path (Fig. 10a/11): the XPoint controller drives the
+        whole exchange over the memory route; the data route only
+        carries the command and completion signals."""
+        # Step 1: MC presets the target DRAM bank to a stable state.
+        bank_ready = self.dram.activate_for_swap(dram_addr, now)
+        self.seq_gen.preset(dram_addr)
+        # Step 2: SWAP-CMD with DRAM/XPoint addresses and size rides the
+        # data route (it is tiny: metadata only).
+        t = self._data(bank_ready, CMD_BITS * 2, RequestKind.MIGRATION, device=DEVICE_XPOINT)
+        t += self.seq_gen.start(dram_addr)
+        # Steps 3-4: DDR sequence generator moves both pages over the
+        # memory route; the DRAM bank is occupied, the data route is not.
+        occupancy = self._dram_page_occupancy_ps()
+        _, bank_done = self.dram.occupy_bank(dram_addr, t, 2 * occupancy)
+        leg1 = self._data(t, self.page_bits, RequestKind.MIGRATION, RouteKind.MEMORY, DEVICE_XPOINT)
+        self._xp_page_write(xp_addr + 0, leg1)
+        leg2_src = self._xp_page_read(xp_addr, t)
+        leg2 = self._data(
+            max(leg1, leg2_src), self.page_bits, RequestKind.MIGRATION, RouteKind.MEMORY, DEVICE_DRAM
+        )
+        end = max(bank_done, leg2)
+        if self.caps.wom_coded and hasattr(self.chan, "set_wom_window"):
+            # WOM coding: demand traffic on the data route runs at 2/3
+            # width while the swap shares the light (Section V-B).
+            self.chan.set_wom_window(now, end - t)
+        # Steps 5-6: ready + confirm ride the DDR-T side band (they are
+        # single-cycle signals, not data-route occupancies).
+        self.seq_gen.finish()
+        self.seq_gen.confirm()
+
+
+class TwoLevelSlice(HeteroSliceBase):
+    """Two-level memory mode (Fig. 7b): DRAM as a direct-mapped cache."""
+
+    def __init__(self, cfg, chan, dram, xp, caps, stats, name) -> None:
+        super().__init__(cfg, chan, dram, xp, caps, stats, name)
+        self.num_sets = max(1, dram.capacity_bytes // cfg.gpu.line_bytes)
+        self.directory = DramCacheDirectory(self.num_sets)
+        self.line_bytes = cfg.gpu.line_bytes
+
+    def serve(self, addr: int, is_write: bool, now_ps: int) -> int:
+        line_index = addr // self.line_bytes
+        lookup = self.directory.lookup(line_index)
+        set_addr = lookup.set_index * self.line_bytes
+        # Tag check and data fetch are ONE DRAM access: the metadata
+        # lives in the line's ECC region (Section III-B).
+        t = self._cmd(now_ps, RequestKind.DEMAND, DEVICE_DRAM)
+        t = self.dram.access(set_addr, False, t)
+        t = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+        if lookup.hit:
+            self.stats.add("mem.dram_cache_hits")
+            if is_write:
+                self.directory.mark_dirty(line_index)
+                t = self.dram.access(set_addr, True, t)
+            return t
+        self.stats.add("mem.dram_cache_misses")
+        return self._miss(line_index, lookup, set_addr, is_write, t)
+
+    def _miss(self, line_index, lookup, set_addr, is_write, now: int) -> int:
+        xp_addr = line_index * self.line_bytes
+        self.stats.add("mem.migrations")
+        # --- eviction of the victim line ---
+        if lookup.victim_valid and lookup.victim_dirty:
+            victim_addr = self.directory.victim_line_index(lookup) * self.line_bytes
+            if self.caps.auto_rw:
+                # The XPoint controller snarfed the tag-check read off
+                # the waveguide and owns the eviction (Fig. 9b).
+                self.xp.snarf_write(victim_addr, now)
+            else:
+                t = self._data(now, self.line_bits, RequestKind.MIGRATION, device=DEVICE_XPOINT)
+                self.xp.write(victim_addr, t)
+        # --- fill from XPoint ---
+        t = self._cmd(now, RequestKind.DEMAND, DEVICE_XPOINT)
+        t = self.xp.read(xp_addr, t)
+        # Demand-critical transfer: XPoint -> memory controller.
+        t = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_XPOINT)
+        if self.caps.reverse_write:
+            # Reverse write: XPoint streams the same line to DRAM over
+            # the memory route while the armed DDR monitor lets the MC
+            # snarf it off the channel (Fig. 10b/12).
+            self.ddr_monitor.arm()
+            self.ddr_monitor.snarf()
+            fill = self._data(
+                t, self.line_bits, RequestKind.MIGRATION, RouteKind.MEMORY, DEVICE_DRAM
+            )
+            self.dram.access(set_addr, True, fill)
+            self.ddr_monitor.complete()
+        else:
+            # Baseline: a second data-route transfer writes the line
+            # into the DRAM cache.
+            fill = self._data(t, self.line_bits, RequestKind.MIGRATION, device=DEVICE_DRAM)
+            self.dram.access(set_addr, True, fill)
+        self.directory.fill(line_index, dirty=is_write)
+        return t

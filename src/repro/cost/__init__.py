@@ -1,0 +1,17 @@
+"""Cost model for Table III and the Fig. 21 cost-performance analysis."""
+
+from repro.cost.model import (
+    CostModel,
+    MemoryBillOfMaterials,
+    PLANAR_BOM,
+    TWO_LEVEL_BOM,
+    K80_LAUNCH_PRICE,
+)
+
+__all__ = [
+    "CostModel",
+    "MemoryBillOfMaterials",
+    "PLANAR_BOM",
+    "TWO_LEVEL_BOM",
+    "K80_LAUNCH_PRICE",
+]

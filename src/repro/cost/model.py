@@ -1,0 +1,115 @@
+"""Cost estimation (Table III) and cost-performance ratios (Fig. 21).
+
+Memory-device prices follow the market data the paper cites ([19],
+[62]); MRR counts are Table III's published values (the paper derives
+them from the Fig. 15 layouts across 24 memory devices); MRR
+fabrication cost follows [22]; the VCSEL source is $100; the baseline
+GPU is an NVIDIA K80 at its $5,000 launch price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MemoryMode
+
+K80_LAUNCH_PRICE = 5_000.0
+VCSEL_PRICE = 100.0
+# Fabrication cost per MRR implied by Table III ($3 for 2112 rings).
+MRR_UNIT_PRICE = 3.0 / 2112.0
+# $/GB implied by Table III's device prices.
+DRAM_PRICE_PER_GB = 140.0 / 12.0
+XPOINT_PRICE_PER_GB = 125.0 / 96.0
+
+
+@dataclass(frozen=True)
+class MrrCounts:
+    modulators: int
+    detectors: int
+
+    @property
+    def total(self) -> int:
+        return self.modulators + self.detectors
+
+    @property
+    def price(self) -> float:
+        return self.total * MRR_UNIT_PRICE
+
+
+@dataclass(frozen=True)
+class MemoryBillOfMaterials:
+    """One column of Table III."""
+
+    mode: MemoryMode
+    dram_gb: int
+    dram_price: float
+    xpoint_gb: int
+    xpoint_price: float
+    mrr_base: MrrCounts  # Ohm-base
+    mrr_bw: MrrCounts  # Ohm-BW
+
+    def platform_memory_cost(self, platform_name: str) -> float:
+        """Added memory-system cost for one platform."""
+        devices = self.dram_price + self.xpoint_price
+        if platform_name in ("Origin",):
+            return 0.0  # stock K80 memory, already in the launch price
+        if platform_name == "Hetero":
+            return devices  # electrical channel: no photonics
+        mrr = self.mrr_bw if platform_name in ("Ohm-WOM", "Ohm-BW") else self.mrr_base
+        return devices + mrr.price + VCSEL_PRICE
+
+    def oracle_memory_cost(self) -> float:
+        """Oracle: DRAM at the full heterogeneous capacity."""
+        capacity_gb = self.dram_gb + self.xpoint_gb
+        return capacity_gb * DRAM_PRICE_PER_GB + self.mrr_base.price + VCSEL_PRICE
+
+
+# Table III, planar memory column: 12 GB DRAM (1GB x 12) + 96 GB XPoint
+# (8GB x 12).
+PLANAR_BOM = MemoryBillOfMaterials(
+    mode=MemoryMode.PLANAR,
+    dram_gb=12,
+    dram_price=140.0,
+    xpoint_gb=96,
+    xpoint_price=125.0,
+    mrr_base=MrrCounts(2112, 2112),
+    mrr_bw=MrrCounts(2176, 3136),
+)
+
+# Table III, two-level column: 6 GB DRAM (1GB x 6) + 384 GB XPoint
+# (32GB x 12).
+TWO_LEVEL_BOM = MemoryBillOfMaterials(
+    mode=MemoryMode.TWO_LEVEL,
+    dram_gb=6,
+    dram_price=70.0,
+    xpoint_gb=384,
+    xpoint_price=499.0,
+    mrr_base=MrrCounts(2368, 2368),
+    mrr_bw=MrrCounts(2368, 4928),
+)
+
+
+def bom_for_mode(mode: MemoryMode) -> MemoryBillOfMaterials:
+    return PLANAR_BOM if mode is MemoryMode.PLANAR else TWO_LEVEL_BOM
+
+
+class CostModel:
+    """Total platform cost and cost-performance ratios."""
+
+    def __init__(self, mode: MemoryMode) -> None:
+        self.mode = mode
+        self.bom = bom_for_mode(mode)
+
+    def platform_cost(self, platform_name: str) -> float:
+        if platform_name == "Oracle":
+            return K80_LAUNCH_PRICE + self.bom.oracle_memory_cost()
+        return K80_LAUNCH_PRICE + self.bom.platform_memory_cost(platform_name)
+
+    def cost_increase_fraction(self, platform_name: str) -> float:
+        """Added cost relative to the stock K80 (paper: +7.6 % planar,
+        +13.5 % two-level for Ohm-BW)."""
+        return self.platform_cost(platform_name) / K80_LAUNCH_PRICE - 1.0
+
+    def cost_performance(self, platform_name: str, performance: float) -> float:
+        """Performance per normalized dollar (Fig. 21's CP ratio)."""
+        return performance / (self.platform_cost(platform_name) / K80_LAUNCH_PRICE)

@@ -1,0 +1,7 @@
+"""DRAM device substrate: banks, row buffers, DDR timing and refresh."""
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.device import DramDevice
+from repro.dram.timing import AccessOutcome, DramTiming
+
+__all__ = ["Bank", "BankState", "DramDevice", "DramTiming", "AccessOutcome"]

@@ -1,0 +1,101 @@
+"""A single DRAM bank with an open row buffer.
+
+The bank tracks when it becomes free (``busy_until_ps``) and which row
+its row buffer holds.  The swap function of Ohm-GPU (Section V-A)
+requires the *memory controller* to preset a bank into the activated
+state before handing control to the XPoint controller's DDR sequence
+generator, so activation is exposed as a separate operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.timing import AccessOutcome, DramTiming
+
+
+class BankState(enum.Enum):
+    IDLE = "idle"  # precharged, no open row
+    ACTIVE = "active"  # a row is latched in the row buffer
+
+
+@dataclass
+class Bank:
+    """Row-buffer state machine for one bank."""
+
+    timing: DramTiming
+    state: BankState = BankState.IDLE
+    open_row: Optional[int] = None
+    busy_until_ps: int = 0
+    # Counters the device aggregates for the energy model.
+    activations: int = 0
+    accesses: int = 0
+    row_hits: int = 0
+
+    def classify(self, row: int) -> AccessOutcome:
+        if self.state is BankState.IDLE:
+            return AccessOutcome.ROW_CLOSED
+        if self.open_row == row:
+            return AccessOutcome.ROW_HIT
+        return AccessOutcome.ROW_CONFLICT
+
+    def access(self, row: int, now_ps: int) -> tuple[int, AccessOutcome]:
+        """Perform a column access to ``row``.
+
+        Returns ``(finish_ps, outcome)`` where finish is when the data
+        is available.  The bank itself is only *occupied* for the
+        pipelined occupancy (burst-rate column accesses), so back-to-back
+        row hits stream rather than serializing on tCL.
+        """
+        start = max(now_ps, self.busy_until_ps)
+        outcome = self.classify(row)
+        latency = self.timing.access_latency_ps(outcome)
+        occupancy = self.timing.access_occupancy_ps(outcome)
+        if outcome is not AccessOutcome.ROW_HIT:
+            self.activations += 1
+        else:
+            self.row_hits += 1
+        self.accesses += 1
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.busy_until_ps = start + occupancy
+        return start + latency, outcome
+
+    def activate(self, row: int, now_ps: int) -> int:
+        """Preset the bank to ACTIVE on ``row`` (used before SWAP-CMD).
+
+        Returns the time at which the row is latched.
+        """
+        start = max(now_ps, self.busy_until_ps)
+        if self.state is BankState.ACTIVE and self.open_row == row:
+            return start
+        latency = self.timing.t_rcd_ps
+        if self.state is BankState.ACTIVE:
+            latency += self.timing.t_rp_ps
+        self.activations += 1
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.busy_until_ps = start + latency
+        return self.busy_until_ps
+
+    def precharge(self, now_ps: int) -> int:
+        """Close the row buffer; returns completion time."""
+        start = max(now_ps, self.busy_until_ps)
+        if self.state is BankState.IDLE:
+            return start
+        self.state = BankState.IDLE
+        self.open_row = None
+        self.busy_until_ps = start + self.timing.t_rp_ps
+        return self.busy_until_ps
+
+    def occupy(self, now_ps: int, duration_ps: int) -> tuple[int, int]:
+        """Reserve the bank for an external engine (swap function).
+
+        Returns ``(start_ps, end_ps)``.
+        """
+        start = max(now_ps, self.busy_until_ps)
+        end = start + duration_ps
+        self.busy_until_ps = end
+        return start, end

@@ -1,0 +1,105 @@
+"""A DRAM device: a set of banks behind an address decoder plus refresh.
+
+Refresh is modelled as periodic whole-device unavailability windows
+(tREFI / tRFC), which is the granularity the evaluation needs — the
+paper only relies on refresh as the window in which naive designs could
+sneak migrations through (Section IV-B), an approach it rejects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import DramTimingConfig
+from repro.dram.bank import Bank
+from repro.dram.timing import AccessOutcome, DramTiming
+from repro.sim.stats import Stats
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    bank: int
+    row: int
+    col: int
+
+
+class DramDevice:
+    """Bank array + address decode for one DRAM device."""
+
+    def __init__(
+        self,
+        cfg: DramTimingConfig,
+        capacity_bytes: int,
+        stats: Optional[Stats] = None,
+        name: str = "dram",
+        enable_refresh: bool = True,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.cfg = cfg
+        self.capacity_bytes = capacity_bytes
+        self.timing = DramTiming.from_config(cfg)
+        self.banks = [Bank(self.timing) for _ in range(cfg.banks_per_device)]
+        self.stats = stats if stats is not None else Stats()
+        self.name = name
+        self.enable_refresh = enable_refresh
+        rows_total = max(1, capacity_bytes // cfg.row_bytes)
+        self.rows_per_bank = max(1, rows_total // cfg.banks_per_device)
+
+    def decode(self, addr: int) -> DramAddress:
+        """Row-interleaved mapping: consecutive rows hit different banks."""
+        if addr < 0:
+            raise ValueError("negative address")
+        line = addr % self.capacity_bytes
+        row_index = line // self.cfg.row_bytes
+        col = line % self.cfg.row_bytes
+        bank = row_index % len(self.banks)
+        row = (row_index // len(self.banks)) % self.rows_per_bank
+        return DramAddress(bank=bank, row=row, col=col)
+
+    def _refresh_delay(self, now_ps: int) -> int:
+        """Extra wait if ``now_ps`` lands inside a refresh window."""
+        if not self.enable_refresh:
+            return 0
+        interval = self.timing.refresh_interval_ps
+        offset = now_ps % interval
+        window = self.timing.refresh_latency_ps
+        if offset < window:
+            self.stats.add(f"{self.name}.refresh_stalls")
+            return window - offset
+        return 0
+
+    def access(self, addr: int, is_write: bool, now_ps: int) -> int:
+        """Issue a column access; returns the completion time (ps)."""
+        now_ps += self._refresh_delay(now_ps)
+        loc = self.decode(addr)
+        finish, outcome = self.banks[loc.bank].access(loc.row, now_ps)
+        self.stats.add(f"{self.name}.accesses")
+        self.stats.add(f"{self.name}.writes" if is_write else f"{self.name}.reads")
+        if outcome is AccessOutcome.ROW_HIT:
+            self.stats.add(f"{self.name}.row_hits")
+        else:
+            self.stats.add(f"{self.name}.activations")
+        return finish
+
+    def activate_for_swap(self, addr: int, now_ps: int) -> int:
+        """Preset the target bank for an externally driven swap."""
+        loc = self.decode(addr)
+        return self.banks[loc.bank].activate(loc.row, now_ps)
+
+    def occupy_bank(self, addr: int, now_ps: int, duration_ps: int) -> tuple[int, int]:
+        """Reserve the addressed bank for the XPoint DDR sequence generator."""
+        loc = self.decode(addr)
+        return self.banks[loc.bank].occupy(now_ps, duration_ps)
+
+    def bank_busy_until(self, addr: int) -> int:
+        return self.banks[self.decode(addr).bank].busy_until_ps
+
+    @property
+    def total_activations(self) -> int:
+        return sum(b.activations for b in self.banks)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(b.accesses for b in self.banks)

@@ -1,0 +1,66 @@
+"""DDR timing arithmetic.
+
+Latencies follow the classic open-page policy:
+
+* row hit        -> tCL
+* row closed     -> tRCD + tCL
+* row conflict   -> tRP + tRCD + tCL
+
+All methods return picoseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import DramTimingConfig
+from repro.sim.engine import ns
+
+
+class AccessOutcome(enum.Enum):
+    ROW_HIT = "row_hit"
+    ROW_CLOSED = "row_closed"
+    ROW_CONFLICT = "row_conflict"
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Precomputed picosecond timing derived from a config."""
+
+    t_rcd_ps: int
+    t_rp_ps: int
+    t_cl_ps: int
+    t_rrd_ps: int
+    t_burst_ps: int
+    refresh_interval_ps: int
+    refresh_latency_ps: int
+
+    @classmethod
+    def from_config(cls, cfg: DramTimingConfig) -> "DramTiming":
+        return cls(
+            t_rcd_ps=ns(cfg.t_rcd_ns),
+            t_rp_ps=ns(cfg.t_rp_ns),
+            t_cl_ps=ns(cfg.t_cl_ns),
+            t_rrd_ps=ns(cfg.t_rrd_ns),
+            t_burst_ps=ns(cfg.t_burst_ns),
+            refresh_interval_ps=ns(cfg.refresh_interval_ns),
+            refresh_latency_ps=ns(cfg.refresh_latency_ns),
+        )
+
+    def access_latency_ps(self, outcome: AccessOutcome) -> int:
+        """Time until the data is available (what the requester sees)."""
+        if outcome is AccessOutcome.ROW_HIT:
+            return self.t_cl_ps
+        if outcome is AccessOutcome.ROW_CLOSED:
+            return self.t_rcd_ps + self.t_cl_ps
+        return self.t_rp_ps + self.t_rcd_ps + self.t_cl_ps
+
+    def access_occupancy_ps(self, outcome: AccessOutcome) -> int:
+        """Time the bank is blocked: column accesses to an open row
+        pipeline at the burst rate, so occupancy swaps tCL for tBURST."""
+        if outcome is AccessOutcome.ROW_HIT:
+            return self.t_burst_ps
+        if outcome is AccessOutcome.ROW_CLOSED:
+            return self.t_rcd_ps + self.t_burst_ps
+        return self.t_rp_ps + self.t_rcd_ps + self.t_burst_ps

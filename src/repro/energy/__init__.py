@@ -1,0 +1,15 @@
+"""Energy accounting for Fig. 19: per-event DRAM/XPoint energy, optical
+laser + MRR tuning power, and electrical-lane energy."""
+
+from repro.energy.accounting import EnergyBreakdown, EnergyModel
+from repro.energy.dram_power import DramPowerModel
+from repro.energy.optical_power import OpticalEnergyModel
+from repro.energy.xpoint_power import XPointPowerModel
+
+__all__ = [
+    "EnergyModel",
+    "EnergyBreakdown",
+    "DramPowerModel",
+    "XPointPowerModel",
+    "OpticalEnergyModel",
+]

@@ -1,0 +1,95 @@
+"""Turns a RunResult's counters into the Fig. 19 energy breakdown."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import SystemConfig
+from repro.core.platforms import Platform
+from repro.energy.dram_power import DramPowerModel
+from repro.energy.optical_power import OpticalEnergyModel
+from repro.energy.xpoint_power import XPointPowerModel
+from repro.gpu.gpu import RunResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per component — the stacked bars of Fig. 19."""
+
+    xpoint_j: float
+    dram_dynamic_j: float
+    dram_static_j: float
+    optical_j: float
+    electrical_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.xpoint_j
+            + self.dram_dynamic_j
+            + self.dram_static_j
+            + self.optical_j
+            + self.electrical_j
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "XPoint": self.xpoint_j,
+            "DRAM dynamic": self.dram_dynamic_j,
+            "DRAM static": self.dram_static_j,
+            "Opti-network": self.optical_j,
+            "Elec-channel": self.electrical_j,
+        }
+
+
+class EnergyModel:
+    """Aggregates counters from one run into component energies."""
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        dram: DramPowerModel | None = None,
+        xpoint: XPointPowerModel | None = None,
+    ) -> None:
+        self.cfg = cfg
+        self.dram = dram or DramPowerModel()
+        self.xpoint = xpoint or XPointPowerModel()
+        self.optical = OpticalEnergyModel(cfg.optical)
+
+    @staticmethod
+    def _sum(counters: Dict[str, float], suffix: str) -> float:
+        return sum(v for k, v in counters.items() if k.endswith(suffix))
+
+    def breakdown(self, platform: Platform, result: RunResult) -> EnergyBreakdown:
+        c = result.counters
+        dram_dyn = self.dram.dynamic_j(
+            self._sum(c, ".dram.activations"), self._sum(c, ".dram.accesses")
+        )
+        dram_static = self.dram.static_j(
+            self.cfg.electrical.num_channels, result.exec_time_ps
+        )
+        xp = self.xpoint.dynamic_j(
+            self._sum(c, ".media.reads"), self._sum(c, ".media.writes")
+        )
+        optical = 0.0
+        electrical = 0.0
+        if platform.uses_optical:
+            signalling = self.optical.signalling_j(
+                sum(v for k, v in c.items() if k.startswith("ochan") and k.endswith(".energy_pj")),
+                self._sum(c, ".mrr_tuning_pj"),
+            )
+            laser = self.optical.laser_j(platform.laser_scale, result.exec_time_ps)
+            optical = signalling + laser
+        else:
+            electrical = (
+                sum(v for k, v in c.items() if k.startswith("echan") and k.endswith(".energy_pj"))
+                * 1e-12
+            )
+        return EnergyBreakdown(
+            xpoint_j=xp,
+            dram_dynamic_j=dram_dyn,
+            dram_static_j=dram_static,
+            optical_j=optical,
+            electrical_j=electrical,
+        )

@@ -1,0 +1,27 @@
+"""Empirical DRAM power model (after GPUWattch [37]).
+
+Per-event energies for activations and column accesses plus a static
+(background + refresh) power term.  The static power constant is scaled
+to the simulator's reduced capacities so the Fig. 19 static/dynamic
+proportions match the paper's full-size system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramPowerModel:
+    """Energy constants for one DRAM device."""
+
+    activate_nj: float = 2.0  # row activate + precharge pair
+    access_nj: float = 1.0  # one line column read/write + I/O
+    # Background power per device, scaled to the reduced-capacity model.
+    static_w_per_device: float = 0.05
+
+    def dynamic_j(self, activations: float, accesses: float) -> float:
+        return (activations * self.activate_nj + accesses * self.access_nj) * 1e-9
+
+    def static_j(self, num_devices: int, exec_time_ps: float) -> float:
+        return self.static_w_per_device * num_devices * exec_time_ps * 1e-12

@@ -1,0 +1,32 @@
+"""Optical-network energy: laser wall power plus per-bit MRR tuning and
+signalling energy (Table I's optical power model).
+
+The laser runs for the whole execution at a platform-dependent scale
+(2x for Auto-rw/Ohm-WOM, 4x for Ohm-BW — Section VI), which is why the
+dual-route platforms pay more network energy than Ohm-base (Fig. 19)
+even though they move the same bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import OpticalChannelConfig
+
+
+@dataclass(frozen=True)
+class OpticalEnergyModel:
+    cfg: OpticalChannelConfig
+
+    def laser_j(self, laser_scale: float, exec_time_ps: float) -> float:
+        watts = (
+            self.cfg.laser_power_mw
+            * 1e-3
+            * laser_scale
+            * self.cfg.channel_width_bits
+            * self.cfg.num_waveguides
+        )
+        return watts * exec_time_ps * 1e-12
+
+    def signalling_j(self, channel_energy_pj: float, tuning_pj: float) -> float:
+        return (channel_energy_pj + tuning_pj) * 1e-12

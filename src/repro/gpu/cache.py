@@ -1,0 +1,94 @@
+"""Set-associative cache with LRU replacement (L1D / shared L2).
+
+The harness drives the memory system with post-L2 traces (Table II's
+APKI is a memory-level rate), so caches default to off there; the cache
+model itself is exercised by the cache-enabled example and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    addr: int
+    dirty: bool
+
+
+class SetAssocCache:
+    """Classic set-associative write-back, write-allocate cache."""
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int, name: str = "cache") -> None:
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError("size must be a multiple of ways * line size")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets < 1:
+            raise ValueError("cache has no sets")
+        self.name = name
+        self.stats = CacheStats()
+        # Per set: tag -> (dirty, lru_tick); dict preserves no order, so
+        # an explicit tick provides LRU.
+        self._sets: List[Dict[int, Tuple[bool, int]]] = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, addr: int, is_write: bool) -> Tuple[bool, Optional[EvictedLine]]:
+        """Returns ``(hit, evicted_line_or_None)``."""
+        self._tick += 1
+        set_index, tag = self._locate(addr)
+        ways = self._sets[set_index]
+        if tag in ways:
+            dirty, _ = ways[tag]
+            ways[tag] = (dirty or is_write, self._tick)
+            self.stats.hits += 1
+            return True, None
+        self.stats.misses += 1
+        evicted: Optional[EvictedLine] = None
+        if len(ways) >= self.ways:
+            victim_tag = min(ways, key=lambda t: ways[t][1])
+            dirty, _ = ways.pop(victim_tag)
+            victim_line = victim_tag * self.num_sets + set_index
+            evicted = EvictedLine(addr=victim_line * self.line_bytes, dirty=dirty)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        ways[tag] = (is_write, self._tick)
+        return False, evicted
+
+    def contains(self, addr: int) -> bool:
+        set_index, tag = self._locate(addr)
+        return tag in self._sets[set_index]
+
+    def flush(self) -> List[EvictedLine]:
+        """Drop everything; returns the dirty lines that need writeback."""
+        dirty_lines: List[EvictedLine] = []
+        for set_index, ways in enumerate(self._sets):
+            for tag, (dirty, _) in ways.items():
+                if dirty:
+                    line = tag * self.num_sets + set_index
+                    dirty_lines.append(EvictedLine(line * self.line_bytes, True))
+            ways.clear()
+        return dirty_lines

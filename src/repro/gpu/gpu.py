@@ -1,0 +1,151 @@
+"""Top-level GPU model: SMs + warps + a platform's memory system.
+
+``GpuModel.run`` replays every warp's trace through the event engine and
+returns a :class:`RunResult` with IPC, memory latency, channel
+bandwidth split and the raw stats — the quantities every evaluation
+figure is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.core.memsystem import MemorySystem
+from repro.core.platforms import Platform, build_memory_system
+from repro.gpu.cache import SetAssocCache
+from repro.gpu.interconnect import Interconnect
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.warp import Warp
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.synthetic import WarpTrace
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Metrics of one (platform, workload, mode) simulation."""
+
+    platform: str
+    workload: str
+    mode: str
+    instructions: int
+    exec_time_ps: int
+    demand_requests: int
+    mean_mem_latency_ps: float
+    counters: Dict[str, float]
+
+    @property
+    def ipc(self) -> float:
+        """GPU-wide instructions per SM-clock cycle."""
+        if self.exec_time_ps == 0:
+            return 0.0
+        return self.instructions / self.exec_time_ps  # per picosecond
+        # (callers only ever use IPC ratios, so the time base cancels)
+
+    @property
+    def performance(self) -> float:
+        """1 / execution time — what Figs. 16/20a/21 normalize."""
+        return 1.0 / self.exec_time_ps if self.exec_time_ps else 0.0
+
+    def channel_busy_ps(self, kind: str) -> float:
+        """Total channel occupancy of one traffic kind over all slices."""
+        return sum(
+            v for k, v in self.counters.items()
+            if k.endswith(f".busy_ps.{kind}") and ".route." not in k
+        )
+
+    @property
+    def migration_bandwidth_fraction(self) -> float:
+        """Share of *data-route* channel time spent on migration —
+        the quantity of Figs. 8 and 18."""
+        demand = self.channel_busy_ps("demand")
+        # Only migration traffic that landed on the data route competes
+        # with demand requests; memory-route transfers are free.
+        migration = sum(
+            v for k, v in self.counters.items() if k.endswith(".busy_ps.migration")
+        )
+        memory_route = sum(
+            v for k, v in self.counters.items()
+            if k.endswith(".busy_ps.route.memory")
+        )
+        migration_on_data = max(0.0, migration - memory_route)
+        total = demand + migration_on_data
+        return migration_on_data / total if total else 0.0
+
+
+class GpuModel:
+    """Assembles SMs and warps around a platform's memory system."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        cfg: SystemConfig,
+        spec: WorkloadSpec,
+        traces: List[WarpTrace],
+        model_caches: bool = False,
+    ) -> None:
+        if not traces:
+            raise ValueError("need at least one warp trace")
+        self.platform = platform
+        self.cfg = cfg
+        self.spec = spec
+        self.engine = Engine()
+        self.stats = Stats()
+        self.memory: MemorySystem = build_memory_system(platform, cfg, self.stats)
+        self.interconnect = Interconnect(stats=self.stats)
+        shared_l2 = (
+            SetAssocCache(cfg.gpu.l2_size, cfg.gpu.l2_ways, cfg.gpu.line_bytes, "l2")
+            if model_caches
+            else None
+        )
+        self.sms = [
+            StreamingMultiprocessor(
+                sm_id=i,
+                engine=self.engine,
+                memory=self.memory,
+                interconnect=self.interconnect,
+                stats=self.stats,
+                freq_ghz=cfg.gpu.sm_freq_ghz,
+                line_bytes=cfg.gpu.line_bytes,
+                l1=(
+                    SetAssocCache(cfg.gpu.l1_size, cfg.gpu.l1_ways, cfg.gpu.line_bytes, f"l1.{i}")
+                    if model_caches
+                    else None
+                ),
+                l2=shared_l2,
+            )
+            for i in range(cfg.gpu.num_sms)
+        ]
+        self._warps: List[Warp] = []
+        self._remaining = 0
+        for w, trace in enumerate(traces):
+            sm = self.sms[w % len(self.sms)]
+            self._warps.append(Warp(w, sm, trace, self._warp_done))
+        self._remaining = len(self._warps)
+
+    def _warp_done(self, warp: Warp) -> None:
+        self._remaining -= 1
+
+    def run(self, max_events: Optional[int] = None) -> RunResult:
+        for warp in self._warps:
+            warp.start()
+        self.engine.run(max_events=max_events)
+        if self._remaining:
+            raise RuntimeError(
+                f"{self._remaining} warps unfinished (max_events too low?)"
+            )
+        instructions = sum(w.instructions_retired for w in self._warps)
+        lat = self.stats.latency("mem.latency_ps")
+        return RunResult(
+            platform=self.platform.name,
+            workload=self.spec.name,
+            mode=self.cfg.hetero.mode.value,
+            instructions=instructions,
+            exec_time_ps=self.engine.now,
+            demand_requests=lat.count,
+            mean_mem_latency_ps=lat.mean,
+            counters=self.stats.snapshot(),
+        )

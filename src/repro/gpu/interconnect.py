@@ -1,0 +1,42 @@
+"""SM <-> L2/memory-controller interconnect (Figure 2).
+
+A crossbar with a fixed traversal latency and an aggregate bandwidth
+cap.  It sits between the warps and the memory system; its occupancy is
+rarely the bottleneck (the paper's bottleneck is the memory channel)
+but it keeps request arrival times honest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import ns
+from repro.sim.stats import Stats
+
+
+class Interconnect:
+    """Fixed-latency, bandwidth-capped crossbar."""
+
+    def __init__(
+        self,
+        latency_ns: float = 20.0,
+        bandwidth_bits_per_ns: float = 4096.0,
+        stats: Optional[Stats] = None,
+    ) -> None:
+        if bandwidth_bits_per_ns <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.latency_ps = ns(latency_ns)
+        self._bits_per_ps = bandwidth_bits_per_ns / 1000.0
+        self._busy_until = 0
+        self.stats = stats if stats is not None else Stats()
+
+    def traverse(self, now_ps: int, bits: int) -> int:
+        """Send ``bits`` across; returns delivery time."""
+        if bits <= 0:
+            raise ValueError("need a positive bit count")
+        start = max(now_ps, self._busy_until)
+        occupancy = max(1, int(round(bits / self._bits_per_ps)))
+        self._busy_until = start + occupancy
+        self.stats.add("noc.bits", bits)
+        self.stats.add("noc.busy_ps", occupancy)
+        return start + occupancy + self.latency_ps

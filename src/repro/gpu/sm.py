@@ -1,0 +1,90 @@
+"""Streaming multiprocessor: an issue server shared by its warps.
+
+The SM issues one instruction per cycle; compute bursts from different
+warps serialize on this capacity.  Memory instructions go through the
+(optional) L1 cache, the interconnect and the memory system; the warp
+sleeps until the response timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.gpu.cache import SetAssocCache
+from repro.gpu.interconnect import Interconnect
+from repro.sim.engine import Engine, freq_ghz_to_period_ps
+from repro.sim.records import MemRequest
+from repro.sim.stats import Stats
+
+if TYPE_CHECKING:
+    from repro.core.memsystem import MemorySystem
+
+L1_HIT_LATENCY_CYCLES = 4
+L2_HIT_LATENCY_CYCLES = 30
+
+
+class StreamingMultiprocessor:
+    """One SM: issue bandwidth + the memory path of its warps."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        engine: Engine,
+        memory: "MemorySystem",
+        interconnect: Interconnect,
+        stats: Stats,
+        freq_ghz: float = 1.2,
+        line_bytes: int = 128,
+        l1: Optional[SetAssocCache] = None,
+        l2: Optional[SetAssocCache] = None,
+    ) -> None:
+        self.sm_id = sm_id
+        self.engine = engine
+        self.memory = memory
+        self.interconnect = interconnect
+        self.stats = stats
+        self.period_ps = freq_ghz_to_period_ps(freq_ghz)
+        self.line_bytes = line_bytes
+        self.l1 = l1
+        self.l2 = l2  # shared; multiple SMs may hold the same object
+        self._issue_free_at = 0
+
+    def issue_burst(self, instructions: int) -> int:
+        """Claim issue slots for ``instructions``; returns finish time."""
+        if instructions < 1:
+            raise ValueError("a burst needs at least one instruction")
+        start = max(self.engine.now, self._issue_free_at)
+        end = start + instructions * self.period_ps
+        self._issue_free_at = end
+        self.stats.add("gpu.instructions", instructions)
+        return end
+
+    def submit_memory_request(self, req: MemRequest) -> int:
+        """Run the memory path synchronously; returns completion time."""
+        now = self.engine.now
+        if self.l1 is not None:
+            hit, _ = self.l1.access(req.addr, req.is_write)
+            if hit:
+                self.stats.add("gpu.l1_hits")
+                return now + L1_HIT_LATENCY_CYCLES * self.period_ps
+        if self.l2 is not None:
+            hit, evicted = self.l2.access(req.addr, req.is_write)
+            if hit:
+                self.stats.add("gpu.l2_hits")
+                return now + L2_HIT_LATENCY_CYCLES * self.period_ps
+            if evicted is not None and evicted.dirty:
+                # Dirty L2 victim: write back to memory in the background.
+                wb = MemRequest(
+                    addr=evicted.addr,
+                    is_write=True,
+                    size_bytes=self.line_bytes,
+                    sm_id=self.sm_id,
+                    warp_id=-1,
+                    issue_ps=now,
+                )
+                self.memory.serve(wb, now)
+        arrive = self.interconnect.traverse(now, self.line_bytes * 8)
+        complete = self.memory.serve(req, arrive)
+        self.stats.add("mem.demand_requests")
+        self.stats.record_latency("mem.latency_ps", complete - now)
+        return complete

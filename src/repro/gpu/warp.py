@@ -1,0 +1,65 @@
+"""A warp: the GPU's unit of lock-step execution.
+
+Each warp alternates compute bursts (``gap`` instructions from its
+trace) with one memory instruction.  The SM's issue server serializes
+bursts from its warps; a warp blocked on memory costs nothing until its
+response arrives — this is warp-level latency hiding, and it is what
+converts memory-system improvements into IPC (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.records import MemRequest, RequestKind
+from repro.workloads.synthetic import WarpTrace
+
+if TYPE_CHECKING:
+    from repro.gpu.sm import StreamingMultiprocessor
+
+
+class Warp:
+    """Replays one WarpTrace through its SM and the memory system."""
+
+    def __init__(
+        self,
+        warp_id: int,
+        sm: "StreamingMultiprocessor",
+        trace: WarpTrace,
+        on_done: Callable[["Warp"], None],
+    ) -> None:
+        self.warp_id = warp_id
+        self.sm = sm
+        self.trace = trace
+        self.on_done = on_done
+        self._cursor = 0
+        self.instructions_retired = 0
+        self.finished = False
+
+    def start(self) -> None:
+        self._next_burst()
+
+    def _next_burst(self) -> None:
+        if self._cursor >= len(self.trace):
+            self.finished = True
+            self.on_done(self)
+            return
+        gap = int(self.trace.gaps[self._cursor])
+        burst_end = self.sm.issue_burst(gap + 1)  # +1: the memory inst
+        self.instructions_retired += gap + 1
+        self.sm.engine.at(burst_end, self._issue_memory)
+
+    def _issue_memory(self) -> None:
+        i = self._cursor
+        req = MemRequest(
+            addr=int(self.trace.addrs[i]),
+            is_write=bool(self.trace.writes[i]),
+            size_bytes=self.sm.line_bytes,
+            sm_id=self.sm.sm_id,
+            warp_id=self.warp_id,
+            kind=RequestKind.DEMAND,
+            issue_ps=self.sm.engine.now,
+        )
+        complete = self.sm.submit_memory_request(req)
+        self._cursor += 1
+        self.sm.engine.at(complete, self._next_burst)

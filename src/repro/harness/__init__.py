@@ -1,0 +1,7 @@
+"""Experiment harness: runs platform x workload x mode matrices and
+regenerates every table and figure of the paper's evaluation."""
+
+from repro.harness.runner import RunConfig, Runner
+from repro.harness.report import format_table
+
+__all__ = ["Runner", "RunConfig", "format_table"]

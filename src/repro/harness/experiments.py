@@ -1,0 +1,297 @@
+"""One function per evaluation figure/table (see DESIGN.md section 5).
+
+Each returns plain data (rows) so benchmarks can print them and tests
+can assert the paper's qualitative claims on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import MemoryMode, default_config
+from repro.cost.model import CostModel
+from repro.energy.accounting import EnergyBreakdown, EnergyModel
+from repro.harness.runner import ALL_WORKLOADS, RunConfig, Runner
+from repro.hoststorage.gpudirect import GpuSsdSystem
+from repro.optical.ber import LinkBudget, figure20b_budgets
+from repro.optical.layout import (
+    BASELINE_LAYOUT,
+    GENERAL_LAYOUT,
+    layout_for_mode,
+    mode_reduction,
+)
+from repro.workloads.registry import WORKLOADS, get_workload
+
+FIG16_PLATFORMS = ("Origin", "Hetero", "Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW", "Oracle")
+LATENCY_PLATFORMS = ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW", "Oracle")
+BANDWIDTH_PLATFORMS = ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW")
+ENERGY_PLATFORMS = ("Hetero", "Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW")
+
+MODES = (MemoryMode.PLANAR, MemoryMode.TWO_LEVEL)
+
+
+@dataclass
+class FigureData:
+    """Generic figure payload: rows keyed by (workload, platform)."""
+
+    name: str
+    mode: str
+    values: Dict[Tuple[str, str], float]
+
+    def mean_over_workloads(self, platform: str) -> float:
+        vals = [v for (w, p), v in self.values.items() if p == platform]
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+def figure3(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> List[dict]:
+    """Fig. 3a+3b: GPU+SSD execution and memory-subsystem breakdowns."""
+    cfg = default_config()
+    system = GpuSsdSystem(cfg)
+    rows = []
+    for name in workloads:
+        spec = get_workload(name)
+        phase = system.phase_breakdown(spec)
+        mem = system.memory_breakdown(spec)
+        rows.append(
+            {
+                "workload": name,
+                "data_move_frac": phase.data_move_frac,
+                "storage_frac": phase.storage_frac,
+                "gpu_frac": phase.gpu_frac,
+                "dma_time_frac": mem.dma_time_frac,
+                "dma_energy_frac": mem.dma_energy_frac,
+            }
+        )
+    return rows
+
+
+def figure8(
+    runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
+) -> Dict[str, FigureData]:
+    """Fig. 8: baseline migration bandwidth share + latency vs Oracle."""
+    out = {}
+    for mode in MODES:
+        values: Dict[Tuple[str, str], float] = {}
+        for w in workloads:
+            base = runner.run("Ohm-base", w, mode)
+            oracle = runner.run("Oracle", w, mode)
+            values[(w, "migration_bw_frac")] = base.migration_bandwidth_fraction
+            values[(w, "latency_vs_oracle")] = (
+                base.mean_mem_latency_ps / oracle.mean_mem_latency_ps
+                if oracle.mean_mem_latency_ps
+                else 0.0
+            )
+        out[mode.value] = FigureData("fig8", mode.value, values)
+    return out
+
+
+def figure16(
+    runner: Runner,
+    workloads: Tuple[str, ...] = ALL_WORKLOADS,
+    platforms: Tuple[str, ...] = FIG16_PLATFORMS,
+) -> Dict[str, FigureData]:
+    """Fig. 16: IPC normalized to Ohm-base, both modes."""
+    out = {}
+    for mode in MODES:
+        values: Dict[Tuple[str, str], float] = {}
+        for w in workloads:
+            base = runner.run("Ohm-base", w, mode)
+            for p in platforms:
+                res = runner.run(p, w, mode)
+                values[(w, p)] = res.performance / base.performance
+        out[mode.value] = FigureData("fig16", mode.value, values)
+    return out
+
+
+def figure17(
+    runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
+) -> Dict[str, FigureData]:
+    """Fig. 17: mean memory latency normalized to Ohm-base."""
+    out = {}
+    for mode in MODES:
+        values: Dict[Tuple[str, str], float] = {}
+        for w in workloads:
+            base = runner.run("Ohm-base", w, mode)
+            for p in LATENCY_PLATFORMS:
+                res = runner.run(p, w, mode)
+                values[(w, p)] = (
+                    res.mean_mem_latency_ps / base.mean_mem_latency_ps
+                    if base.mean_mem_latency_ps
+                    else 0.0
+                )
+        out[mode.value] = FigureData("fig17", mode.value, values)
+    return out
+
+
+def figure18(
+    runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
+) -> Dict[str, FigureData]:
+    """Fig. 18: fraction of channel bandwidth consumed by migration."""
+    out = {}
+    for mode in MODES:
+        values: Dict[Tuple[str, str], float] = {}
+        for w in workloads:
+            for p in BANDWIDTH_PLATFORMS:
+                res = runner.run(p, w, mode)
+                values[(w, p)] = res.migration_bandwidth_fraction
+        out[mode.value] = FigureData("fig18", mode.value, values)
+    return out
+
+
+def figure19(
+    runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
+) -> Dict[str, Dict[Tuple[str, str], EnergyBreakdown]]:
+    """Fig. 19: energy breakdown per platform and workload."""
+    out: Dict[str, Dict[Tuple[str, str], EnergyBreakdown]] = {}
+    for mode in MODES:
+        cfg = default_config(mode)
+        model = EnergyModel(cfg)
+        rows: Dict[Tuple[str, str], EnergyBreakdown] = {}
+        for w in workloads:
+            for p in ENERGY_PLATFORMS:
+                res = runner.run(p, w, mode)
+                rows[(w, p)] = model.breakdown(runner.platform(p), res)
+        out[mode.value] = rows
+    return out
+
+
+def figure20a(
+    workloads: Tuple[str, ...] = ("backp", "GRAMS", "betw", "pagerank"),
+    waveguide_counts: Tuple[int, ...] = (1, 2, 4, 8),
+    run_cfg: Optional[RunConfig] = None,
+) -> List[dict]:
+    """Fig. 20a: performance vs number of optical waveguides.
+
+    Normalized to Hetero (the electrical baseline), planar mode.
+    """
+    rows = []
+    base_cfg = run_cfg or RunConfig()
+    hetero_runner = Runner(base_cfg)
+    hetero_perf = {
+        w: hetero_runner.run("Hetero", w, MemoryMode.PLANAR).performance
+        for w in workloads
+    }
+    for n in waveguide_counts:
+        runner = Runner(
+            RunConfig(
+                num_warps=base_cfg.num_warps,
+                accesses_per_warp=base_cfg.accesses_per_warp,
+                seed=base_cfg.seed,
+                waveguides=n,
+            )
+        )
+        for p in ("Ohm-base", "Ohm-BW"):
+            rel = [
+                runner.run(p, w, MemoryMode.PLANAR).performance / hetero_perf[w]
+                for w in workloads
+            ]
+            rows.append(
+                {
+                    "waveguides": n,
+                    "platform": p,
+                    "norm_performance": sum(rel) / len(rel),
+                }
+            )
+    return rows
+
+
+def figure20b() -> List[LinkBudget]:
+    """Fig. 20b: BER of each platform/function."""
+    return figure20b_budgets(default_config().optical)
+
+
+def figure15() -> List[dict]:
+    """Fig. 15 / Section V-C: MRR counts per layout and reductions."""
+    rows = []
+    for layout in (GENERAL_LAYOUT, BASELINE_LAYOUT):
+        rows.append(
+            {
+                "layout": layout.label,
+                "transmitters": layout.transmitters,
+                "receivers": layout.receivers,
+                "total": layout.total,
+                "reduction_vs_general": layout.reduction_vs(GENERAL_LAYOUT),
+            }
+        )
+    for mode in MODES:
+        layout = layout_for_mode(mode)
+        rows.append(
+            {
+                "layout": layout.label,
+                "transmitters": layout.transmitters,
+                "receivers": layout.receivers,
+                "total": layout.total,
+                "reduction_vs_general": mode_reduction(mode),
+            }
+        )
+    return rows
+
+
+def table3() -> List[dict]:
+    """Table III: bill of materials + cost deltas."""
+    rows = []
+    for mode in MODES:
+        cost = CostModel(mode)
+        bom = cost.bom
+        for platform in ("Ohm-base", "Ohm-BW"):
+            mrr = bom.mrr_bw if platform == "Ohm-BW" else bom.mrr_base
+            rows.append(
+                {
+                    "mode": mode.value,
+                    "platform": platform,
+                    "dram_gb": bom.dram_gb,
+                    "dram_price": bom.dram_price,
+                    "xpoint_gb": bom.xpoint_gb,
+                    "xpoint_price": bom.xpoint_price,
+                    "modulators": mrr.modulators,
+                    "detectors": mrr.detectors,
+                    "mrr_price": mrr.price,
+                    "total_cost": cost.platform_cost(platform),
+                    "cost_increase": cost.cost_increase_fraction(platform),
+                }
+            )
+    return rows
+
+
+def figure21(
+    runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
+) -> Dict[str, FigureData]:
+    """Fig. 21: cost-performance ratio of Origin / Ohm-BW / Oracle."""
+    out = {}
+    for mode in MODES:
+        cost = CostModel(mode)
+        values: Dict[Tuple[str, str], float] = {}
+        for w in workloads:
+            origin = runner.run("Origin", w, mode)
+            for p in ("Origin", "Ohm-BW", "Oracle"):
+                res = runner.run(p, w, mode)
+                perf = res.performance / origin.performance
+                values[(w, p)] = cost.cost_performance(p, perf)
+        out[mode.value] = FigureData("fig21", mode.value, values)
+    return out
+
+
+def headline(runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS) -> dict:
+    """Abstract claim: Ohm-BW vs Origin (+181 %) and vs Ohm-base (+27 %).
+
+    Speedups are aggregated with the geometric mean, the standard
+    aggregation for performance ratios.
+    """
+    import math
+
+    vs_origin: List[float] = []
+    vs_base: List[float] = []
+    for mode in MODES:
+        for w in workloads:
+            bw = runner.run("Ohm-BW", w, mode).performance
+            vs_origin.append(bw / runner.run("Origin", w, mode).performance)
+            vs_base.append(bw / runner.run("Ohm-base", w, mode).performance)
+
+    def geomean(xs: List[float]) -> float:
+        return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+    return {
+        "speedup_vs_origin": geomean(vs_origin),
+        "speedup_vs_ohm_base": geomean(vs_base),
+    }

@@ -1,0 +1,66 @@
+"""ASCII table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e6):
+            return f"{cell:.2e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render a fixed-width ASCII table (the benches print these)."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    items: Sequence[tuple[str, float]],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (for figure data in terminals).
+
+    >>> print(format_bar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a 2.000 ####
+    b 1.000 ##
+    """
+    if not items:
+        raise ValueError("nothing to chart")
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = max(v for _, v in items)
+    if peak < 0:
+        raise ValueError("bar values must be non-negative")
+    label_w = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+        bar = "#" * (int(round(width * value / peak)) if peak else 0)
+        lines.append(f"{label.ljust(label_w)} {value:.3f}{unit} {bar}")
+    return "\n".join(lines)

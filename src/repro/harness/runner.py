@@ -1,0 +1,92 @@
+"""Run matrices of (platform, workload, mode) simulations with caching.
+
+One :class:`Runner` owns a :class:`RunConfig` (how big each simulation
+is) and memoizes results, so the per-figure experiment functions can
+share runs — Figs. 16, 17, 18 and 19 all read the same matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import MemoryMode, SystemConfig, default_config
+from repro.core.platforms import PLATFORMS, Platform
+from repro.gpu.gpu import GpuModel, RunResult
+from repro.workloads.registry import WORKLOADS, generate_traces, get_workload
+from repro.workloads.synthetic import WarpTrace
+
+ALL_PLATFORMS = tuple(PLATFORMS)
+HETERO_PLATFORMS = ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW", "Oracle")
+ALL_WORKLOADS = tuple(WORKLOADS)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Simulation sizing: trade fidelity for wall-clock time."""
+
+    num_warps: int = 192
+    accesses_per_warp: int = 80
+    seed: int = 7
+    waveguides: int = 1
+
+    def scaled(self, factor: float) -> "RunConfig":
+        return replace(
+            self, accesses_per_warp=max(8, int(self.accesses_per_warp * factor))
+        )
+
+
+class Runner:
+    """Memoizing simulation runner for the benchmark harness."""
+
+    def __init__(self, run_cfg: Optional[RunConfig] = None) -> None:
+        self.run_cfg = run_cfg or RunConfig()
+        self._results: Dict[Tuple[str, str, str, int], RunResult] = {}
+        self._traces: Dict[Tuple[str, str], List[WarpTrace]] = {}
+
+    def _system_config(self, mode: MemoryMode) -> SystemConfig:
+        cfg = default_config(mode)
+        if self.run_cfg.waveguides != 1:
+            cfg = cfg.with_waveguides(self.run_cfg.waveguides)
+        return cfg
+
+    def _traces_for(self, workload: str, cfg: SystemConfig) -> List[WarpTrace]:
+        key = (workload, f"{cfg.scale_down}")
+        if key not in self._traces:
+            spec = get_workload(workload)
+            self._traces[key] = generate_traces(
+                spec,
+                spec.scaled_footprint(cfg.scale_down),
+                num_warps=self.run_cfg.num_warps,
+                accesses_per_warp=self.run_cfg.accesses_per_warp,
+                line_bytes=cfg.gpu.line_bytes,
+                page_bytes=cfg.hetero.page_bytes,
+                seed=self.run_cfg.seed,
+            )
+        return self._traces[key]
+
+    def run(self, platform: str, workload: str, mode: MemoryMode) -> RunResult:
+        """One simulation (cached)."""
+        key = (platform, workload, mode.value, self.run_cfg.waveguides)
+        if key not in self._results:
+            cfg = self._system_config(mode)
+            spec = get_workload(workload)
+            traces = self._traces_for(workload, cfg)
+            model = GpuModel(PLATFORMS[platform], cfg, spec, traces)
+            self._results[key] = model.run()
+        return self._results[key]
+
+    def matrix(
+        self,
+        platforms: Iterable[str],
+        workloads: Iterable[str],
+        mode: MemoryMode,
+    ) -> Dict[Tuple[str, str], RunResult]:
+        return {
+            (p, w): self.run(p, w, mode)
+            for p in platforms
+            for w in workloads
+        }
+
+    def platform(self, name: str) -> Platform:
+        return PLATFORMS[name]

@@ -1,0 +1,120 @@
+"""Design-space sweep utilities.
+
+Thin, reusable wrappers for the sensitivity studies of Section VI-B and
+the extra ablations: vary one configuration knob, re-simulate, collect a
+metric.  Used by ``benchmarks/test_ablations.py`` and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.config import MemoryMode, SystemConfig, default_config
+from repro.core.platforms import PLATFORMS
+from repro.gpu.gpu import GpuModel, RunResult
+from repro.harness.runner import RunConfig
+from repro.workloads.registry import generate_traces, get_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (knob value, result) pair of a sweep."""
+
+    value: float
+    result: RunResult
+
+
+def _simulate(
+    platform: str,
+    workload: str,
+    cfg: SystemConfig,
+    sizing: RunConfig,
+) -> RunResult:
+    spec = get_workload(workload)
+    traces = generate_traces(
+        spec,
+        spec.scaled_footprint(cfg.scale_down),
+        num_warps=sizing.num_warps,
+        accesses_per_warp=sizing.accesses_per_warp,
+        line_bytes=cfg.gpu.line_bytes,
+        page_bytes=cfg.hetero.page_bytes,
+        seed=sizing.seed,
+    )
+    return GpuModel(PLATFORMS[platform], cfg, spec, traces).run()
+
+
+def sweep_config(
+    platform: str,
+    workload: str,
+    mode: MemoryMode,
+    values: Sequence[float],
+    mutate: Callable[[SystemConfig, float], SystemConfig],
+    sizing: Optional[RunConfig] = None,
+) -> List[SweepPoint]:
+    """Run ``platform`` on ``workload`` once per knob value.
+
+    ``mutate(cfg, value)`` returns the modified configuration; traces
+    are regenerated per point because page size or footprint may change.
+    """
+    sizing = sizing or RunConfig(num_warps=48, accesses_per_warp=48)
+    points = []
+    for value in values:
+        cfg = mutate(default_config(mode), value)
+        points.append(SweepPoint(value, _simulate(platform, workload, cfg, sizing)))
+    return points
+
+
+def sweep_hot_threshold(
+    platform: str = "Ohm-base",
+    workload: str = "backp",
+    thresholds: Sequence[int] = (6, 14, 28, 56),
+    sizing: Optional[RunConfig] = None,
+) -> List[SweepPoint]:
+    """Planar migration aggressiveness sweep."""
+    return sweep_config(
+        platform,
+        workload,
+        MemoryMode.PLANAR,
+        thresholds,
+        lambda cfg, v: replace(cfg, hetero=replace(cfg.hetero, hot_threshold=int(v))),
+        sizing,
+    )
+
+
+def sweep_waveguides(
+    platform: str = "Ohm-base",
+    workload: str = "GRAMS",
+    counts: Sequence[int] = (1, 2, 4, 8),
+    sizing: Optional[RunConfig] = None,
+) -> List[SweepPoint]:
+    """Fig. 20a's knob as a reusable sweep."""
+    return sweep_config(
+        platform,
+        workload,
+        MemoryMode.PLANAR,
+        counts,
+        lambda cfg, v: cfg.with_waveguides(int(v)),
+        sizing,
+    )
+
+
+def sweep_xpoint_read_latency(
+    platform: str = "Ohm-BW",
+    workload: str = "pagerank",
+    latencies_ns: Sequence[float] = (95.0, 190.0, 380.0, 760.0),
+    sizing: Optional[RunConfig] = None,
+) -> List[SweepPoint]:
+    """How sensitive is Ohm-GPU to the NVM technology's read latency?
+
+    (A next-generation XPoint would halve it; a pessimistic one doubles
+    it — the kind of what-if the paper's conclusions should survive.)
+    """
+    return sweep_config(
+        platform,
+        workload,
+        MemoryMode.PLANAR,
+        latencies_ns,
+        lambda cfg, v: replace(cfg, xpoint=replace(cfg.xpoint, read_ns=float(v))),
+        sizing,
+    )

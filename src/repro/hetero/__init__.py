@@ -1,0 +1,23 @@
+"""Heterogeneous DRAM + XPoint organization (Section III-B).
+
+Two operating modes:
+
+* **planar** — one flat address space; each group holds one DRAM page
+  and several XPoint pages, and hot XPoint pages swap into the group's
+  DRAM page (OS-transparent migration, inspired by [65]).
+* **two-level** — DRAM is a direct-mapped inclusive cache of XPoint with
+  the tag/valid/dirty metadata stored in the ECC region of each DRAM
+  line [44].
+"""
+
+from repro.hetero.hotness import HotnessTracker
+from repro.hetero.planar import PlanarMapper, PlanarPlacement
+from repro.hetero.two_level import CacheLookup, DramCacheDirectory
+
+__all__ = [
+    "HotnessTracker",
+    "PlanarMapper",
+    "PlanarPlacement",
+    "DramCacheDirectory",
+    "CacheLookup",
+]

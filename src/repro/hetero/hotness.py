@@ -1,0 +1,58 @@
+"""Access-frequency tracking for planar-mode migration decisions.
+
+A page is *hot* once it collects ``threshold`` accesses inside the
+current decay window; counters halve every ``decay_accesses`` tracked
+accesses so stale history ages out (a standard CLOCK-ish approximation
+of the paper's "intensive memory accesses" trigger).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Optional
+
+
+class HotnessTracker:
+    """Per-key access counters with periodic exponential decay."""
+
+    def __init__(self, threshold: int, decay_accesses: int = 4096) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if decay_accesses < 1:
+            raise ValueError("decay window must be >= 1")
+        self.threshold = threshold
+        self.decay_accesses = decay_accesses
+        self._counts: Dict[Hashable, int] = defaultdict(int)
+        self._since_decay = 0
+        self.total_tracked = 0
+
+    def record(self, key: Hashable) -> bool:
+        """Count one access; returns True when ``key`` just turned hot."""
+        self.total_tracked += 1
+        self._since_decay += 1
+        if self._since_decay >= self.decay_accesses:
+            self._decay()
+        self._counts[key] += 1
+        if self._counts[key] == self.threshold:
+            return True
+        return False
+
+    def reset(self, key: Hashable) -> None:
+        """Forget a key (called after it has been migrated)."""
+        self._counts.pop(key, None)
+
+    def count(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    def is_hot(self, key: Hashable) -> bool:
+        return self._counts.get(key, 0) >= self.threshold
+
+    def _decay(self) -> None:
+        self._since_decay = 0
+        dead = []
+        for key in self._counts:
+            self._counts[key] >>= 1
+            if self._counts[key] == 0:
+                dead.append(key)
+        for key in dead:
+            del self._counts[key]

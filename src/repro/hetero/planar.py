@@ -1,0 +1,111 @@
+"""Planar memory mode: flat address space over page groups (Fig. 7a).
+
+The memory space is split into groups; each group owns **one DRAM page**
+and up to ``ratio`` XPoint pages (the DRAM:XPoint capacity ratio, 1:8 in
+Table I).  Logical pages are interleaved across groups.  When an XPoint
+page turns hot, its data and the group's current DRAM-resident page swap
+places; a small per-group mapping table records where each logical slot
+lives — the "simplified mapping table" the memory controllers consult on
+every request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class PlanarPlacement:
+    """Where a logical page currently lives."""
+
+    in_dram: bool
+    device_page: int  # page index inside the owning device
+    group: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class SwapPlan:
+    """A resolved migration: which physical pages exchange contents."""
+
+    group: int
+    hot_slot: int  # slot moving into DRAM
+    victim_slot: int  # slot moving out of DRAM (previous resident)
+    dram_page: int  # DRAM physical page of the group
+    xpoint_page: int  # XPoint physical page the victim moves into
+
+
+class PlanarMapper:
+    """Group table + logical→physical placement for one MC slice."""
+
+    def __init__(self, num_groups: int, slots_per_group: int) -> None:
+        if num_groups < 1:
+            raise ValueError("need at least one group")
+        if slots_per_group < 2:
+            raise ValueError("a group needs a DRAM slot and at least one XPoint slot")
+        self.num_groups = num_groups
+        self.slots_per_group = slots_per_group
+        # Which slot is DRAM-resident, per group (initially slot 0).
+        self._dram_slot: List[int] = [0] * num_groups
+        # Sparse overrides of slot -> XPoint page (identity when absent).
+        self._xp_page_of_slot: List[Dict[int, int]] = [dict() for _ in range(num_groups)]
+        self.swaps_performed = 0
+
+    def _group_slot(self, page: int) -> tuple[int, int]:
+        group = page % self.num_groups
+        slot = page // self.num_groups
+        if slot >= self.slots_per_group:
+            raise ValueError(
+                f"logical page {page} exceeds capacity "
+                f"({self.num_groups} groups x {self.slots_per_group} slots)"
+            )
+        return group, slot
+
+    def _xp_page(self, group: int, slot: int) -> int:
+        """XPoint physical page for a non-resident slot.
+
+        Identity placement puts slot ``s`` (s >= 1) in the group's XPoint
+        page ``s - 1``; swaps leave sparse overrides.
+        """
+        override = self._xp_page_of_slot[group].get(slot)
+        if override is not None:
+            return override
+        if slot == 0:
+            # Slot 0 starts in DRAM and only gains an XPoint page via a
+            # swap, which records an override.
+            raise KeyError(f"slot 0 of group {group} has no XPoint page yet")
+        return group * (self.slots_per_group - 1) + (slot - 1)
+
+    def lookup(self, page: int) -> PlanarPlacement:
+        """Mapping-table lookup the memory controller does per request."""
+        group, slot = self._group_slot(page)
+        if self._dram_slot[group] == slot:
+            return PlanarPlacement(True, group, group, slot)
+        return PlanarPlacement(False, self._xp_page(group, slot), group, slot)
+
+    def plan_swap(self, page: int) -> Optional[SwapPlan]:
+        """Prepare to swap a hot page into DRAM; None if already there."""
+        group, slot = self._group_slot(page)
+        victim = self._dram_slot[group]
+        if victim == slot:
+            return None
+        return SwapPlan(
+            group=group,
+            hot_slot=slot,
+            victim_slot=victim,
+            dram_page=group,
+            xpoint_page=self._xp_page(group, slot),
+        )
+
+    def commit_swap(self, plan: SwapPlan) -> None:
+        """Update the mapping table after the data movement completed."""
+        if self._dram_slot[plan.group] != plan.victim_slot:
+            raise ValueError("stale swap plan: DRAM resident changed")
+        self._dram_slot[plan.group] = plan.hot_slot
+        overrides = self._xp_page_of_slot[plan.group]
+        overrides[plan.victim_slot] = plan.xpoint_page
+        overrides.pop(plan.hot_slot, None)
+
+    def dram_resident_slot(self, group: int) -> int:
+        return self._dram_slot[group]

@@ -1,0 +1,49 @@
+"""PCIe DMA link between the host and the GPU.
+
+One shared resource: all memory-controller slices of the Origin
+platform fault pages through the same link, so its occupancy serializes
+(the "data movement overhead" of Fig. 3a/3b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import HostConfig
+from repro.sim.engine import us
+from repro.sim.stats import Stats
+
+
+class HostLink:
+    """Latency + bandwidth model of the host<->GPU PCIe path."""
+
+    def __init__(
+        self,
+        cfg: HostConfig,
+        stats: Optional[Stats] = None,
+        bandwidth_scale_down: int = 1,
+    ) -> None:
+        self.cfg = cfg
+        self.stats = stats if stats is not None else Stats()
+        self._busy_until = 0
+        self.latency_ps = us(cfg.pcie_latency_us)
+        # GB/s -> bytes per picosecond.
+        self._bytes_per_ps = (
+            cfg.pcie_bandwidth_gb_per_s * 1e9 / 1e12 / bandwidth_scale_down
+        )
+
+    def transfer(self, now_ps: int, size_bytes: int) -> int:
+        """Move ``size_bytes`` over the link; returns arrival time."""
+        if size_bytes <= 0:
+            raise ValueError("transfer needs a positive size")
+        start = max(now_ps, self._busy_until)
+        duration = max(1, int(round(size_bytes / self._bytes_per_ps)))
+        self._busy_until = start + duration
+        done = start + duration + self.latency_ps
+        self.stats.add("pcie.bytes", size_bytes)
+        self.stats.add("pcie.busy_ps", duration)
+        self.stats.add("pcie.transfers")
+        return done
+
+    def busy_until(self) -> int:
+        return self._busy_until

@@ -1,0 +1,36 @@
+"""A Z-NAND-class SSD model [57] for the Fig. 3 testbed."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import HostConfig
+from repro.sim.engine import us
+from repro.sim.stats import Stats
+
+
+class Ssd:
+    """Flat-latency, bandwidth-limited storage device."""
+
+    # Z-SSD class sequential bandwidth.
+    BANDWIDTH_GB_PER_S = 3.2
+
+    def __init__(self, cfg: HostConfig, stats: Optional[Stats] = None) -> None:
+        self.cfg = cfg
+        self.stats = stats if stats is not None else Stats()
+        self.read_latency_ps = us(cfg.ssd_read_latency_us)
+        self.write_latency_ps = us(cfg.ssd_write_latency_us)
+        self._bytes_per_ps = self.BANDWIDTH_GB_PER_S * 1e9 / 1e12
+        self._busy_until = 0
+
+    def access(self, now_ps: int, size_bytes: int, is_write: bool) -> int:
+        """Read or write ``size_bytes``; returns completion time."""
+        if size_bytes <= 0:
+            raise ValueError("access needs a positive size")
+        start = max(now_ps, self._busy_until)
+        duration = max(1, int(round(size_bytes / self._bytes_per_ps)))
+        self._busy_until = start + duration
+        latency = self.write_latency_ps if is_write else self.read_latency_ps
+        self.stats.add("ssd.bytes", size_bytes)
+        self.stats.add("ssd.busy_ps", duration + latency)
+        return start + duration + latency

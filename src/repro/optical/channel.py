@@ -1,0 +1,160 @@
+"""Optical channel with virtual channels, arbitration and dual routes.
+
+The single waveguide carries 96 wavelengths at 30 GHz (Table I).  Static
+channel division slices them into six 16-bit virtual channels, one per
+memory controller, so controllers never conflict (Section III-A).
+Within a virtual channel, the photonic demultiplexer enables exactly one
+device's detector at a time — modelled as a retune penalty whenever the
+target device changes.
+
+Dual routes (Section IV-B/V-B): platforms with half-coupled MRRs (or WOM
+coding) get an independent *memory route* for device-to-device
+migration.  On Ohm-WOM, while a swap rides the data route via WOM
+coding, the route's effective width drops to 2/3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.channel.base import ChannelPort, RouteKind, TransferResult
+from repro.config import OpticalChannelConfig
+from repro.optical.mrr import FULL_TUNE_PS
+from repro.optical.wavelength import WavelengthAllocator
+from repro.optical.wom import EFFECTIVE_BANDWIDTH_FRACTION
+from repro.sim.records import RequestKind
+from repro.sim.stats import Stats
+
+
+class VirtualChannel(ChannelPort):
+    """One wavelength group: a data route plus an optional memory route."""
+
+    def __init__(
+        self,
+        cfg: OpticalChannelConfig,
+        stats: Stats,
+        vchannel_id: int,
+        width_bits: int,
+        dual_routes: bool,
+        wom_coded: bool,
+        name: Optional[str] = None,
+        bandwidth_scale_down: int = 1,
+    ) -> None:
+        super().__init__(name or f"ochan{vchannel_id}", stats)
+        self.cfg = cfg
+        self.vchannel_id = vchannel_id
+        self.width_bits = width_bits * cfg.num_waveguides
+        self._dual_routes = dual_routes
+        self.wom_coded = wom_coded
+        self._bits_per_ps = (
+            self.width_bits * cfg.freq_ghz / 1000.0 / bandwidth_scale_down
+        )
+        self._busy_until = {RouteKind.DATA: 0, RouteKind.MEMORY: 0}
+        self._enabled_device = {RouteKind.DATA: -1, RouteKind.MEMORY: -1}
+        # While a WOM-coded swap occupies the light, demand transfers on
+        # the data route run at 2/3 width until this timestamp.
+        self._wom_active_until = 0
+
+    @property
+    def dual_routes(self) -> bool:
+        return self._dual_routes
+
+    @property
+    def bits_per_ps(self) -> float:
+        return self._bits_per_ps
+
+    def set_wom_window(self, now_ps: int, duration_ps: int) -> None:
+        """Degrade the data route for ``duration_ps`` of channel time.
+
+        While a WOM-coded swap shares the light, demand transfers run at
+        2/3 width.  The window is anchored to the data route's own
+        schedule: if the route is backlogged, the transfers that overlap
+        the swap in real time are the ones at the head of that backlog,
+        so the degradation applies there.
+        """
+        if duration_ps < 0:
+            raise ValueError("negative WOM window")
+        start = max(now_ps, self._busy_until[RouteKind.DATA], self._wom_active_until)
+        self._wom_active_until = start + duration_ps
+
+    def _effective_bits_per_ps(self, route: RouteKind, start_ps: int) -> float:
+        rate = self._bits_per_ps
+        if (
+            self.wom_coded
+            and route is RouteKind.DATA
+            and start_ps < self._wom_active_until
+        ):
+            rate *= EFFECTIVE_BANDWIDTH_FRACTION
+        return rate
+
+    def transfer(
+        self,
+        now_ps: int,
+        bits: int,
+        kind: RequestKind,
+        route: RouteKind = RouteKind.DATA,
+        device: int = 0,
+    ) -> TransferResult:
+        if bits <= 0:
+            raise ValueError("transfer needs a positive bit count")
+        if route is RouteKind.MEMORY and not self._dual_routes:
+            # No independent route on this platform: migrations fall back
+            # onto the data route and steal demand bandwidth.
+            route = RouteKind.DATA
+        start = max(now_ps, self._busy_until[route])
+        # Photonic demux arbitration: switching the enabled detector to a
+        # different memory device costs one MRR retune.
+        if self._enabled_device[route] != device:
+            start += FULL_TUNE_PS
+            self._enabled_device[route] = device
+            self.stats.add(f"{self.name}.demux_switches")
+        duration = max(1, int(round(bits / self._effective_bits_per_ps(route, start))))
+        end = start + duration
+        self._busy_until[route] = end
+        self._account(kind, route, bits, duration)
+        self.stats.add(f"{self.name}.energy_pj", bits * self.cfg.energy_pj_per_bit)
+        self.stats.add(
+            f"{self.name}.mrr_tuning_pj", bits * self.cfg.mrr_tuning_fj_per_bit / 1000.0
+        )
+        return TransferResult(start_ps=start, end_ps=end)
+
+    def busy_until(self, route: RouteKind = RouteKind.DATA) -> int:
+        if route is RouteKind.MEMORY and not self._dual_routes:
+            route = RouteKind.DATA
+        return self._busy_until[route]
+
+
+class OpticalChannel:
+    """The full waveguide: an allocator plus its virtual channels."""
+
+    def __init__(
+        self,
+        cfg: OpticalChannelConfig,
+        stats: Stats,
+        dual_routes: bool = False,
+        wom_coded: bool = False,
+        bandwidth_scale_down: int = 1,
+    ) -> None:
+        self.cfg = cfg
+        self.stats = stats
+        allocator = WavelengthAllocator(
+            cfg.channel_width_bits, cfg.num_virtual_channels
+        )
+        groups = allocator.allocate()
+        assert WavelengthAllocator.verify_disjoint(groups)
+        self.vchannels: List[VirtualChannel] = [
+            VirtualChannel(
+                cfg,
+                stats,
+                g.vchannel_id,
+                g.width_bits,
+                dual_routes=dual_routes,
+                wom_coded=wom_coded,
+                bandwidth_scale_down=bandwidth_scale_down,
+            )
+            for g in groups
+        ]
+
+    def vchannel_for_controller(self, mc_id: int) -> VirtualChannel:
+        """Static assignment: controller i owns virtual channel i."""
+        return self.vchannels[mc_id % len(self.vchannels)]

@@ -1,0 +1,111 @@
+"""Dynamic wavelength allocation (extension).
+
+Table I's Ohm-GPU uses *static* channel division: each memory controller
+permanently owns 16 of the 96 wavelengths.  The interface-design work
+the paper builds on ([38], Li et al., HPCA'13) instead assigns
+wavelengths to controllers on demand.  This module implements that
+alternative policy so the design choice can be studied: dynamic
+division helps when controller load is skewed but pays a reallocation
+(MRR retuning) latency on every rebalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.optical.mrr import FULL_TUNE_PS
+
+
+@dataclass
+class AllocationDecision:
+    """Result of one rebalance."""
+
+    wavelengths_per_controller: Dict[int, int]
+    retuned_wavelengths: int
+
+    @property
+    def retune_latency_ps(self) -> int:
+        # Retunes happen in parallel per ring; the channel pays one
+        # tuning window if anything moved at all.
+        return FULL_TUNE_PS if self.retuned_wavelengths else 0
+
+
+class DynamicWavelengthAllocator:
+    """Demand-proportional wavelength assignment with hysteresis.
+
+    Controllers report queue depths; wavelengths are redistributed
+    proportionally, with every controller guaranteed at least
+    ``min_per_controller`` so no one starves.  A rebalance only happens
+    when the ideal share of some controller differs from its current
+    share by more than ``hysteresis`` wavelengths — constant churn would
+    burn tuning time for nothing.
+    """
+
+    def __init__(
+        self,
+        total_wavelengths: int,
+        num_controllers: int,
+        min_per_controller: int = 4,
+        hysteresis: int = 2,
+    ) -> None:
+        if total_wavelengths < num_controllers * min_per_controller:
+            raise ValueError("not enough wavelengths for the guaranteed minimum")
+        if num_controllers < 1:
+            raise ValueError("need at least one controller")
+        self.total = total_wavelengths
+        self.n = num_controllers
+        self.min_per_controller = min_per_controller
+        self.hysteresis = hysteresis
+        base = total_wavelengths // num_controllers
+        extra = total_wavelengths % num_controllers
+        self.current: Dict[int, int] = {
+            i: base + (1 if i < extra else 0) for i in range(num_controllers)
+        }
+        self.rebalances = 0
+
+    def _ideal(self, demands: List[float]) -> Dict[int, int]:
+        """Demand-proportional split respecting the guaranteed minimum."""
+        if len(demands) != self.n:
+            raise ValueError(f"expected {self.n} demand values")
+        if any(d < 0 for d in demands):
+            raise ValueError("demands must be non-negative")
+        floor_total = self.min_per_controller * self.n
+        spare = self.total - floor_total
+        total_demand = sum(demands)
+        shares = {i: self.min_per_controller for i in range(self.n)}
+        if total_demand > 0:
+            fractional = [(spare * d / total_demand, i) for i, d in enumerate(demands)]
+            whole = 0
+            for amount, i in fractional:
+                shares[i] += int(amount)
+                whole += int(amount)
+            # Distribute the rounding remainder to the largest fractions.
+            remainder = spare - whole
+            for _, i in sorted(
+                fractional, key=lambda t: t[0] - int(t[0]), reverse=True
+            )[:remainder]:
+                shares[i] += 1
+        else:
+            # Idle system: fall back to an even split.
+            base, extra = divmod(spare, self.n)
+            for i in range(self.n):
+                shares[i] += base + (1 if i < extra else 0)
+        return shares
+
+    def rebalance(self, demands: List[float]) -> AllocationDecision:
+        """Recompute shares; no-op inside the hysteresis band."""
+        ideal = self._ideal(demands)
+        if all(
+            abs(ideal[i] - self.current[i]) <= self.hysteresis for i in range(self.n)
+        ):
+            return AllocationDecision(dict(self.current), retuned_wavelengths=0)
+        moved = sum(
+            max(0, ideal[i] - self.current[i]) for i in range(self.n)
+        )
+        self.current = ideal
+        self.rebalances += 1
+        return AllocationDecision(dict(ideal), retuned_wavelengths=moved)
+
+    def share(self, controller: int) -> int:
+        return self.current[controller]

@@ -1,0 +1,93 @@
+"""MRR layout calculator (Figure 15 / Section V-C).
+
+The general dual-route design needs, per DRAM+XPoint pair and per
+bit-lane:
+
+* DRAM: one conventional Tx/Rx pair, half-coupled receivers on both the
+  forward and backward paths (auto-read/write + reverse-write) and a
+  half-coupled transmitter (swap) -> 3 Tx + 3 Rx;
+* XPoint: a conventional Tx/Rx pair, half-coupled receivers on both
+  paths and a half-coupled transmitter -> 2 Tx + 3 Rx;
+* plus three optional transmitters (T9–T11) that only add scheduling
+  parallelism.
+
+The per-mode customization keeps only what that mode's functions use:
+planar mode runs just the swap function; two-level mode runs
+auto-read/write + reverse-write.  The resulting reductions — 58 % and
+42 % — are the paper's headline Fig. 15 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MemoryMode
+
+
+@dataclass(frozen=True)
+class MrrLayout:
+    """MRR counts per DRAM+XPoint device pair, per bit-lane."""
+
+    label: str
+    dram_tx: int
+    dram_rx: int
+    xpoint_tx: int
+    xpoint_rx: int
+    parallelism_tx: int = 0
+
+    @property
+    def transmitters(self) -> int:
+        return self.dram_tx + self.xpoint_tx + self.parallelism_tx
+
+    @property
+    def receivers(self) -> int:
+        return self.dram_rx + self.xpoint_rx
+
+    @property
+    def total(self) -> int:
+        return self.transmitters + self.receivers
+
+    def reduction_vs(self, other: "MrrLayout") -> float:
+        """Fractional MRR saving of ``self`` relative to ``other``."""
+        if other.total == 0:
+            raise ValueError("reference layout has no MRRs")
+        return 1.0 - self.total / other.total
+
+
+# Figure 15a: everything, including the optional T9-T11 transmitters.
+GENERAL_LAYOUT = MrrLayout(
+    label="general",
+    dram_tx=3,  # conventional + half-coupled (swap) + backward conventional
+    dram_rx=3,  # conventional + half-coupled fwd + half-coupled back
+    xpoint_tx=2,  # conventional + half-coupled (swap)
+    xpoint_rx=3,  # conventional + half-coupled fwd + half-coupled back
+    parallelism_tx=3,  # T9-T11, scheduling parallelism only
+)
+
+# Conventional photonic link, no dual routes (Ohm-base).
+BASELINE_LAYOUT = MrrLayout(
+    label="ohm-base", dram_tx=1, dram_rx=1, xpoint_tx=1, xpoint_rx=1
+)
+
+# Planar memory mode only needs the swap function: conventional pairs
+# plus half-coupled *transmitters* on DRAM and XPoint.
+PLANAR_LAYOUT = MrrLayout(
+    label="planar", dram_tx=2, dram_rx=1, xpoint_tx=2, xpoint_rx=1
+)
+
+# Two-level mode needs auto-read/write + reverse-write: conventional
+# pairs plus half-coupled *receivers* on the forward and backward paths.
+TWO_LEVEL_LAYOUT = MrrLayout(
+    label="two-level", dram_tx=1, dram_rx=3, xpoint_tx=1, xpoint_rx=3
+)
+
+
+def layout_for_mode(mode: MemoryMode) -> MrrLayout:
+    """Customized (Fig. 15b) layout for an operating mode."""
+    return PLANAR_LAYOUT if mode is MemoryMode.PLANAR else TWO_LEVEL_LAYOUT
+
+
+def mode_reduction(mode: MemoryMode) -> float:
+    """Fig. 15 claim: 58 % (planar) / 42 % (two-level) fewer MRRs than
+    the general design."""
+    return layout_for_mode(mode).reduction_vs(GENERAL_LAYOUT)

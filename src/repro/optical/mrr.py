@@ -1,0 +1,87 @@
+"""Micro-ring resonator (MRR) model.
+
+An MRR couples the laser light of one wavelength when tuned into
+resonance.  Ohm-GPU's enabling trick (Section IV-C) is the *half-coupled*
+state from [53]: tuned slightly off resonance (λ0 → λ0'), the ring
+absorbs only part of the light, so a downstream device can reuse or
+snarf the residual signal — that is what creates the second route in the
+same waveguide.
+
+Timing constants from the paper: a full on/off retune takes 100 ps; the
+fine tune into partial resonance takes 500 ps (5x).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+FULL_TUNE_PS = 100
+FINE_TUNE_PS = 500
+
+# Fraction of the incident light power left in the waveguide after the
+# ring interacts with it.
+_PASS_FRACTION = {
+    "non_coupled": 1.0,
+    "half_coupled": 0.5,
+    "fully_coupled": 0.0,
+}
+
+
+class CouplingState(enum.Enum):
+    NON_COUPLED = "non_coupled"
+    HALF_COUPLED = "half_coupled"
+    FULLY_COUPLED = "fully_coupled"
+
+    @property
+    def pass_fraction(self) -> float:
+        return _PASS_FRACTION[self.value]
+
+
+@dataclass
+class MicroRingResonator:
+    """One ring: state + tuning-time/energy accounting."""
+
+    state: CouplingState = CouplingState.NON_COUPLED
+    tuning_fj_per_bit: float = 200.0
+    retunes: int = 0
+    fine_retunes: int = 0
+
+    def tune(self, target: CouplingState) -> int:
+        """Switch coupling state; returns the tuning latency in ps."""
+        if target is self.state:
+            return 0
+        fine = (
+            target is CouplingState.HALF_COUPLED
+            or self.state is CouplingState.HALF_COUPLED
+        )
+        self.state = target
+        if fine:
+            self.fine_retunes += 1
+            return FINE_TUNE_PS
+        self.retunes += 1
+        return FULL_TUNE_PS
+
+    def pass_power(self, incident_mw: float) -> float:
+        """Optical power continuing down the waveguide past this ring."""
+        if incident_mw < 0:
+            raise ValueError("negative optical power")
+        return incident_mw * self.state.pass_fraction
+
+    def absorbed_power(self, incident_mw: float) -> float:
+        """Optical power coupled into the ring (what a detector senses)."""
+        return incident_mw - self.pass_power(incident_mw)
+
+    def modulate_bit(self, bit: int, incident_mw: float, half_coupled_tx: bool) -> float:
+        """Light power leaving a *transmitter* ring for data bit ``bit``.
+
+        A conventional transmitter fully couples the light for a 0 (low
+        transmission) and passes it for a 1.  A half-coupled transmitter
+        (Ohm-BW, Fig. 13b) keeps >= half power even for a 0 so that a
+        downstream transmitter can re-modulate the residue.
+        """
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        if bit == 1:
+            return incident_mw
+        return incident_mw * (0.5 if half_coupled_tx else 0.0)

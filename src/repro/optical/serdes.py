@@ -1,0 +1,49 @@
+"""SerDes circuit in front of each memory device (Figure 6c).
+
+Command/address/data are parallel inside DRAM/XPoint but serial on the
+waveguide; the SerDes converts between the two and a 16 KB register
+buffers in-flight data.  The model charges a fixed serialization
+latency plus a buffer-occupancy check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import KB
+
+SERDES_LATENCY_PS = 200  # serializer + deserializer pipeline
+
+
+@dataclass
+class SerDes:
+    """Serializer/deserializer with a small device-side register."""
+
+    buffer_bytes: int = 16 * KB
+    occupied_bytes: int = 0
+    total_serialized_bits: int = 0
+
+    def can_accept(self, payload_bytes: int) -> bool:
+        return self.occupied_bytes + payload_bytes <= self.buffer_bytes
+
+    def push(self, payload_bytes: int) -> int:
+        """Accept a payload into the device-side register.
+
+        Returns the serialization latency in ps.  Raises if the register
+        is full — the channel layer must back-pressure first.
+        """
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        if not self.can_accept(payload_bytes):
+            raise BufferError(
+                f"SerDes register full ({self.occupied_bytes}/{self.buffer_bytes} B)"
+            )
+        self.occupied_bytes += payload_bytes
+        self.total_serialized_bits += payload_bytes * 8
+        return SERDES_LATENCY_PS
+
+    def pop(self, payload_bytes: int) -> None:
+        """Drain a payload out of the register into the device core."""
+        if payload_bytes > self.occupied_bytes:
+            raise ValueError("draining more than buffered")
+        self.occupied_bytes -= payload_bytes

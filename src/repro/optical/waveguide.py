@@ -1,0 +1,38 @@
+"""Photonic waveguide: the transmission medium plus its loss budget."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def db_to_fraction(db: float) -> float:
+    """Convert a dB loss into the surviving power fraction.
+
+    >>> round(db_to_fraction(3.0), 3)
+    0.501
+    """
+    return 10.0 ** (-db / 10.0)
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """A waveguide segment with distance-proportional loss."""
+
+    length_cm: float
+    loss_db_per_cm: float = 0.3
+
+    @property
+    def loss_db(self) -> float:
+        return self.length_cm * self.loss_db_per_cm
+
+    def propagate(self, power_mw: float) -> float:
+        """Power remaining after traversing the full segment."""
+        if power_mw < 0:
+            raise ValueError("negative optical power")
+        return power_mw * db_to_fraction(self.loss_db)
+
+    def propagate_partial(self, power_mw: float, distance_cm: float) -> float:
+        """Power remaining after ``distance_cm`` of this guide."""
+        if not 0 <= distance_cm <= self.length_cm:
+            raise ValueError("distance outside the waveguide")
+        return power_mw * db_to_fraction(distance_cm * self.loss_db_per_cm)

@@ -1,0 +1,64 @@
+"""DWDM wavelength bookkeeping.
+
+The optical channel carries ``channel_width_bits`` wavelengths in one
+waveguide; the *static channel division* policy (Table I) slices them
+into contiguous groups, one virtual channel per memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class WavelengthGroup:
+    """A contiguous run of wavelength indices forming one virtual channel."""
+
+    vchannel_id: int
+    wavelengths: tuple[int, ...]
+
+    @property
+    def width_bits(self) -> int:
+        return len(self.wavelengths)
+
+
+class WavelengthAllocator:
+    """Static division of the wavelength comb into virtual channels."""
+
+    def __init__(self, total_wavelengths: int, num_virtual_channels: int) -> None:
+        if total_wavelengths < num_virtual_channels:
+            raise ValueError(
+                f"cannot split {total_wavelengths} wavelengths into "
+                f"{num_virtual_channels} virtual channels"
+            )
+        if num_virtual_channels < 1:
+            raise ValueError("need at least one virtual channel")
+        self.total_wavelengths = total_wavelengths
+        self.num_virtual_channels = num_virtual_channels
+
+    def allocate(self) -> List[WavelengthGroup]:
+        """Split wavelengths as evenly as possible (remainder to the low
+        virtual channels, matching a static hardware comb filter)."""
+        base = self.total_wavelengths // self.num_virtual_channels
+        extra = self.total_wavelengths % self.num_virtual_channels
+        groups: List[WavelengthGroup] = []
+        cursor = 0
+        for vc in range(self.num_virtual_channels):
+            width = base + (1 if vc < extra else 0)
+            groups.append(
+                WavelengthGroup(vc, tuple(range(cursor, cursor + width)))
+            )
+            cursor += width
+        return groups
+
+    @staticmethod
+    def verify_disjoint(groups: Sequence[WavelengthGroup]) -> bool:
+        """True when no wavelength appears in two groups (no conflicts)."""
+        seen: set[int] = set()
+        for g in groups:
+            for w in g.wavelengths:
+                if w in seen:
+                    return False
+                seen.add(w)
+        return True

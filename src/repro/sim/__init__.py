@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel used by every Ohm-GPU subsystem.
+
+The engine keeps time in integer **picoseconds** so that the 30 GHz
+optical clock, the 15 GHz electrical channel clock and the 1.2 GHz SM
+clock can all be represented exactly.
+"""
+
+from repro.sim.engine import Engine, PS_PER_NS, PS_PER_US, freq_ghz_to_period_ps, ns, us
+from repro.sim.records import Access, MemRequest, RequestKind
+from repro.sim.stats import Histogram, LatencyStat, Stats
+
+__all__ = [
+    "Engine",
+    "PS_PER_NS",
+    "PS_PER_US",
+    "freq_ghz_to_period_ps",
+    "ns",
+    "us",
+    "Access",
+    "MemRequest",
+    "RequestKind",
+    "Stats",
+    "LatencyStat",
+    "Histogram",
+]

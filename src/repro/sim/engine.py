@@ -1,0 +1,108 @@
+"""Event queue at the heart of the simulator.
+
+Every subsystem (SMs, memory controllers, DRAM banks, the XPoint
+controller, optical routes) schedules plain callables on a shared
+:class:`Engine`.  Events at equal timestamps run in scheduling order,
+which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to the engine's picosecond time base."""
+    return int(round(value * PS_PER_NS))
+
+
+def us(value: float) -> int:
+    """Convert microseconds to the engine's picosecond time base."""
+    return int(round(value * PS_PER_US))
+
+
+def freq_ghz_to_period_ps(freq_ghz: float) -> int:
+    """Clock period in picoseconds for a frequency given in GHz.
+
+    >>> freq_ghz_to_period_ps(1.0)
+    1000
+    >>> freq_ghz_to_period_ps(30.0)
+    33
+    """
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return max(1, int(round(1_000.0 / freq_ghz)))
+
+
+class Engine:
+    """A deterministic discrete-event engine with integer time.
+
+    >>> eng = Engine()
+    >>> seen = []
+    >>> eng.schedule(5, lambda: seen.append("b"))
+    >>> eng.schedule(1, lambda: seen.append("a"))
+    >>> eng.run()
+    >>> seen
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0
+        self.events_processed = 0
+
+    def schedule(self, delay_ps: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` ``delay_ps`` picoseconds from the current time."""
+        if delay_ps < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ps})")
+        self.at(self.now + delay_ps, fn)
+
+    def at(self, time_ps: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute time ``time_ps``."""
+        if time_ps < self.now:
+            raise ValueError(
+                f"cannot schedule at {time_ps} ps; current time is {self.now} ps"
+            )
+        heapq.heappush(self._queue, (time_ps, self._seq, fn))
+        self._seq += 1
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next pending event, or ``None`` if idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` when the queue is empty."""
+        if not self._queue:
+            return False
+        time_ps, _, fn = heapq.heappop(self._queue)
+        self.now = time_ps
+        self.events_processed += 1
+        fn()
+        return True
+
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        Args:
+            until_ps: stop once simulated time passes this stamp (the
+                event at ``until_ps`` itself still runs).
+            max_events: hard cap on processed events, a guard against
+                runaway feedback loops in misconfigured models.
+        """
+        processed = 0
+        while self._queue:
+            if until_ps is not None and self._queue[0][0] > until_ps:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

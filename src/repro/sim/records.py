@@ -1,0 +1,54 @@
+"""Request/response records that flow through the memory system."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_req_ids = itertools.count()
+
+
+class RequestKind(enum.Enum):
+    """Why a transfer is on the channel.
+
+    The paper's whole point is the distinction between *demand* traffic
+    (GPU loads/stores) and *migration* traffic (DRAM↔XPoint copies), so
+    every channel occupancy is tagged with one of these.
+    """
+
+    DEMAND = "demand"
+    MIGRATION = "migration"
+    HOST_DMA = "host_dma"
+
+
+@dataclass
+class Access:
+    """A single memory access emitted by a warp (post-L2, line granular)."""
+
+    addr: int
+    is_write: bool
+    size_bytes: int = 128
+
+
+@dataclass
+class MemRequest:
+    """A demand request travelling from an SM to memory and back."""
+
+    addr: int
+    is_write: bool
+    size_bytes: int
+    sm_id: int
+    warp_id: int
+    kind: RequestKind = RequestKind.DEMAND
+    issue_ps: int = 0
+    complete_ps: Optional[int] = None
+    served_by: str = ""  # "dram" | "xpoint" | "host"
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+
+    @property
+    def latency_ps(self) -> int:
+        if self.complete_ps is None:
+            raise ValueError(f"request {self.req_id} has not completed")
+        return self.complete_ps - self.issue_ps

@@ -1,0 +1,99 @@
+"""Counters, mean/extreme trackers and fixed-bin histograms.
+
+Every component takes a shared :class:`Stats` so a single object holds
+the whole run's measurements; the experiment harness then reads named
+counters out of it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class LatencyStat:
+    """Streaming mean/min/max without storing samples."""
+
+    count: int = 0
+    total: int = 0
+    min_value: int = 0
+    max_value: int = 0
+
+    def record(self, value: int) -> None:
+        if self.count == 0:
+            self.min_value = value
+            self.max_value = value
+        else:
+            self.min_value = min(self.min_value, value)
+            self.max_value = max(self.max_value, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyStat") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min_value, self.max_value = other.min_value, other.max_value
+        else:
+            self.min_value = min(self.min_value, other.min_value)
+            self.max_value = max(self.max_value, other.max_value)
+        self.count += other.count
+        self.total += other.total
+
+
+class Histogram:
+    """Fixed-width-bin histogram for latency distributions."""
+
+    def __init__(self, bin_width: int) -> None:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = bin_width
+        self.bins: Dict[int, int] = defaultdict(int)
+
+    def record(self, value: int) -> None:
+        self.bins[value // self.bin_width] += 1
+
+    def items(self) -> List[tuple[int, int]]:
+        """``(bin_start, count)`` pairs sorted by bin."""
+        return [(b * self.bin_width, c) for b, c in sorted(self.bins.items())]
+
+    @property
+    def count(self) -> int:
+        return sum(self.bins.values())
+
+
+@dataclass
+class Stats:
+    """A run's shared scoreboard of named counters and latency stats."""
+
+    counters: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    latencies: Dict[str, LatencyStat] = field(default_factory=dict)
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] += value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def record_latency(self, name: str, value: int) -> None:
+        stat = self.latencies.get(name)
+        if stat is None:
+            stat = self.latencies[name] = LatencyStat()
+        stat.record(value)
+
+    def latency(self, name: str) -> LatencyStat:
+        return self.latencies.get(name, LatencyStat())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict copy of all counters plus latency means."""
+        out = dict(self.counters)
+        for name, stat in self.latencies.items():
+            out[f"{name}.mean"] = stat.mean
+            out[f"{name}.count"] = stat.count
+        return out

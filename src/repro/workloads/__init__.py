@@ -1,0 +1,16 @@
+"""Workload substrate: Table II specs, synthetic trace generation and
+graph-derived traces for the GraphBIG applications."""
+
+from repro.workloads.registry import WORKLOADS, get_workload
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.synthetic import SyntheticTraceGenerator, WarpTrace
+from repro.workloads.graphs import GraphTraceGenerator
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOADS",
+    "get_workload",
+    "SyntheticTraceGenerator",
+    "GraphTraceGenerator",
+    "WarpTrace",
+]

@@ -1,0 +1,60 @@
+"""Workload registry: name -> spec, plus the right trace generator."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.workloads.graphs import GraphTraceGenerator
+from repro.workloads.spec import TABLE2, WorkloadSpec
+from repro.workloads.synthetic import SyntheticTraceGenerator, WarpTrace
+
+WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in TABLE2}
+
+TraceGenerator = Union[SyntheticTraceGenerator, GraphTraceGenerator]
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+
+
+def make_generator(
+    spec: WorkloadSpec,
+    footprint_bytes: int,
+    line_bytes: int = 128,
+    page_bytes: int = 4096,
+    seed: int = 7,
+    use_graph_traces: bool = True,
+) -> TraceGenerator:
+    """Trace generator for a workload: graph replay for GraphBIG apps,
+    statistical traces otherwise."""
+    if spec.is_graph and use_graph_traces:
+        # Size the graph so the CSR + two property arrays cover roughly
+        # half of the footprint (the rest models per-algorithm scratch).
+        num_vertices = max(64, footprint_bytes // line_bytes // 16)
+        return GraphTraceGenerator(
+            spec, footprint_bytes, line_bytes, num_vertices=num_vertices, seed=seed
+        )
+    return SyntheticTraceGenerator(
+        spec, footprint_bytes, line_bytes, page_bytes, seed=seed
+    )
+
+
+def generate_traces(
+    spec: WorkloadSpec,
+    footprint_bytes: int,
+    num_warps: int,
+    accesses_per_warp: int,
+    line_bytes: int = 128,
+    page_bytes: int = 4096,
+    seed: int = 7,
+    use_graph_traces: bool = True,
+) -> List[WarpTrace]:
+    gen = make_generator(
+        spec, footprint_bytes, line_bytes, page_bytes, seed, use_graph_traces
+    )
+    return gen.traces(num_warps, accesses_per_warp)

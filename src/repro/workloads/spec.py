@@ -1,0 +1,71 @@
+"""Workload characteristics (Table II) plus trace-shaping parameters.
+
+APKI (memory accesses per kilo-instruction) and the read ratio come
+straight from Table II.  The remaining fields shape the synthetic
+traces: access skew (hot pages), spatial locality (sequential runs) and
+the compute-reuse factor used by the Fig. 3 host/storage model.  Skew
+and reuse are chosen per suite: graph workloads are highly skewed and
+irregular; the Rodinia/Polybench kernels are more regular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GB
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of Table II plus generator parameters."""
+
+    name: str
+    apki: float
+    read_ratio: float
+    suite: str  # "rodinia" | "polybench" | "graphbig"
+    zipf_alpha: float = 0.9  # page-popularity skew
+    seq_run_mean: float = 4.0  # mean sequential-line run length
+    temporal_reuse: float = 0.45  # chance of revisiting a recent line
+    stream_fraction: float = 0.35  # cold strided sweep of the footprint
+    compute_reuse: float = 24.0  # kernel passes over each byte (Fig. 3)
+    footprint_bytes: int = 8 * GB  # paper: workloads scaled to 8 GB
+
+    def __post_init__(self) -> None:
+        if self.apki <= 0:
+            raise ValueError(f"{self.name}: APKI must be positive")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError(f"{self.name}: read ratio must be in [0, 1]")
+        if self.footprint_bytes <= 0:
+            raise ValueError(f"{self.name}: footprint must be positive")
+
+    @property
+    def is_graph(self) -> bool:
+        return self.suite == "graphbig"
+
+    @property
+    def mean_gap_instructions(self) -> float:
+        """Mean warp instructions between memory accesses."""
+        return 1000.0 / self.apki
+
+    def scaled_footprint(self, scale_down: int) -> int:
+        """Footprint after the simulator's capacity scale-down.
+
+        The paper scales capacities by 12x; extra scaling (for pure
+        Python) divides footprint and memory alike so ratios hold.
+        """
+        return max(1, self.footprint_bytes * 12 // scale_down)
+
+
+# Table II, verbatim.
+TABLE2 = (
+    WorkloadSpec("backp", 30, 0.53, "rodinia", zipf_alpha=0.95, seq_run_mean=8.0, temporal_reuse=0.55, compute_reuse=64.0),
+    WorkloadSpec("lud", 20, 0.52, "rodinia", zipf_alpha=0.95, seq_run_mean=8.0, temporal_reuse=0.55, compute_reuse=96.0),
+    WorkloadSpec("GRAMS", 266, 0.70, "polybench", zipf_alpha=1.05, seq_run_mean=6.0, temporal_reuse=0.55, compute_reuse=16.0),
+    WorkloadSpec("FDTD", 86, 0.70, "polybench", zipf_alpha=1.05, seq_run_mean=6.0, temporal_reuse=0.55, compute_reuse=32.0),
+    WorkloadSpec("betw", 193, 0.99, "graphbig", zipf_alpha=1.1, seq_run_mean=2.0, compute_reuse=12.0),
+    WorkloadSpec("bfsdata", 84, 0.95, "graphbig", zipf_alpha=1.0, seq_run_mean=2.0, compute_reuse=24.0),
+    WorkloadSpec("bfstopo", 25, 0.97, "graphbig", zipf_alpha=1.0, seq_run_mean=2.0, compute_reuse=48.0),
+    WorkloadSpec("gctopo", 93, 0.99, "graphbig", zipf_alpha=1.1, seq_run_mean=2.0, compute_reuse=20.0),
+    WorkloadSpec("pagerank", 599, 0.99, "graphbig", zipf_alpha=1.2, seq_run_mean=2.0, compute_reuse=8.0),
+    WorkloadSpec("sssp", 103, 0.98, "graphbig", zipf_alpha=1.1, seq_run_mean=2.0, compute_reuse=20.0),
+)

@@ -1,0 +1,135 @@
+"""Synthetic post-L2 trace generation shaped by a WorkloadSpec.
+
+Each warp gets a :class:`WarpTrace`: aligned arrays of compute-gap
+lengths (instructions between memory operations, geometric with mean
+``1000/APKI``), byte addresses (Zipf-popular pages expanded into short
+sequential line runs) and read/write flags (Bernoulli at the Table II
+read ratio).  Generation is deterministic per (workload, warp, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class WarpTrace:
+    """One warp's replayable access stream."""
+
+    gaps: np.ndarray  # int64 instructions of compute before each access
+    addrs: np.ndarray  # int64 byte addresses
+    writes: np.ndarray  # bool
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    def __iter__(self) -> Iterator[tuple[int, int, bool]]:
+        return zip(
+            self.gaps.tolist(), self.addrs.tolist(), self.writes.tolist()
+        )
+
+    @property
+    def total_instructions(self) -> int:
+        """Compute instructions plus one memory instruction per access."""
+        return int(self.gaps.sum()) + len(self)
+
+
+def zipf_pmf(num_items: int, alpha: float) -> np.ndarray:
+    """Truncated Zipf probability mass over ``num_items`` ranks."""
+    if num_items < 1:
+        raise ValueError("need at least one item")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+class SyntheticTraceGenerator:
+    """Builds per-warp traces for a workload over a scaled footprint."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        footprint_bytes: int,
+        line_bytes: int = 128,
+        page_bytes: int = 4096,
+        seed: int = 7,
+    ) -> None:
+        if footprint_bytes < page_bytes:
+            raise ValueError("footprint smaller than one page")
+        self.spec = spec
+        self.footprint_bytes = footprint_bytes
+        self.line_bytes = line_bytes
+        self.page_bytes = page_bytes
+        self.num_pages = footprint_bytes // page_bytes
+        self.lines_per_page = page_bytes // line_bytes
+        self.seed = seed
+        self._pmf = zipf_pmf(self.num_pages, spec.zipf_alpha)
+        # Random permutations decouple popularity rank from address, so
+        # hot pages spread across controllers and groups.  The hot set
+        # *drifts*: a fresh permutation applies each epoch, modelling
+        # program phases — this is what sustains planar-mode migrations
+        # rather than a one-time warmup transient.
+        rng = np.random.default_rng(seed)
+        self.num_epochs = 4
+        self._page_of_rank_by_epoch = [
+            rng.permutation(self.num_pages) for _ in range(self.num_epochs)
+        ]
+
+    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
+        """Deterministic trace for one warp."""
+        if num_accesses < 1:
+            raise ValueError("need at least one access")
+        rng = np.random.default_rng((self.seed, warp_global_id))
+        # Total instructions per access (gap + the memory instruction)
+        # must average 1000/APKI, so the compute gap is geometric with
+        # mean 1000/APKI - 1 (shifted: geometric(p) - 1 with p=APKI/1000).
+        gaps = (
+            rng.geometric(p=min(1.0, self.spec.apki / 1000.0), size=num_accesses) - 1
+        ).astype(np.int64)
+        addrs = np.empty(num_accesses, dtype=np.int64)
+        writes = rng.random(num_accesses) >= self.spec.read_ratio
+        run_p = min(1.0, 1.0 / self.spec.seq_run_mean)
+        epoch_len = max(1, num_accesses // self.num_epochs)
+        history: list[int] = []  # recently touched lines (reuse pool)
+        # Cold streaming sweep: each warp scans the footprint with a
+        # large stride (column-order array walks).  Warps jointly touch
+        # most pages exactly once — the capacity pressure that makes the
+        # paper's Origin platform page against the host.
+        total_lines = self.footprint_bytes // self.line_bytes
+        stride_lines = max(1, self.page_bytes // self.line_bytes)
+        stream_cursor = (warp_global_id * 40_503) % total_lines
+        filled = 0
+        while filled < num_accesses:
+            if rng.random() < self.spec.stream_fraction:
+                addrs[filled] = stream_cursor * self.line_bytes
+                stream_cursor = (stream_cursor + stride_lines + 1) % total_lines
+                filled += 1
+                continue
+            # Temporal locality that survived the on-chip caches: revisit
+            # a recently touched line.
+            if history and rng.random() < self.spec.temporal_reuse:
+                addrs[filled] = history[int(rng.integers(len(history)))]
+                filled += 1
+                continue
+            epoch = min(filled // epoch_len, self.num_epochs - 1)
+            rank = rng.choice(self.num_pages, p=self._pmf)
+            page = int(self._page_of_rank_by_epoch[epoch][rank])
+            run = min(int(rng.geometric(run_p)), num_accesses - filled)
+            start_line = int(rng.integers(self.lines_per_page))
+            base = page * self.page_bytes
+            for i in range(run):
+                line = (start_line + i) % self.lines_per_page
+                addrs[filled] = base + line * self.line_bytes
+                history.append(addrs[filled])
+                filled += 1
+            if len(history) > 32:
+                del history[: len(history) - 32]
+        return WarpTrace(gaps=gaps, addrs=addrs, writes=writes)
+
+    def traces(self, num_warps: int, accesses_per_warp: int) -> List[WarpTrace]:
+        return [self.warp_trace(w, accesses_per_warp) for w in range(num_warps)]

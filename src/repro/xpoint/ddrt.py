@@ -1,0 +1,115 @@
+"""DDR-T: the asynchronous memory-channel protocol for XPoint.
+
+DDR (deterministic timing) cannot carry XPoint's non-deterministic
+latencies, so the memory controller talks to the XPoint controller via
+DDR-T (Section II-C): commands are posted, the controller goes on to
+serve other requests, and the XPoint controller raises a *ready*
+message when data can be transferred.  Ohm-GPU reuses the same side
+band for the swap/reverse-write handshakes.
+
+This module models the message sequencing at transaction level — each
+transaction walks an explicit state machine, and violations raise, which
+the tests use to pin the protocol down.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+_txn_ids = itertools.count()
+
+
+class TxnState(enum.Enum):
+    POSTED = "posted"  # command sent, XPoint working
+    READY = "ready"  # XPoint raised the ready signal
+    TRANSFERRING = "transferring"  # data on the channel
+    COMPLETE = "complete"
+
+
+class TxnKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    SWAP = "swap"  # Ohm-GPU's SWAP-CMD rides the same side band
+
+
+@dataclass
+class DdrTTransaction:
+    """One posted command and its lifecycle."""
+
+    kind: TxnKind
+    addr: int
+    posted_ps: int
+    txn_id: int = field(default_factory=lambda: next(_txn_ids))
+    state: TxnState = TxnState.POSTED
+    ready_ps: Optional[int] = None
+    complete_ps: Optional[int] = None
+
+    @property
+    def service_latency_ps(self) -> int:
+        if self.complete_ps is None:
+            raise ValueError(f"transaction {self.txn_id} not complete")
+        return self.complete_ps - self.posted_ps
+
+
+class DdrTBus:
+    """Posted-transaction tracker shared by MC and XPoint controller.
+
+    The memory controller ``post``s commands and is free to do other
+    work; the XPoint controller marks them ``ready``; the memory
+    controller then claims the data transfer and ``complete``s them.
+    A bounded number of transactions may be outstanding — the credit
+    scheme real DDR-T uses for flow control.
+    """
+
+    def __init__(self, max_outstanding: int = 64) -> None:
+        if max_outstanding < 1:
+            raise ValueError("need at least one credit")
+        self.max_outstanding = max_outstanding
+        self._live: Dict[int, DdrTTransaction] = {}
+        self.completed = 0
+
+    def post(self, kind: TxnKind, addr: int, now_ps: int) -> DdrTTransaction:
+        """Post a command; raises when out of credits."""
+        if len(self._live) >= self.max_outstanding:
+            raise RuntimeError("DDR-T credit exhausted: too many outstanding")
+        txn = DdrTTransaction(kind=kind, addr=addr, posted_ps=now_ps)
+        self._live[txn.txn_id] = txn
+        return txn
+
+    def mark_ready(self, txn: DdrTTransaction, now_ps: int) -> None:
+        """XPoint controller signals the data (or swap result) is ready."""
+        if txn.txn_id not in self._live:
+            raise KeyError(f"unknown transaction {txn.txn_id}")
+        if txn.state is not TxnState.POSTED:
+            raise RuntimeError(f"ready on a {txn.state.value} transaction")
+        if now_ps < txn.posted_ps:
+            raise ValueError("ready before the command was posted")
+        txn.state = TxnState.READY
+        txn.ready_ps = now_ps
+
+    def begin_transfer(self, txn: DdrTTransaction) -> None:
+        if txn.state is not TxnState.READY:
+            raise RuntimeError("transfer before the ready signal")
+        txn.state = TxnState.TRANSFERRING
+
+    def complete(self, txn: DdrTTransaction, now_ps: int) -> None:
+        if txn.state is not TxnState.TRANSFERRING:
+            raise RuntimeError(f"complete on a {txn.state.value} transaction")
+        if txn.ready_ps is not None and now_ps < txn.ready_ps:
+            raise ValueError("completion before ready")
+        txn.state = TxnState.COMPLETE
+        txn.complete_ps = now_ps
+        del self._live[txn.txn_id]
+        self.completed += 1
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._live)
+
+    def ready_transactions(self) -> list[DdrTTransaction]:
+        """Transactions awaiting their data transfer, oldest first."""
+        ready = [t for t in self._live.values() if t.state is TxnState.READY]
+        return sorted(ready, key=lambda t: t.ready_ps or 0)

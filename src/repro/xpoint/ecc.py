@@ -1,0 +1,89 @@
+"""SECDED ECC codec (Hamming + overall parity).
+
+The XPoint controller enables ECC on media accesses (Section III-A),
+and the two-level mode stores cache metadata *inside* the ECC region of
+each DRAM line (Section III-B).  This codec is a real single-error-
+correcting / double-error-detecting Hamming code over 64-bit words so
+the metadata-in-ECC trick can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DATA_BITS = 64
+# Hamming code: r parity bits cover 2**r - r - 1 data bits; r = 7 covers
+# 120 >= 64.  Plus one overall parity bit for double-error detection.
+PARITY_BITS = 7
+CODE_BITS = DATA_BITS + PARITY_BITS + 1  # 72
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    data: int
+    corrected: bool
+    double_error: bool
+
+
+class SecDedCodec:
+    """Encode/decode 64-bit words into 72-bit SECDED codewords."""
+
+    def __init__(self) -> None:
+        # Positions 1..71 (1-indexed); powers of two hold parity bits.
+        self._data_positions = [
+            p for p in range(1, DATA_BITS + PARITY_BITS + 1) if p & (p - 1) != 0
+        ]
+        assert len(self._data_positions) == DATA_BITS
+
+    def encode(self, data: int) -> int:
+        if not 0 <= data < (1 << DATA_BITS):
+            raise ValueError("data must fit in 64 bits")
+        code = 0
+        for i, pos in enumerate(self._data_positions):
+            if (data >> i) & 1:
+                code |= 1 << pos
+        for r in range(PARITY_BITS):
+            p = 1 << r
+            parity = 0
+            for pos in range(1, DATA_BITS + PARITY_BITS + 1):
+                if pos & p and (code >> pos) & 1:
+                    parity ^= 1
+            code |= parity << p
+        overall = bin(code).count("1") & 1
+        code |= overall << 0  # overall parity in position 0
+        return code
+
+    def decode(self, code: int) -> DecodeResult:
+        if not 0 <= code < (1 << CODE_BITS):
+            raise ValueError("codeword must fit in 72 bits")
+        syndrome = 0
+        for r in range(PARITY_BITS):
+            p = 1 << r
+            parity = 0
+            for pos in range(1, DATA_BITS + PARITY_BITS + 1):
+                if pos & p and (code >> pos) & 1:
+                    parity ^= 1
+            if parity:
+                syndrome |= p
+        overall = bin(code).count("1") & 1
+        corrected = False
+        double_error = False
+        if syndrome and overall:
+            if syndrome <= DATA_BITS + PARITY_BITS:
+                # Single error at position ``syndrome`` — flip it.
+                code ^= 1 << syndrome
+                corrected = True
+            else:
+                # Syndrome points outside the codeword: >2 bit corruption.
+                double_error = True
+        elif syndrome and not overall:
+            double_error = True
+        elif not syndrome and overall:
+            # Error in the overall parity bit itself.
+            code ^= 1
+            corrected = True
+        data = 0
+        for i, pos in enumerate(self._data_positions):
+            if (code >> pos) & 1:
+                data |= 1 << i
+        return DecodeResult(data=data, corrected=corrected, double_error=double_error)

@@ -1,0 +1,68 @@
+"""Start-Gap wear levelling (Qureshi et al., MICRO'09 [55]).
+
+Ohm-GPU adopts Start-Gap precisely because it needs **no mapping table**
+in an external DRAM buffer (Section III-A): the logical→physical
+translation is two registers (``start`` and ``gap``) plus modular
+arithmetic.  ``N`` logical lines live in ``N + 1`` physical slots; the
+empty slot (the gap) rotates one position every ``period`` writes, and
+each full rotation advances ``start`` by one.
+"""
+
+from __future__ import annotations
+
+
+class StartGap:
+    """Algebraic Start-Gap remapper over ``num_lines`` logical lines."""
+
+    def __init__(self, num_lines: int, period: int = 100) -> None:
+        if num_lines < 1:
+            raise ValueError("need at least one line")
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.num_lines = num_lines
+        self.period = period
+        self.start = 0
+        self.gap = num_lines  # physical index of the empty slot
+        self._writes_since_move = 0
+        self.gap_moves = 0
+
+    def translate(self, logical: int) -> int:
+        """Logical line -> physical slot (in ``[0, num_lines]``).
+
+        The published formula [55]: ``PA = (LA + Start) mod N`` and then
+        ``PA += 1`` when PA is at or past the gap — the +1 never wraps,
+        which keeps the map injective.
+        """
+        if not 0 <= logical < self.num_lines:
+            raise ValueError(f"logical line {logical} out of range")
+        physical = (logical + self.start) % self.num_lines
+        if physical >= self.gap:
+            physical += 1
+        return physical
+
+    def record_write(self) -> bool:
+        """Count one write; move the gap when the period elapses.
+
+        Returns ``True`` when a gap move happened (the caller owes the
+        media one extra line copy for the rotation).
+        """
+        self._writes_since_move += 1
+        if self._writes_since_move < self.period:
+            return False
+        self._writes_since_move = 0
+        self._move_gap()
+        return True
+
+    def _move_gap(self) -> None:
+        self.gap_moves += 1
+        if self.gap == 0:
+            # One full rotation completed: every line has shifted one
+            # slot; the start register absorbs it and the gap rewinds.
+            self.gap = self.num_lines
+            self.start = (self.start + 1) % self.num_lines
+        else:
+            self.gap -= 1
+
+    def mapping(self) -> list[int]:
+        """Full logical→physical map (test/debug helper)."""
+        return [self.translate(i) for i in range(self.num_lines)]

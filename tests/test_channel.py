@@ -1,0 +1,142 @@
+"""Channel tests: electrical bus, optical virtual channels, dual routes,
+WOM windows and demux arbitration."""
+
+import pytest
+
+from repro.channel.base import RouteKind
+from repro.channel.electrical import ElectricalChannel
+from repro.config import ElectricalChannelConfig, OpticalChannelConfig
+from repro.optical.channel import OpticalChannel, VirtualChannel
+from repro.sim.records import RequestKind
+from repro.sim.stats import Stats
+
+
+def make_vchannel(dual=False, wom=False, scale=1):
+    cfg = OpticalChannelConfig()
+    return VirtualChannel(
+        cfg, Stats(), 0, 16, dual_routes=dual, wom_coded=wom,
+        bandwidth_scale_down=scale,
+    )
+
+
+class TestElectrical:
+    def test_transfer_duration_matches_bandwidth(self):
+        chan = ElectricalChannel(ElectricalChannelConfig(), Stats())
+        r = chan.transfer(0, 480, RequestKind.DEMAND)
+        assert r.duration_ps == 1000  # 480 bits at 0.48 bits/ps
+
+    def test_transfers_serialize(self):
+        chan = ElectricalChannel(ElectricalChannelConfig(), Stats())
+        r1 = chan.transfer(0, 480, RequestKind.DEMAND)
+        r2 = chan.transfer(0, 480, RequestKind.DEMAND)
+        assert r2.start_ps == r1.end_ps
+
+    def test_no_dual_routes(self):
+        chan = ElectricalChannel(ElectricalChannelConfig(), Stats())
+        assert not chan.dual_routes
+        # A memory-route transfer lands on the single bus.
+        r1 = chan.transfer(0, 480, RequestKind.MIGRATION, RouteKind.MEMORY)
+        r2 = chan.transfer(0, 480, RequestKind.DEMAND, RouteKind.DATA)
+        assert r2.start_ps >= r1.end_ps
+
+    def test_energy_accounted(self):
+        stats = Stats()
+        chan = ElectricalChannel(ElectricalChannelConfig(), stats)
+        chan.transfer(0, 1000, RequestKind.DEMAND)
+        assert stats.get("echan.energy_pj") == pytest.approx(5000.0)
+
+    def test_bandwidth_scaling(self):
+        chan = ElectricalChannel(
+            ElectricalChannelConfig(), Stats(), bandwidth_scale_down=4
+        )
+        r = chan.transfer(0, 480, RequestKind.DEMAND)
+        assert r.duration_ps == 4000
+
+    def test_zero_bits_rejected(self):
+        chan = ElectricalChannel(ElectricalChannelConfig(), Stats())
+        with pytest.raises(ValueError):
+            chan.transfer(0, 0, RequestKind.DEMAND)
+
+
+class TestVirtualChannel:
+    def test_same_bandwidth_as_electrical(self):
+        """Table I: one 16-bit 30 GHz vchannel == one 32-bit 15 GHz lane."""
+        v = make_vchannel()
+        e = ElectricalChannel(ElectricalChannelConfig(), Stats())
+        assert v.bits_per_ps == pytest.approx(e.bits_per_ps)
+
+    def test_dual_routes_are_independent(self):
+        v = make_vchannel(dual=True)
+        d = v.transfer(0, 4800, RequestKind.DEMAND, RouteKind.DATA, device=0)
+        m = v.transfer(0, 4800, RequestKind.MIGRATION, RouteKind.MEMORY, device=1)
+        # Both start immediately: no serialization between routes.
+        assert abs(d.start_ps - m.start_ps) <= 200  # demux tune only
+
+    def test_no_dual_routes_falls_back_to_data(self):
+        v = make_vchannel(dual=False)
+        m = v.transfer(0, 4800, RequestKind.MIGRATION, RouteKind.MEMORY)
+        d = v.transfer(0, 4800, RequestKind.DEMAND, RouteKind.DATA)
+        assert d.start_ps >= m.end_ps
+
+    def test_demux_switch_penalty(self):
+        v = make_vchannel()
+        r1 = v.transfer(0, 480, RequestKind.DEMAND, device=0)
+        r2 = v.transfer(r1.end_ps, 480, RequestKind.DEMAND, device=1)
+        assert r2.start_ps == r1.end_ps + 100  # one MRR retune
+
+    def test_no_penalty_for_same_device(self):
+        v = make_vchannel()
+        r1 = v.transfer(0, 480, RequestKind.DEMAND, device=0)
+        r2 = v.transfer(r1.end_ps, 480, RequestKind.DEMAND, device=0)
+        assert r2.start_ps == r1.end_ps
+
+    def test_wom_window_degrades_data_route(self):
+        v = make_vchannel(dual=True, wom=True)
+        base = v.transfer(0, 4800, RequestKind.DEMAND).duration_ps
+        v.set_wom_window(v.busy_until(RouteKind.DATA), 1_000_000)
+        slowed = v.transfer(
+            v.busy_until(RouteKind.DATA), 4800, RequestKind.DEMAND
+        ).duration_ps
+        assert slowed == pytest.approx(base * 1.5, rel=0.01)
+
+    def test_wom_window_does_not_affect_memory_route(self):
+        v = make_vchannel(dual=True, wom=True)
+        v.set_wom_window(0, 10_000_000)
+        base = 4800 / v.bits_per_ps
+        r = v.transfer(0, 4800, RequestKind.MIGRATION, RouteKind.MEMORY)
+        assert r.duration_ps == pytest.approx(base, rel=0.01)
+
+    def test_wom_window_ignored_without_wom(self):
+        v = make_vchannel(dual=True, wom=False)
+        v.set_wom_window(0, 10_000_000)
+        base = 4800 / v.bits_per_ps
+        r = v.transfer(0, 4800, RequestKind.DEMAND)
+        assert r.duration_ps == pytest.approx(base, rel=0.05)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            make_vchannel(wom=True).set_wom_window(0, -1)
+
+    def test_traffic_kinds_accounted_separately(self):
+        v = make_vchannel(dual=True)
+        v.transfer(0, 1000, RequestKind.DEMAND)
+        v.transfer(0, 2000, RequestKind.MIGRATION, RouteKind.MEMORY)
+        assert v.stats.get("ochan0.bits.demand") == 1000
+        assert v.stats.get("ochan0.bits.migration") == 2000
+
+
+class TestOpticalChannel:
+    def test_six_virtual_channels(self):
+        chan = OpticalChannel(OpticalChannelConfig(), Stats())
+        assert len(chan.vchannels) == 6
+
+    def test_static_assignment(self):
+        chan = OpticalChannel(OpticalChannelConfig(), Stats())
+        assert chan.vchannel_for_controller(2) is chan.vchannels[2]
+
+    def test_waveguides_multiply_width(self):
+        from dataclasses import replace
+
+        cfg = replace(OpticalChannelConfig(), num_waveguides=4)
+        chan = OpticalChannel(cfg, Stats())
+        assert chan.vchannels[0].width_bits == 64

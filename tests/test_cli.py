@@ -1,0 +1,59 @@
+"""CLI tests (argument parsing and command execution)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_requires_platform(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "backp"])
+
+    def test_run_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--platform", "GTX", "--workload", "backp"]
+            )
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig20b"])
+        assert args.name == "fig20b"
+
+    def test_mode_default(self):
+        args = build_parser().parse_args(
+            ["run", "--platform", "Oracle", "--workload", "backp"]
+        )
+        assert args.mode == "planar"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Ohm-BW" in out and "pagerank" in out
+
+    def test_run_quick(self, capsys):
+        assert main(
+            ["run", "--platform", "Oracle", "--workload", "backp", "--quick"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "exec time" in out
+
+    def test_compare_quick(self, capsys):
+        assert main(["compare", "--workload", "backp", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Ohm-base" in out and "Oracle" in out
+
+    def test_experiment_fig20b(self, capsys):
+        assert main(["experiment", "fig20b", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Ohm-base rd/wr" in out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3", "--quick"]) == 0
+        assert "Ohm-BW" in capsys.readouterr().out
+
+    def test_experiment_fig15(self, capsys):
+        assert main(["experiment", "fig15", "--quick"]) == 0
+        assert "planar" in capsys.readouterr().out

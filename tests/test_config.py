@@ -1,0 +1,88 @@
+"""Table I configuration tests."""
+
+import pytest
+
+from repro.config import GB, MemoryMode, SystemConfig, default_config
+
+
+class TestTable1Values:
+    """Pin the paper's Table I constants."""
+
+    def test_gpu_config(self):
+        cfg = SystemConfig()
+        assert cfg.gpu.num_sms == 16
+        assert cfg.gpu.sm_freq_ghz == 1.2
+
+    def test_dram_timing(self):
+        t = SystemConfig().dram_timing
+        assert t.t_rcd_ns == 25.0
+        assert t.t_rp_ns == 10.0
+        assert t.t_cl_ns == 11.0
+        assert t.t_rrd_ns == 5.0
+
+    def test_xpoint_latencies(self):
+        x = SystemConfig().xpoint
+        assert x.read_ns == 190.0
+        assert x.write_ns == 763.0
+
+    def test_electrical_channels(self):
+        e = SystemConfig().electrical
+        assert e.num_channels == 6
+        assert e.lane_bits == 32
+        assert e.freq_ghz == 15.0
+
+    def test_optical_channel(self):
+        o = SystemConfig().optical
+        assert o.channel_width_bits == 96
+        assert o.freq_ghz == 30.0
+        assert o.num_virtual_channels == 6
+        assert o.vchannel_width_bits == 16
+
+    def test_optical_power_model(self):
+        o = SystemConfig().optical
+        assert o.mrr_tuning_fj_per_bit == 200.0
+        assert o.filter_drop_db == 1.5
+        assert o.waveguide_loss_db_per_cm == 0.3
+        assert o.splitter_loss_db == 0.2
+        assert o.laser_power_mw == 0.73
+
+    def test_electrical_equals_optical_bandwidth(self):
+        """Table I: the optical channel provides the same bandwidth as
+        the six 32-bit 15 GHz electrical channels."""
+        cfg = SystemConfig()
+        assert (
+            cfg.electrical.total_bandwidth_bits_per_ns
+            == cfg.optical.total_bandwidth_bits_per_ns
+        )
+
+    def test_base_capacity_is_k80(self):
+        assert SystemConfig().base_dram_capacity == 24 * GB
+
+
+class TestModeSwitch:
+    def test_planar_ratio(self):
+        cfg = default_config(MemoryMode.PLANAR)
+        assert cfg.hetero.dram_to_xpoint_ratio == 8
+
+    def test_two_level_ratio(self):
+        cfg = default_config(MemoryMode.TWO_LEVEL)
+        assert cfg.hetero.dram_to_xpoint_ratio == 64
+
+    def test_capacity_scaling_preserves_ratio(self):
+        cfg = default_config(MemoryMode.PLANAR)
+        assert cfg.xpoint_capacity == 8 * cfg.dram_capacity
+        assert cfg.hetero_capacity == 9 * cfg.dram_capacity
+
+    def test_with_waveguides(self):
+        cfg = SystemConfig().with_waveguides(4)
+        assert cfg.optical.num_waveguides == 4
+        assert cfg.optical.total_bandwidth_bits_per_ns == 4 * 96 * 30
+
+    def test_with_waveguides_rejects_zero(self):
+        with pytest.raises(ValueError):
+            SystemConfig().with_waveguides(0)
+
+    def test_configs_are_immutable(self):
+        cfg = SystemConfig()
+        with pytest.raises(Exception):
+            cfg.scale_down = 1

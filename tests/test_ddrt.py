@@ -1,0 +1,76 @@
+"""DDR-T protocol state-machine tests."""
+
+import pytest
+
+from repro.xpoint.ddrt import DdrTBus, TxnKind, TxnState
+
+
+class TestLifecycle:
+    def test_full_transaction(self):
+        bus = DdrTBus()
+        txn = bus.post(TxnKind.READ, 0x100, 0)
+        bus.mark_ready(txn, 190_000)
+        bus.begin_transfer(txn)
+        bus.complete(txn, 200_000)
+        assert txn.state is TxnState.COMPLETE
+        assert txn.service_latency_ps == 200_000
+        assert bus.completed == 1
+        assert bus.outstanding == 0
+
+    def test_mc_can_post_multiple_before_any_ready(self):
+        """The asynchronous point of DDR-T: the controller moves on."""
+        bus = DdrTBus()
+        txns = [bus.post(TxnKind.READ, i, 0) for i in range(8)]
+        assert bus.outstanding == 8
+        for t in reversed(txns):  # ready out of order
+            bus.mark_ready(t, 100 + t.txn_id)
+        assert len(bus.ready_transactions()) == 8
+
+    def test_ready_queue_is_oldest_first(self):
+        bus = DdrTBus()
+        a = bus.post(TxnKind.READ, 0, 0)
+        b = bus.post(TxnKind.READ, 1, 0)
+        bus.mark_ready(b, 50)
+        bus.mark_ready(a, 100)
+        assert bus.ready_transactions()[0] is b
+
+
+class TestProtocolViolations:
+    def test_credit_exhaustion(self):
+        bus = DdrTBus(max_outstanding=2)
+        bus.post(TxnKind.READ, 0, 0)
+        bus.post(TxnKind.READ, 1, 0)
+        with pytest.raises(RuntimeError):
+            bus.post(TxnKind.READ, 2, 0)
+
+    def test_transfer_before_ready_rejected(self):
+        bus = DdrTBus()
+        txn = bus.post(TxnKind.WRITE, 0, 0)
+        with pytest.raises(RuntimeError):
+            bus.begin_transfer(txn)
+
+    def test_double_ready_rejected(self):
+        bus = DdrTBus()
+        txn = bus.post(TxnKind.READ, 0, 0)
+        bus.mark_ready(txn, 10)
+        with pytest.raises(RuntimeError):
+            bus.mark_ready(txn, 20)
+
+    def test_complete_without_transfer_rejected(self):
+        bus = DdrTBus()
+        txn = bus.post(TxnKind.READ, 0, 0)
+        bus.mark_ready(txn, 10)
+        with pytest.raises(RuntimeError):
+            bus.complete(txn, 20)
+
+    def test_time_travel_rejected(self):
+        bus = DdrTBus()
+        txn = bus.post(TxnKind.SWAP, 0, 1000)
+        with pytest.raises(ValueError):
+            bus.mark_ready(txn, 500)
+
+    def test_latency_requires_completion(self):
+        bus = DdrTBus()
+        txn = bus.post(TxnKind.READ, 0, 0)
+        with pytest.raises(ValueError):
+            _ = txn.service_latency_ps

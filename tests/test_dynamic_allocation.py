@@ -1,0 +1,70 @@
+"""Tests for the dynamic wavelength-allocation extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optical.dynamic import DynamicWavelengthAllocator
+from repro.optical.mrr import FULL_TUNE_PS
+
+
+class TestInitialState:
+    def test_even_initial_split(self):
+        a = DynamicWavelengthAllocator(96, 6)
+        assert all(a.share(i) == 16 for i in range(6))
+
+    def test_uneven_total_distributes_remainder(self):
+        a = DynamicWavelengthAllocator(97, 6)
+        assert sum(a.share(i) for i in range(6)) == 97
+
+    def test_minimum_guarantee_validated(self):
+        with pytest.raises(ValueError):
+            DynamicWavelengthAllocator(10, 6, min_per_controller=4)
+
+
+class TestRebalance:
+    def test_skewed_demand_shifts_wavelengths(self):
+        a = DynamicWavelengthAllocator(96, 6)
+        decision = a.rebalance([100, 0, 0, 0, 0, 0])
+        assert decision.wavelengths_per_controller[0] > 16
+        assert decision.retuned_wavelengths > 0
+        assert decision.retune_latency_ps == FULL_TUNE_PS
+
+    def test_minimum_never_violated(self):
+        a = DynamicWavelengthAllocator(96, 6, min_per_controller=4)
+        decision = a.rebalance([1000, 0, 0, 0, 0, 0])
+        assert all(v >= 4 for v in decision.wavelengths_per_controller.values())
+
+    def test_hysteresis_suppresses_churn(self):
+        a = DynamicWavelengthAllocator(96, 6, hysteresis=4)
+        decision = a.rebalance([1.02, 1.0, 1.0, 1.0, 1.0, 1.0])
+        assert decision.retuned_wavelengths == 0
+        assert a.rebalances == 0
+
+    def test_idle_system_returns_even_split(self):
+        a = DynamicWavelengthAllocator(96, 6)
+        a.rebalance([100, 0, 0, 0, 0, 0])
+        decision = a.rebalance([0, 0, 0, 0, 0, 0])
+        assert all(v == 16 for v in decision.wavelengths_per_controller.values())
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicWavelengthAllocator(96, 6).rebalance([-1, 0, 0, 0, 0, 0])
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicWavelengthAllocator(96, 6).rebalance([1.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=6,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60)
+    def test_shares_always_sum_to_total(self, demands):
+        a = DynamicWavelengthAllocator(96, 6)
+        decision = a.rebalance(demands)
+        assert sum(decision.wavelengths_per_controller.values()) == 96
+        assert all(v >= 4 for v in decision.wavelengths_per_controller.values())

@@ -1,0 +1,57 @@
+"""SECDED ECC codec tests (including property-based bit-flip tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xpoint.ecc import CODE_BITS, DATA_BITS, SecDedCodec
+
+codec = SecDedCodec()
+words = st.integers(min_value=0, max_value=(1 << DATA_BITS) - 1)
+
+
+class TestRoundTrip:
+    @given(words)
+    @settings(max_examples=60)
+    def test_clean_roundtrip(self, word):
+        result = codec.decode(codec.encode(word))
+        assert result.data == word
+        assert not result.corrected
+        assert not result.double_error
+
+    @given(words, st.integers(min_value=0, max_value=CODE_BITS - 1))
+    @settings(max_examples=80)
+    def test_single_bit_flip_corrected(self, word, bit):
+        corrupted = codec.encode(word) ^ (1 << bit)
+        result = codec.decode(corrupted)
+        assert result.data == word
+        assert result.corrected
+        assert not result.double_error
+
+    @given(
+        words,
+        st.integers(min_value=0, max_value=CODE_BITS - 1),
+        st.integers(min_value=0, max_value=CODE_BITS - 1),
+    )
+    @settings(max_examples=80)
+    def test_double_bit_flip_detected(self, word, b1, b2):
+        if b1 == b2:
+            return
+        corrupted = codec.encode(word) ^ (1 << b1) ^ (1 << b2)
+        result = codec.decode(corrupted)
+        assert result.double_error
+        assert not result.corrected
+
+
+class TestBounds:
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            codec.encode(1 << DATA_BITS)
+
+    def test_decode_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            codec.decode(1 << CODE_BITS)
+
+    def test_codeword_is_72_bits(self):
+        assert CODE_BITS == 72
+        assert codec.encode((1 << DATA_BITS) - 1) < (1 << CODE_BITS)

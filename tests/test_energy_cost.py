@@ -1,0 +1,113 @@
+"""Energy-accounting and cost-model tests (Fig. 19, Table III, Fig. 21)."""
+
+import pytest
+
+from repro.config import MemoryMode, default_config
+from repro.cost.model import (
+    CostModel,
+    K80_LAUNCH_PRICE,
+    PLANAR_BOM,
+    TWO_LEVEL_BOM,
+)
+from repro.energy.accounting import EnergyModel
+from repro.energy.dram_power import DramPowerModel
+from repro.energy.xpoint_power import XPointPowerModel
+from repro.energy.optical_power import OpticalEnergyModel
+
+
+class TestPowerModels:
+    def test_dram_dynamic(self):
+        m = DramPowerModel(activate_nj=2.0, access_nj=1.0)
+        assert m.dynamic_j(10, 100) == pytest.approx(120e-9)
+
+    def test_dram_static_scales_with_time(self):
+        m = DramPowerModel(static_w_per_device=0.05)
+        assert m.static_j(6, 1e12) == pytest.approx(0.3)  # 1 s x 0.3 W
+
+    def test_xpoint_write_costs_more(self):
+        m = XPointPowerModel()
+        assert m.dynamic_j(0, 10) > m.dynamic_j(10, 0)
+
+    def test_laser_energy_scales_with_platform(self):
+        m = OpticalEnergyModel(default_config().optical)
+        assert m.laser_j(4.0, 1e9) == pytest.approx(4 * m.laser_j(1.0, 1e9))
+
+
+class TestEnergyAccounting:
+    def _run(self, platform_name, mode=MemoryMode.PLANAR):
+        from repro import Runner, RunConfig
+
+        runner = Runner(RunConfig(num_warps=12, accesses_per_warp=12))
+        res = runner.run(platform_name, "backp", mode)
+        cfg = default_config(mode)
+        return EnergyModel(cfg).breakdown(runner.platform(platform_name), res)
+
+    def test_electrical_platform_has_no_optical_energy(self):
+        b = self._run("Hetero")
+        assert b.electrical_j > 0
+        assert b.optical_j == 0
+
+    def test_optical_platform_has_no_electrical_energy(self):
+        b = self._run("Ohm-base")
+        assert b.optical_j > 0
+        assert b.electrical_j == 0
+
+    def test_hetero_uses_xpoint_energy(self):
+        b = self._run("Ohm-base")
+        assert b.xpoint_j > 0
+
+    def test_oracle_has_no_xpoint_energy(self):
+        b = self._run("Oracle")
+        assert b.xpoint_j == 0
+
+    def test_breakdown_dict_keys(self):
+        b = self._run("Ohm-base")
+        assert set(b.as_dict()) == {
+            "XPoint", "DRAM dynamic", "DRAM static", "Opti-network", "Elec-channel",
+        }
+        assert b.total_j == pytest.approx(sum(b.as_dict().values()))
+
+
+class TestTable3:
+    def test_planar_device_prices(self):
+        assert PLANAR_BOM.dram_price == 140.0
+        assert PLANAR_BOM.xpoint_price == 125.0
+
+    def test_two_level_device_prices(self):
+        assert TWO_LEVEL_BOM.dram_price == 70.0
+        assert TWO_LEVEL_BOM.xpoint_price == 499.0
+
+    def test_mrr_counts_from_table3(self):
+        assert PLANAR_BOM.mrr_base.modulators == 2112
+        assert PLANAR_BOM.mrr_bw.detectors == 3136
+        assert TWO_LEVEL_BOM.mrr_bw.detectors == 4928
+
+    def test_ohm_bw_planar_cost_increase_near_7_6_percent(self):
+        """Paper: planar Ohm-BW adds 7.6 % to the $5k K80 price."""
+        cost = CostModel(MemoryMode.PLANAR)
+        assert cost.cost_increase_fraction("Ohm-BW") == pytest.approx(0.076, abs=0.01)
+
+    def test_ohm_bw_two_level_cost_increase_near_13_5_percent(self):
+        cost = CostModel(MemoryMode.TWO_LEVEL)
+        assert cost.cost_increase_fraction("Ohm-BW") == pytest.approx(0.135, abs=0.01)
+
+    def test_bw_uses_more_mrrs_than_base(self):
+        """Paper: Ohm-BW employs ~41 % more MRRs than Ohm-base."""
+        increases = []
+        for bom in (PLANAR_BOM, TWO_LEVEL_BOM):
+            increases.append(bom.mrr_bw.total / bom.mrr_base.total - 1.0)
+        assert sum(increases) / 2 == pytest.approx(0.41, abs=0.03)
+
+    def test_origin_cost_is_launch_price(self):
+        cost = CostModel(MemoryMode.PLANAR)
+        assert cost.platform_cost("Origin") == K80_LAUNCH_PRICE
+
+    def test_oracle_costs_more_than_ohm_bw(self):
+        for mode in MemoryMode:
+            cost = CostModel(mode)
+            assert cost.platform_cost("Oracle") > cost.platform_cost("Ohm-BW")
+
+    def test_cost_performance_normalization(self):
+        cost = CostModel(MemoryMode.PLANAR)
+        # Equal performance: the cheaper platform wins on CP.
+        assert cost.cost_performance("Ohm-BW", 1.0) < cost.cost_performance("Origin", 1.0)

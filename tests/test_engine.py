@@ -1,0 +1,110 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, freq_ghz_to_period_ps, ns, us
+
+
+class TestTimeHelpers:
+    def test_ns_converts_to_ps(self):
+        assert ns(1) == 1_000
+        assert ns(0.5) == 500
+
+    def test_us_converts_to_ps(self):
+        assert us(2) == 2_000_000
+
+    def test_period_of_1ghz_is_1000ps(self):
+        assert freq_ghz_to_period_ps(1.0) == 1000
+
+    def test_period_of_30ghz_rounds(self):
+        assert freq_ghz_to_period_ps(30.0) == 33
+
+    def test_period_never_zero(self):
+        assert freq_ghz_to_period_ps(5000.0) == 1
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            freq_ghz_to_period_ps(0.0)
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(50, lambda: seen.append("late"))
+        eng.schedule(10, lambda: seen.append("early"))
+        eng.run()
+        assert seen == ["early", "late"]
+
+    def test_equal_timestamps_run_in_schedule_order(self):
+        eng = Engine()
+        seen = []
+        for i in range(5):
+            eng.schedule(7, lambda i=i: seen.append(i))
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_now_advances_with_events(self):
+        eng = Engine()
+        stamps = []
+        eng.schedule(5, lambda: stamps.append(eng.now))
+        eng.schedule(9, lambda: stamps.append(eng.now))
+        eng.run()
+        assert stamps == [5, 9]
+
+    def test_nested_scheduling(self):
+        eng = Engine()
+        seen = []
+
+        def outer():
+            seen.append(("outer", eng.now))
+            eng.schedule(3, lambda: seen.append(("inner", eng.now)))
+
+        eng.schedule(2, outer)
+        eng.run()
+        assert seen == [("outer", 2), ("inner", 5)]
+
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(5, lambda: seen.append(5))
+        eng.schedule(15, lambda: seen.append(15))
+        eng.run(until_ps=10)
+        assert seen == [5]
+        assert eng.pending() == 1
+
+    def test_max_events_cap(self):
+        eng = Engine()
+        seen = []
+        for i in range(10):
+            eng.schedule(i + 1, lambda i=i: seen.append(i))
+        eng.run(max_events=3)
+        assert len(seen) == 3
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.schedule(-1, lambda: None)
+
+    def test_scheduling_into_the_past_rejected(self):
+        eng = Engine()
+        eng.schedule(100, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.at(50, lambda: None)
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_peek_time(self):
+        eng = Engine()
+        assert eng.peek_time() is None
+        eng.schedule(42, lambda: None)
+        assert eng.peek_time() == 42
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for _ in range(4):
+            eng.schedule(1, lambda: None)
+        eng.run()
+        assert eng.events_processed == 4

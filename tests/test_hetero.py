@@ -1,0 +1,175 @@
+"""Heterogeneous-memory tests: hotness, planar mapper, two-level cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hetero.hotness import HotnessTracker
+from repro.hetero.planar import PlanarMapper
+from repro.hetero.two_level import DramCacheDirectory
+
+
+class TestHotness:
+    def test_turns_hot_at_threshold(self):
+        h = HotnessTracker(threshold=3)
+        assert not h.record("p")
+        assert not h.record("p")
+        assert h.record("p")  # exactly at threshold
+
+    def test_only_fires_once(self):
+        h = HotnessTracker(threshold=2)
+        h.record("p")
+        assert h.record("p")
+        assert not h.record("p")  # already hot, no re-trigger
+
+    def test_reset_forgets(self):
+        h = HotnessTracker(threshold=2)
+        h.record("p")
+        h.reset("p")
+        assert h.count("p") == 0
+
+    def test_decay_halves_counts(self):
+        h = HotnessTracker(threshold=100, decay_accesses=4)
+        for _ in range(4):
+            h.record("p")
+        h.record("q")  # triggers decay first
+        assert h.count("p") == 2
+
+    def test_decay_drops_cold_keys(self):
+        h = HotnessTracker(threshold=100, decay_accesses=2)
+        h.record("p")
+        h.record("q")
+        h.record("r")
+        assert h.count("p") == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotnessTracker(0)
+        with pytest.raises(ValueError):
+            HotnessTracker(1, decay_accesses=0)
+
+
+class TestPlanarMapper:
+    def test_slot0_starts_in_dram(self):
+        m = PlanarMapper(num_groups=4, slots_per_group=3)
+        assert m.lookup(0).in_dram  # page 0 -> group 0, slot 0
+        assert m.lookup(4).in_dram is False  # page 4 -> group 0, slot 1
+
+    def test_pages_interleave_across_groups(self):
+        m = PlanarMapper(num_groups=4, slots_per_group=3)
+        assert m.lookup(0).group == 0
+        assert m.lookup(1).group == 1
+
+    def test_swap_moves_hot_page_to_dram(self):
+        m = PlanarMapper(4, 3)
+        hot_page = 4  # group 0, slot 1
+        plan = m.plan_swap(hot_page)
+        assert plan is not None
+        m.commit_swap(plan)
+        assert m.lookup(hot_page).in_dram
+        assert not m.lookup(0).in_dram  # victim went to XPoint
+
+    def test_swap_for_dram_resident_is_none(self):
+        m = PlanarMapper(4, 3)
+        assert m.plan_swap(0) is None
+
+    def test_victim_inherits_hot_pages_xpoint_slot(self):
+        m = PlanarMapper(4, 3)
+        plan = m.plan_swap(4)
+        m.commit_swap(plan)
+        victim = m.lookup(0)
+        assert victim.device_page == plan.xpoint_page
+
+    def test_stale_plan_rejected(self):
+        m = PlanarMapper(4, 3)
+        plan1 = m.plan_swap(4)
+        m.commit_swap(plan1)
+        with pytest.raises(ValueError):
+            m.commit_swap(plan1)  # resident changed since the plan
+
+    def test_out_of_capacity_page_rejected(self):
+        m = PlanarMapper(4, 3)
+        with pytest.raises(ValueError):
+            m.lookup(12)  # slot 3 >= slots_per_group
+
+    @given(st.lists(st.integers(min_value=0, max_value=11), max_size=30))
+    @settings(max_examples=40)
+    def test_exactly_one_dram_page_per_group(self, hot_pages):
+        """Invariant: each group always has exactly one DRAM-resident
+        slot, and all XPoint placements within a group are distinct."""
+        m = PlanarMapper(4, 3)
+        for page in hot_pages:
+            plan = m.plan_swap(page)
+            if plan is not None:
+                m.commit_swap(plan)
+        for group in range(4):
+            placements = [m.lookup(group + 4 * s) for s in range(3)]
+            in_dram = [p for p in placements if p.in_dram]
+            assert len(in_dram) == 1
+            xp_pages = [p.device_page for p in placements if not p.in_dram]
+            assert len(set(xp_pages)) == len(xp_pages)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlanarMapper(0, 3)
+        with pytest.raises(ValueError):
+            PlanarMapper(4, 1)
+
+
+class TestDramCacheDirectory:
+    def test_cold_miss(self):
+        d = DramCacheDirectory(8)
+        assert not d.lookup(3).hit
+
+    def test_hit_after_fill(self):
+        d = DramCacheDirectory(8)
+        d.fill(3)
+        assert d.lookup(3).hit
+
+    def test_conflict_same_set_different_tag(self):
+        d = DramCacheDirectory(8)
+        d.fill(3)
+        lookup = d.lookup(11)  # same set (11 % 8 == 3), different tag
+        assert not lookup.hit
+        assert lookup.victim_valid
+        assert d.victim_line_index(lookup) == 3
+
+    def test_dirty_tracking(self):
+        d = DramCacheDirectory(8)
+        d.fill(3)
+        d.mark_dirty(3)
+        assert d.lookup(11).victim_dirty
+
+    def test_mark_dirty_nonresident_raises(self):
+        d = DramCacheDirectory(8)
+        with pytest.raises(ValueError):
+            d.mark_dirty(3)
+
+    def test_hit_rate(self):
+        d = DramCacheDirectory(8)
+        d.fill(1)
+        d.lookup(1)
+        d.lookup(2)
+        assert d.hit_rate == pytest.approx(0.5)
+
+    def test_metadata_roundtrip_through_real_ecc(self):
+        """Section III-B: valid/dirty/tag live in the ECC region."""
+        d = DramCacheDirectory(64)
+        d.fill(5, dirty=True)
+        word = d.metadata_word(5)
+        valid, dirty, tag = d.parse_metadata(word)
+        assert valid and dirty
+        assert tag == 0
+
+    def test_metadata_survives_single_bit_flip(self):
+        d = DramCacheDirectory(64)
+        d.fill(70)  # tag 1
+        word = d.metadata_word(70) ^ (1 << 13)
+        valid, dirty, tag = d.parse_metadata(word)
+        assert valid and not dirty and tag == 1
+
+    def test_metadata_tag_limited_to_6_bits(self):
+        d = DramCacheDirectory(2)
+        d.fill(2 * 64)  # tag 64 exceeds 6 bits
+        with pytest.raises(ValueError):
+            d.metadata_word(2 * 64)

@@ -1,0 +1,103 @@
+"""End-to-end integration tests: the paper's qualitative claims hold on
+small but realistic runs."""
+
+import pytest
+
+from repro import MemoryMode, RunConfig, Runner
+
+# One shared runner keeps the suite fast: results are memoized.
+SMALL = RunConfig(num_warps=48, accesses_per_warp=48)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(SMALL)
+
+
+class TestPlatformOrdering:
+    """Fig. 16's qualitative ordering on a representative workload."""
+
+    @pytest.mark.parametrize("mode", [MemoryMode.PLANAR, MemoryMode.TWO_LEVEL])
+    def test_oracle_is_fastest_hetero_platform(self, runner, mode):
+        oracle = runner.run("Oracle", "backp", mode)
+        for p in ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW"):
+            assert oracle.exec_time_ps <= runner.run(p, "backp", mode).exec_time_ps
+
+    @pytest.mark.parametrize("mode", [MemoryMode.PLANAR, MemoryMode.TWO_LEVEL])
+    def test_migration_functions_never_hurt(self, runner, mode):
+        base = runner.run("Ohm-base", "backp", mode).exec_time_ps
+        for p in ("Auto-rw", "Ohm-WOM", "Ohm-BW"):
+            assert runner.run(p, "backp", mode).exec_time_ps <= base * 1.02
+
+    def test_ohm_bw_at_least_as_fast_as_wom_planar(self, runner):
+        wom = runner.run("Ohm-WOM", "backp", MemoryMode.PLANAR)
+        bw = runner.run("Ohm-BW", "backp", MemoryMode.PLANAR)
+        # Small runs carry scheduling noise; allow 2 %.
+        assert bw.exec_time_ps <= wom.exec_time_ps * 1.02
+
+    def test_hetero_and_ohm_base_similar(self, runner):
+        """Table I gives both channels identical bandwidth, so the paper
+        reports similar performance for Hetero and Ohm-base."""
+        h = runner.run("Hetero", "backp", MemoryMode.PLANAR).exec_time_ps
+        o = runner.run("Ohm-base", "backp", MemoryMode.PLANAR).exec_time_ps
+        assert abs(h - o) / o < 0.1
+
+
+class TestMigrationTraffic:
+    def test_dual_routes_remove_migration_from_data_route(self, runner):
+        """Fig. 18: Ohm-WOM/BW migration share of the data route ~0."""
+        base = runner.run("Ohm-base", "backp", MemoryMode.PLANAR)
+        bw = runner.run("Ohm-BW", "backp", MemoryMode.PLANAR)
+        assert base.migration_bandwidth_fraction > 0.1
+        assert bw.migration_bandwidth_fraction < 0.05
+
+    def test_auto_rw_reduces_migration_share(self, runner):
+        base = runner.run("Ohm-base", "backp", MemoryMode.PLANAR)
+        auto = runner.run("Auto-rw", "backp", MemoryMode.PLANAR)
+        assert auto.migration_bandwidth_fraction < base.migration_bandwidth_fraction
+
+    def test_two_level_reverse_write_eliminates_fill_traffic(self, runner):
+        base = runner.run("Ohm-base", "backp", MemoryMode.TWO_LEVEL)
+        bw = runner.run("Ohm-BW", "backp", MemoryMode.TWO_LEVEL)
+        assert bw.migration_bandwidth_fraction < base.migration_bandwidth_fraction
+
+
+class TestLatency:
+    def test_migration_functions_reduce_mean_latency(self, runner):
+        """Fig. 17 direction: Ohm-BW latency below Ohm-base."""
+        base = runner.run("Ohm-base", "backp", MemoryMode.PLANAR)
+        bw = runner.run("Ohm-BW", "backp", MemoryMode.PLANAR)
+        assert bw.mean_mem_latency_ps < base.mean_mem_latency_ps
+
+    def test_oracle_latency_lowest(self, runner):
+        oracle = runner.run("Oracle", "backp", MemoryMode.PLANAR)
+        base = runner.run("Ohm-base", "backp", MemoryMode.PLANAR)
+        assert oracle.mean_mem_latency_ps < base.mean_mem_latency_ps
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("p", ["Origin", "Hetero", "Ohm-base", "Ohm-BW", "Oracle"])
+    def test_all_requests_complete(self, runner, p):
+        res = runner.run(p, "backp", MemoryMode.PLANAR)
+        assert res.demand_requests == SMALL.num_warps * SMALL.accesses_per_warp
+
+    def test_results_are_cached(self, runner):
+        a = runner.run("Oracle", "backp", MemoryMode.PLANAR)
+        b = runner.run("Oracle", "backp", MemoryMode.PLANAR)
+        assert a is b
+
+    def test_xpoint_wear_levelling_active(self, runner):
+        res = runner.run("Ohm-base", "backp", MemoryMode.PLANAR)
+        writes = sum(
+            v for k, v in res.counters.items() if k.endswith(".media.writes")
+        )
+        assert writes > 0
+
+
+class TestWaveguideSweep:
+    def test_more_waveguides_do_not_hurt(self):
+        r1 = Runner(RunConfig(num_warps=24, accesses_per_warp=24, waveguides=1))
+        r8 = Runner(RunConfig(num_warps=24, accesses_per_warp=24, waveguides=8))
+        t1 = r1.run("Ohm-base", "GRAMS", MemoryMode.PLANAR).exec_time_ps
+        t8 = r8.run("Ohm-base", "GRAMS", MemoryMode.PLANAR).exec_time_ps
+        assert t8 <= t1

@@ -1,0 +1,109 @@
+"""Property-based tests on cross-cutting invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MemoryMode, default_config
+from repro.core.platforms import PLATFORMS, build_memory_system
+from repro.dram.device import DramDevice
+from repro.config import DramTimingConfig
+from repro.optical.wom import WomCodec
+from repro.sim.stats import Stats
+from repro.xpoint.ecc import SecDedCodec
+
+
+class TestRoutingBijective:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 22), min_size=1, max_size=80, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_addresses_never_collide(self, addrs):
+        """(slice, local address) must be unique per global address."""
+        cfg = default_config(MemoryMode.PLANAR)
+        ms = build_memory_system(PLATFORMS["Oracle"], cfg, Stats())
+        seen = set()
+        for addr in addrs:
+            s, local = ms.route(addr)
+            key = (id(s), local)
+            assert key not in seen
+            seen.add(key)
+
+    @given(st.integers(min_value=0, max_value=1 << 22))
+    @settings(max_examples=50, deadline=None)
+    def test_line_offset_survives_routing(self, addr):
+        cfg = default_config(MemoryMode.PLANAR)
+        ms = build_memory_system(PLATFORMS["Oracle"], cfg, Stats())
+        _, local = ms.route(addr)
+        assert local % cfg.hetero.page_bytes == addr % cfg.hetero.page_bytes
+
+
+class TestTimeMonotonicity:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 18),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_completion_never_before_issue(self, ops):
+        """Every serve() returns a time at or after its issue time."""
+        cfg = default_config(MemoryMode.PLANAR)
+        ms = build_memory_system(PLATFORMS["Ohm-BW"], cfg, Stats())
+        now = 0
+        for addr, is_write in ops:
+            s, local = ms.route(addr)
+            done = s.serve(local, is_write, now)
+            assert done >= now
+            now += 50_000  # 50 ns between issues
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=2, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_dram_bank_busy_monotone(self, rows):
+        dev = DramDevice(DramTimingConfig(), 1 << 20, Stats(), enable_refresh=False)
+        last = {}
+        for i, row in enumerate(rows):
+            addr = row * 128
+            bank = dev.decode(addr).bank
+            dev.access(addr, False, i * 1000)
+            busy = dev.banks[bank].busy_until_ps
+            assert busy >= last.get(bank, 0)
+            last[bank] = busy
+
+
+class TestCodecsCompose:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=40)
+    def test_ecc_is_systematic_roundtrip(self, word):
+        codec = SecDedCodec()
+        assert codec.decode(codec.encode(word)).data == word
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_wom_stream_of_symbols(self, symbols):
+        """A whole stream of first-generation symbols decodes back."""
+        codec = WomCodec()
+        for s in symbols:
+            assert codec.decode(codec.encode_first(s)) == s
+
+
+class TestStatsConservation:
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_demand_bits_match_requests(self, n):
+        """Channel demand bits == requests x (cmd + line) bits."""
+        cfg = default_config(MemoryMode.PLANAR)
+        stats = Stats()
+        ms = build_memory_system(PLATFORMS["Oracle"], cfg, stats)
+        line_bits = cfg.gpu.line_bytes * 8
+        now = 0
+        for i in range(n):
+            s, local = ms.route(i * cfg.hetero.page_bytes)
+            s.serve(local, False, now)
+            now += 100_000
+        total_demand_bits = sum(
+            v for k, v in stats.counters.items() if k.endswith(".bits.demand")
+        )
+        assert total_demand_bits == n * (line_bits + 64)

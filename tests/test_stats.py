@@ -1,0 +1,91 @@
+"""Tests for counters, latency stats and histograms."""
+
+import pytest
+
+from repro.sim.stats import Histogram, LatencyStat, Stats
+
+
+class TestLatencyStat:
+    def test_empty_mean_is_zero(self):
+        assert LatencyStat().mean == 0.0
+
+    def test_single_sample(self):
+        s = LatencyStat()
+        s.record(7)
+        assert (s.count, s.total, s.min_value, s.max_value) == (1, 7, 7, 7)
+
+    def test_min_max_tracking(self):
+        s = LatencyStat()
+        for v in (5, 2, 9, 3):
+            s.record(v)
+        assert s.min_value == 2
+        assert s.max_value == 9
+        assert s.mean == pytest.approx(4.75)
+
+    def test_merge(self):
+        a, b = LatencyStat(), LatencyStat()
+        a.record(1)
+        a.record(3)
+        b.record(10)
+        a.merge(b)
+        assert a.count == 3
+        assert a.max_value == 10
+
+    def test_merge_empty_into_nonempty(self):
+        a, b = LatencyStat(), LatencyStat()
+        a.record(4)
+        a.merge(b)
+        assert a.count == 1
+
+    def test_merge_into_empty(self):
+        a, b = LatencyStat(), LatencyStat()
+        b.record(4)
+        a.merge(b)
+        assert (a.min_value, a.max_value) == (4, 4)
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram(10)
+        for v in (0, 5, 9, 10, 25):
+            h.record(v)
+        assert dict(h.items()) == {0: 3, 10: 1, 20: 1}
+
+    def test_count(self):
+        h = Histogram(5)
+        for v in range(12):
+            h.record(v)
+        assert h.count == 12
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            Histogram(0)
+
+
+class TestStats:
+    def test_add_and_get(self):
+        s = Stats()
+        s.add("x")
+        s.add("x", 2.5)
+        assert s.get("x") == pytest.approx(3.5)
+
+    def test_get_default(self):
+        assert Stats().get("missing", -1.0) == -1.0
+
+    def test_record_latency_creates_stat(self):
+        s = Stats()
+        s.record_latency("lat", 100)
+        s.record_latency("lat", 200)
+        assert s.latency("lat").mean == pytest.approx(150.0)
+
+    def test_latency_missing_returns_empty(self):
+        assert Stats().latency("nope").count == 0
+
+    def test_snapshot_includes_latency_means(self):
+        s = Stats()
+        s.add("c", 2)
+        s.record_latency("lat", 10)
+        snap = s.snapshot()
+        assert snap["c"] == 2
+        assert snap["lat.mean"] == 10
+        assert snap["lat.count"] == 1

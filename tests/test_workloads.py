@@ -1,0 +1,159 @@
+"""Workload tests: Table II specs, synthetic and graph trace shapes."""
+
+import numpy as np
+import pytest
+
+from repro.config import MB
+from repro.workloads.graphs import GraphTraceGenerator, build_scale_free_csr
+from repro.workloads.registry import WORKLOADS, generate_traces, get_workload, make_generator
+from repro.workloads.spec import TABLE2, WorkloadSpec
+from repro.workloads.synthetic import SyntheticTraceGenerator, zipf_pmf
+
+FOOTPRINT = 8 * MB
+
+
+class TestTable2:
+    def test_ten_workloads(self):
+        assert len(TABLE2) == 10
+
+    @pytest.mark.parametrize(
+        "name,apki,read_ratio",
+        [
+            ("backp", 30, 0.53),
+            ("lud", 20, 0.52),
+            ("GRAMS", 266, 0.70),
+            ("FDTD", 86, 0.70),
+            ("betw", 193, 0.99),
+            ("bfsdata", 84, 0.95),
+            ("bfstopo", 25, 0.97),
+            ("gctopo", 93, 0.99),
+            ("pagerank", 599, 0.99),
+            ("sssp", 103, 0.98),
+        ],
+    )
+    def test_table2_values(self, name, apki, read_ratio):
+        spec = get_workload(name)
+        assert spec.apki == apki
+        assert spec.read_ratio == read_ratio
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", -1, 0.5, "rodinia")
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", 10, 1.5, "rodinia")
+
+    def test_scaled_footprint_preserves_ratio(self):
+        spec = get_workload("backp")
+        assert spec.scaled_footprint(12 * 1024) == spec.footprint_bytes // 1024
+
+    def test_mean_gap(self):
+        assert get_workload("pagerank").mean_gap_instructions == pytest.approx(1000 / 599)
+
+
+class TestZipf:
+    def test_pmf_sums_to_one(self):
+        assert zipf_pmf(100, 0.9).sum() == pytest.approx(1.0)
+
+    def test_pmf_is_decreasing(self):
+        pmf = zipf_pmf(50, 1.1)
+        assert all(pmf[i] >= pmf[i + 1] for i in range(49))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_pmf(0, 1.0)
+
+
+class TestSyntheticTraces:
+    def gen(self, name="backp"):
+        return SyntheticTraceGenerator(get_workload(name), FOOTPRINT, 128, 2048)
+
+    def test_deterministic_per_warp(self):
+        g = self.gen()
+        t1 = g.warp_trace(3, 50)
+        t2 = g.warp_trace(3, 50)
+        assert np.array_equal(t1.addrs, t2.addrs)
+        assert np.array_equal(t1.gaps, t2.gaps)
+
+    def test_warps_differ(self):
+        g = self.gen()
+        assert not np.array_equal(g.warp_trace(0, 50).addrs, g.warp_trace(1, 50).addrs)
+
+    def test_addresses_within_footprint(self):
+        t = self.gen().warp_trace(0, 200)
+        assert (t.addrs >= 0).all()
+        assert (t.addrs < FOOTPRINT).all()
+
+    def test_addresses_line_aligned(self):
+        t = self.gen().warp_trace(0, 200)
+        assert (t.addrs % 128 == 0).all()
+
+    def test_apki_tracks_table2(self):
+        """Instructions per access (gap + the memory inst) must give the
+        Table II APKI."""
+        for name in ("pagerank", "backp", "lud"):
+            spec = get_workload(name)
+            g = SyntheticTraceGenerator(spec, FOOTPRINT)
+            traces = [g.warp_trace(w, 300) for w in range(8)]
+            insts = sum(t.total_instructions for t in traces)
+            accesses = sum(len(t) for t in traces)
+            measured_apki = 1000.0 * accesses / insts
+            assert measured_apki == pytest.approx(spec.apki, rel=0.15), name
+
+    def test_write_ratio_tracks_spec(self):
+        spec = get_workload("backp")  # read ratio 0.53
+        g = SyntheticTraceGenerator(spec, FOOTPRINT)
+        writes = np.concatenate([g.warp_trace(w, 300).writes for w in range(8)])
+        assert writes.mean() == pytest.approx(1 - spec.read_ratio, abs=0.08)
+
+    def test_total_instructions(self):
+        t = self.gen().warp_trace(0, 40)
+        assert t.total_instructions == int(t.gaps.sum()) + 40
+
+    def test_footprint_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(get_workload("backp"), 100, page_bytes=4096)
+
+
+class TestGraphTraces:
+    def test_csr_structure(self):
+        csr = build_scale_free_csr(256, FOOTPRINT, 128, seed=3)
+        assert csr.num_vertices == 256
+        assert csr.indptr[-1] == len(csr.indices)
+        # All neighbour ids valid.
+        assert (csr.indices >= 0).all() and (csr.indices < 256).all()
+
+    def test_csr_capacity_check(self):
+        with pytest.raises(ValueError):
+            build_scale_free_csr(10_000, 1 * MB, 128)
+
+    def test_trace_addresses_in_footprint(self):
+        g = GraphTraceGenerator(get_workload("pagerank"), FOOTPRINT, num_vertices=512)
+        t = g.warp_trace(0, 200)
+        assert (t.addrs >= 0).all()
+        assert (t.addrs < FOOTPRINT).all()
+
+    def test_trace_deterministic(self):
+        g = GraphTraceGenerator(get_workload("sssp"), FOOTPRINT, num_vertices=512)
+        assert np.array_equal(g.warp_trace(1, 100).addrs, g.warp_trace(1, 100).addrs)
+
+    def test_graph_workloads_get_graph_generator(self):
+        gen = make_generator(get_workload("pagerank"), FOOTPRINT)
+        assert isinstance(gen, GraphTraceGenerator)
+
+    def test_synthetic_workloads_get_synthetic_generator(self):
+        gen = make_generator(get_workload("backp"), FOOTPRINT)
+        assert isinstance(gen, SyntheticTraceGenerator)
+
+    def test_generate_traces_shape(self):
+        traces = generate_traces(get_workload("bfsdata"), FOOTPRINT, 8, 30)
+        assert len(traces) == 8
+        assert all(len(t) == 30 for t in traces)
+
+    def test_all_workloads_generate(self):
+        for name in WORKLOADS:
+            traces = generate_traces(get_workload(name), FOOTPRINT, 2, 20)
+            assert len(traces) == 2

@@ -1,0 +1,162 @@
+"""XPoint substrate tests: device, controller, Start-Gap, translation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import XPointConfig
+from repro.sim.engine import ns
+from repro.sim.stats import Stats
+from repro.xpoint.controller import XPointController
+from repro.xpoint.device import XPointDevice
+from repro.xpoint.translation import RegionTranslator
+from repro.xpoint.wear_leveling import StartGap
+
+
+class TestDevice:
+    def make(self):
+        return XPointDevice(XPointConfig(), 1 << 20, Stats(), name="x")
+
+    def test_read_latency(self):
+        dev = self.make()
+        assert dev.access(0, False, 0) == ns(190)
+
+    def test_write_latency(self):
+        dev = self.make()
+        assert dev.access(0, True, 0) == ns(763)
+
+    def test_same_bank_serializes(self):
+        dev = self.make()
+        dev.access(0, False, 0)
+        finish = dev.access(0, False, 0)
+        assert finish == 2 * ns(190)
+
+    def test_different_banks_parallel(self):
+        dev = self.make()
+        dev.access(0, False, 0)
+        finish = dev.access(XPointConfig().row_bytes, False, 0)
+        assert finish == ns(190)
+
+    def test_write_counts_tracked(self):
+        dev = self.make()
+        dev.access(0, True, 0)
+        dev.access(0, True, 0)
+        assert dev.max_row_writes == 2
+        assert dev.total_writes == 2
+
+
+class TestStartGap:
+    def test_initial_mapping_is_identity(self):
+        sg = StartGap(8, period=4)
+        assert sg.mapping() == list(range(8))
+
+    def test_translation_is_injective_after_moves(self):
+        sg = StartGap(8, period=1)
+        for _ in range(30):
+            sg.record_write()
+            mapping = sg.mapping()
+            assert len(set(mapping)) == len(mapping)
+            assert sg.gap not in mapping
+
+    def test_gap_moves_once_per_period(self):
+        sg = StartGap(8, period=5)
+        moved = [sg.record_write() for _ in range(10)]
+        assert moved.count(True) == 2
+
+    def test_full_rotation_advances_start(self):
+        sg = StartGap(4, period=1)
+        for _ in range(5):  # gap walks 4 -> 0, then wraps
+            sg.record_write()
+        assert sg.start == 1
+
+    @given(
+        num_lines=st.integers(min_value=1, max_value=32),
+        writes=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=50)
+    def test_mapping_always_a_permutation(self, num_lines, writes):
+        sg = StartGap(num_lines, period=3)
+        for _ in range(writes):
+            sg.record_write()
+        mapping = sg.mapping()
+        assert len(set(mapping)) == num_lines
+        assert all(0 <= p <= num_lines for p in mapping)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            StartGap(0)
+        with pytest.raises(ValueError):
+            StartGap(4, period=0)
+        with pytest.raises(ValueError):
+            StartGap(4).translate(4)
+
+
+class TestRegionTranslator:
+    def test_translation_distinct_within_region(self):
+        tr = RegionTranslator(64 * 256, 256, region_rows=16)
+        media = {tr.translate(i * 256) for i in range(64)}
+        assert len(media) == 64
+
+    def test_offsets_preserved(self):
+        tr = RegionTranslator(1 << 16, 256)
+        assert tr.translate(7) % 256 == 7
+
+    def test_gap_rotation_counted(self):
+        tr = RegionTranslator(1 << 14, 256, start_gap_period=2)
+        rotations = sum(tr.record_write(0) for _ in range(10))
+        assert rotations == 5
+        assert tr.total_gap_moves == 5
+
+    def test_capacity_check(self):
+        with pytest.raises(ValueError):
+            RegionTranslator(100, 256)
+
+
+class TestController:
+    def make(self, **kw):
+        return XPointController(XPointConfig(), 1 << 20, Stats(), name="x", **kw)
+
+    def test_read_includes_media_latency(self):
+        c = self.make()
+        assert c.read(0, 0) >= ns(190)
+
+    def test_write_is_buffered_fast(self):
+        c = self.make()
+        # Acceptance is controller latency, not the 763 ns media write.
+        assert c.write(0, 0) < ns(100)
+        assert c.write_buffer_occupancy == 1
+
+    def test_read_hits_write_buffer(self):
+        c = self.make()
+        c.write(4096, 0)
+        t = c.read(4096, ns(10))
+        assert t < ns(100)
+        assert c.stats.get("x.wbuf_hits") == 1
+
+    def test_full_buffer_stalls(self):
+        c = self.make(write_buffer_entries=2)
+        c.write(0, 0)
+        c.write(256, 0)
+        c.write(512, 0)  # forces a drain
+        assert c.stats.get("x.wbuf_stalls") == 1
+        assert c.write_buffer_occupancy == 2
+
+    def test_flush_empties_buffer(self):
+        c = self.make()
+        for i in range(5):
+            c.write(i * 256, 0)
+        c.flush(0)
+        assert c.write_buffer_occupancy == 0
+        assert c.stats.get("x.media.writes") >= 5
+
+    def test_snarf_counts(self):
+        c = self.make()
+        c.snarf_write(0, 0)
+        assert c.stats.get("x.snarfs") == 1
+
+    def test_ecc_accounting(self):
+        c = self.make()
+        c.read(0, 0)
+        c.write(0, 0)
+        assert c.stats.get("x.ecc_decodes") == 1
+        assert c.stats.get("x.ecc_encodes") == 1
