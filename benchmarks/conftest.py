@@ -1,16 +1,25 @@
 """Shared fixtures for the figure/table benchmarks.
 
-A single memoized Runner backs all figure benches so the expensive
-platform x workload x mode matrix is simulated once per session.
+A single memoized Runner (the experiment service) backs all figure
+benches so the expensive platform x workload x mode matrix is simulated
+once per session — the specs submit whole job batches, and the
+ablations/sweeps ride the same warm matrix instead of private runners.
+Environment knobs map straight onto the service:
+
+* ``REPRO_BENCH_JOBS=N``  — evaluate the matrix over N worker processes;
+* ``REPRO_BENCH_CACHE=d`` — persist results in ``d`` across sessions.
+
 Benchmarks run one round each: the measured quantity is the time to
 regenerate the figure, and the printed tables are the reproduction.
 """
 
+import os
 import sys
 
 import pytest
 
-from repro import RunConfig, Runner
+from repro import ResultCache, RunConfig, Runner
+from repro.harness.executor import make_executor
 
 # Bench sizing: large enough for stable shapes (in particular, enough
 # footprint coverage that Origin's working set exceeds its DRAM), small
@@ -44,7 +53,12 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
 
 @pytest.fixture(scope="session")
 def runner():
-    return Runner(BENCH_RUN_CONFIG)
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    return Runner(
+        BENCH_RUN_CONFIG,
+        executor=make_executor(int(os.environ.get("REPRO_BENCH_JOBS", "1"))),
+        cache=ResultCache(cache_dir) if cache_dir else None,
+    )
 
 
 def bench_once(benchmark, fn, *args, **kwargs):

@@ -6,52 +6,42 @@ figures, as listed in DESIGN.md):
 * hot-threshold sensitivity — planar migration aggressiveness;
 * WOM coding vs half-coupled transmitters — the bandwidth/laser-power
   trade (Section V-B's two dual-route alternatives).
-"""
 
-from dataclasses import replace
+All three run through the session's shared experiment service (the
+``runner`` fixture) as declarative job batches, so they reuse its
+executor, memo and persistent cache instead of a private simulation
+path.
+"""
 
 from conftest import bench_once, report
 
-from repro import MemoryMode, RunConfig, default_config
+from repro import MemoryMode, RunConfig, SimulationJob
 from repro.core.platforms import PLATFORMS
-from repro.gpu.gpu import GpuModel
 from repro.harness.report import format_table
-from repro.workloads.registry import generate_traces, get_workload
+from repro.harness.sweeps import sweep_hot_threshold
 
 SIZING = RunConfig(num_warps=96, accesses_per_warp=64)
 APP = "backp"
 
 
-def _run(platform_name, cfg, traces):
-    spec = get_workload(APP)
-    return GpuModel(PLATFORMS[platform_name], cfg, spec, traces).run()
+def _jobs(platforms):
+    return [
+        SimulationJob(p, APP, MemoryMode.PLANAR, SIZING) for p in platforms
+    ]
 
 
-def _traces(cfg):
-    spec = get_workload(APP)
-    return generate_traces(
-        spec,
-        spec.scaled_footprint(cfg.scale_down),
-        num_warps=SIZING.num_warps,
-        accesses_per_warp=SIZING.accesses_per_warp,
-        page_bytes=cfg.hetero.page_bytes,
-    )
-
-
-def test_ablation_function_stack(benchmark):
+def test_ablation_function_stack(benchmark, runner):
     """Cumulative contribution of each migration function (planar)."""
 
     def run():
-        cfg = default_config(MemoryMode.PLANAR)
-        traces = _traces(cfg)
-        rows = []
-        base = None
-        for p in ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW"):
-            r = _run(p, cfg, traces)
-            if base is None:
-                base = r.exec_time_ps
-            rows.append((p, base / r.exec_time_ps, r.migration_bandwidth_fraction))
-        return rows
+        platforms = ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW")
+        jobs = _jobs(platforms)
+        results = runner.run_jobs(jobs)
+        base = results[jobs[0]].exec_time_ps
+        return [
+            (p, base / results[j].exec_time_ps, results[j].migration_bandwidth_fraction)
+            for p, j in zip(platforms, jobs)
+        ]
 
     rows = bench_once(benchmark, run)
     report()
@@ -67,25 +57,25 @@ def test_ablation_function_stack(benchmark):
     assert speedups["Ohm-WOM"] >= speedups["Auto-rw"]
 
 
-def test_ablation_hot_threshold(benchmark):
+def test_ablation_hot_threshold(benchmark, runner):
     """Planar hot-threshold sweep: migration volume vs performance."""
 
     def run():
-        rows = []
-        for threshold in (6, 14, 28, 56):
-            cfg = default_config(MemoryMode.PLANAR)
-            cfg = replace(cfg, hetero=replace(cfg.hetero, hot_threshold=threshold))
-            traces = _traces(cfg)
-            r = _run("Ohm-base", cfg, traces)
-            rows.append(
-                (
-                    threshold,
-                    r.counters.get("mem.swaps", 0),
-                    r.migration_bandwidth_fraction,
-                    r.exec_time_ps / 1e6,
-                )
+        points = sweep_hot_threshold(
+            workload=APP,
+            thresholds=(6, 14, 28, 56),
+            sizing=SIZING,
+            runner=runner,
+        )
+        return [
+            (
+                int(p.value),
+                p.result.counters.get("mem.swaps", 0),
+                p.result.migration_bandwidth_fraction,
+                p.result.exec_time_ps / 1e6,
             )
-        return rows
+            for p in points
+        ]
 
     rows = bench_once(benchmark, run)
     report()
@@ -101,18 +91,17 @@ def test_ablation_hot_threshold(benchmark):
     assert all(a >= b for a, b in zip(swaps, swaps[1:]))
 
 
-def test_ablation_wom_vs_bw_laser_tradeoff(benchmark):
+def test_ablation_wom_vs_bw_laser_tradeoff(benchmark, runner):
     """WOM coding saves laser power (2x vs 4x) but costs data-route
     bandwidth during swaps; half-coupled transmitters do the reverse."""
 
     def run():
-        cfg = default_config(MemoryMode.PLANAR)
-        traces = _traces(cfg)
-        out = {}
-        for p in ("Ohm-WOM", "Ohm-BW"):
-            r = _run(p, cfg, traces)
-            out[p] = (r.exec_time_ps, PLATFORMS[p].laser_scale)
-        return out
+        jobs = _jobs(("Ohm-WOM", "Ohm-BW"))
+        results = runner.run_jobs(jobs)
+        return {
+            j.platform: (results[j].exec_time_ps, PLATFORMS[j.platform].laser_scale)
+            for j in jobs
+        }
 
     out = bench_once(benchmark, run)
     wom_t, wom_laser = out["Ohm-WOM"]

@@ -23,11 +23,19 @@ from repro.config import (
 )
 from repro.core.platforms import PLATFORMS, Platform, build_memory_system
 from repro.gpu.gpu import GpuModel, RunResult
-from repro.harness.runner import RunConfig, Runner
+from repro.harness.cache import ResultCache
+from repro.harness.executor import (
+    ParallelExecutor,
+    RunConfig,
+    SerialExecutor,
+    SimulationJob,
+    execute_job,
+)
+from repro.harness.runner import Runner
 from repro.workloads.registry import WORKLOADS, generate_traces, get_workload
 from repro.workloads.spec import WorkloadSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MemoryMode",
@@ -40,6 +48,11 @@ __all__ = [
     "RunResult",
     "Runner",
     "RunConfig",
+    "SimulationJob",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_job",
+    "ResultCache",
     "WORKLOADS",
     "WorkloadSpec",
     "get_workload",

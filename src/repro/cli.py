@@ -4,84 +4,116 @@ Usage examples::
 
     python -m repro.cli run --platform Ohm-BW --workload pagerank --mode planar
     python -m repro.cli compare --workload backp --mode two_level
-    python -m repro.cli experiment fig16 --quick
+    python -m repro.cli experiment fig16 --jobs 4 --cache-dir .repro-cache
+    python -m repro.cli export fig16 --format csv -o fig16.csv
     python -m repro.cli list
+
+``--jobs N`` fans the experiment's simulation matrix out over N worker
+processes; ``--cache-dir`` persists every result so repeated
+invocations are near-instant (cache hits are logged).  ``export`` emits
+an experiment's rows as json or csv via the structured emitters.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Optional, Sequence
 
 from repro import MemoryMode, RunConfig, Runner
 from repro.core.platforms import PLATFORMS
-from repro.harness import experiments
-from repro.harness.report import format_table
+from repro.harness import experiments  # noqa: F401  (populates the registry)
+from repro.harness.cache import ResultCache
+from repro.harness.executor import make_executor
+from repro.harness.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_spec,
+)
+from repro.harness.report import EMITTERS, format_table
 from repro.workloads.registry import WORKLOADS
-
-EXPERIMENTS = {
-    "fig3": lambda runner: _print_fig3(),
-    "fig8": lambda runner: _print_two_mode(experiments.figure8(runner)),
-    "fig16": lambda runner: _print_two_mode(experiments.figure16(runner)),
-    "fig17": lambda runner: _print_two_mode(experiments.figure17(runner)),
-    "fig18": lambda runner: _print_two_mode(experiments.figure18(runner)),
-    "fig20b": lambda runner: _print_fig20b(),
-    "fig15": lambda runner: _print_fig15(),
-    "table3": lambda runner: _print_table3(),
-    "fig21": lambda runner: _print_two_mode(experiments.figure21(runner)),
-    "headline": lambda runner: _print_headline(runner),
-}
 
 
 def _mode(name: str) -> MemoryMode:
     return MemoryMode(name)
 
 
-def _print_fig3() -> None:
-    rows = experiments.figure3()
+def _print_rows(result: ExperimentResult) -> None:
+    """Generic experiment printer: the spec's rows as an ASCII table."""
+    rows = result.rows
+    columns = list(result.spec.columns)
     print(
         format_table(
-            ["workload", "data_move", "storage", "gpu"],
-            [(r["workload"], r["data_move_frac"], r["storage_frac"], r["gpu_frac"]) for r in rows],
-            title="Fig. 3a",
+            columns,
+            [tuple(r.get(c) for c in columns) for r in rows],
+            title=result.spec.title,
         )
     )
 
 
-def _print_two_mode(data) -> None:
-    for mode, fig in data.items():
+def _print_two_mode(result: ExperimentResult) -> None:
+    for mode, fig in result.payload.items():
         platforms = sorted({p for (_, p) in fig.values})
         print(f"\n== {fig.name} ({mode}) ==")
         for p in platforms:
             print(f"  {p:20s} {fig.mean_over_workloads(p):.3f}")
 
 
-def _print_fig20b() -> None:
-    for b in experiments.figure20b():
+def _print_fig3(result: ExperimentResult) -> None:
+    print(
+        format_table(
+            ["workload", "data_move", "storage", "gpu"],
+            [
+                (r["workload"], r["data_move_frac"], r["storage_frac"], r["gpu_frac"])
+                for r in result.payload
+            ],
+            title="Fig. 3a",
+        )
+    )
+
+
+def _print_fig20b(result: ExperimentResult) -> None:
+    for b in result.payload:
         print(f"  {b.label:16s} BER {b.ber:.2e} ({'OK' if b.reliable else 'FAIL'})")
 
 
-def _print_fig15() -> None:
-    for r in experiments.figure15():
+def _print_fig15(result: ExperimentResult) -> None:
+    for r in result.payload:
         print(
             f"  {r['layout']:9s} total {r['total']:2d} "
             f"(reduction {r['reduction_vs_general']:.0%})"
         )
 
 
-def _print_table3() -> None:
-    for r in experiments.table3():
+def _print_table3(result: ExperimentResult) -> None:
+    for r in result.payload:
         print(
             f"  {r['mode']:9s} {r['platform']:9s} ${r['total_cost']:.0f} "
             f"(+{r['cost_increase']:.1%})"
         )
 
 
-def _print_headline(runner: Runner) -> None:
-    h = experiments.headline(runner)
+def _print_headline(result: ExperimentResult) -> None:
+    h = result.payload
     print(f"  Ohm-BW vs Origin  : {h['speedup_vs_origin']:.2f}x (paper 2.81x)")
     print(f"  Ohm-BW vs Ohm-base: {h['speedup_vs_ohm_base']:.2f}x (paper 1.27x)")
+
+
+# Figure-specific pretty-printers; anything not listed falls back to the
+# generic row table, so newly registered experiments print for free.
+PRINTERS = {
+    "fig3": _print_fig3,
+    "fig8": _print_two_mode,
+    "fig16": _print_two_mode,
+    "fig17": _print_two_mode,
+    "fig18": _print_two_mode,
+    "fig20b": _print_fig20b,
+    "fig15": _print_fig15,
+    "table3": _print_table3,
+    "fig21": _print_two_mode,
+    "headline": _print_headline,
+}
 
 
 def _run_config(args: argparse.Namespace) -> RunConfig:
@@ -90,8 +122,32 @@ def _run_config(args: argparse.Namespace) -> RunConfig:
     return RunConfig(num_warps=args.warps, accesses_per_warp=args.accesses)
 
 
+def _make_runner(args: argparse.Namespace) -> Runner:
+    """Assemble the experiment service the flags describe."""
+    cache = None
+    if getattr(args, "cache_dir", None):
+        # Surface per-job cache hits on stderr (acceptance: hits logged).
+        log = logging.getLogger("repro.cache")
+        log.setLevel(logging.INFO)
+        if not log.handlers:
+            handler = logging.StreamHandler()
+            handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+            log.addHandler(handler)
+        try:
+            cache = ResultCache(args.cache_dir)
+        except OSError as exc:
+            raise SystemExit(f"repro: --cache-dir: {exc}")
+    executor = make_executor(getattr(args, "jobs", 1))
+    return Runner(_run_config(args), executor=executor, cache=cache)
+
+
+def _finish(runner: Runner) -> None:
+    if runner.cache is not None:
+        print(runner.cache.summary(), file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    runner = Runner(_run_config(args))
+    runner = _make_runner(args)
     result = runner.run(args.platform, args.workload, _mode(args.mode))
     print(f"platform        : {result.platform}")
     print(f"workload        : {result.workload} ({result.mode})")
@@ -99,16 +155,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"exec time       : {result.exec_time_ps / 1e6:.2f} us")
     print(f"mean mem latency: {result.mean_mem_latency_ps / 1e3:.1f} ns")
     print(f"migration bw    : {result.migration_bandwidth_fraction:.1%}")
+    _finish(runner)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    runner = Runner(_run_config(args))
+    runner = _make_runner(args)
     mode = _mode(args.mode)
-    base = runner.run("Ohm-base", args.workload, mode)
+    results = runner.matrix(tuple(PLATFORMS), (args.workload,), mode)
+    base = results[("Ohm-base", args.workload)]
     rows = []
     for name in PLATFORMS:
-        r = runner.run(name, args.workload, mode)
+        r = results[(name, args.workload)]
         rows.append(
             (
                 name,
@@ -124,12 +182,29 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.workload} ({mode.value})",
         )
     )
+    _finish(runner)
     return 0
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    runner = Runner(_run_config(args))
-    EXPERIMENTS[args.name](runner)
+    runner = _make_runner(args)
+    result = run_spec(EXPERIMENTS[args.name], runner)
+    PRINTERS.get(args.name, _print_rows)(result)
+    _finish(runner)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    result = run_spec(EXPERIMENTS[args.name], runner)
+    text = EMITTERS[args.format](result.rows, columns=result.spec.columns)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(result.rows)} rows to {args.output}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    _finish(runner)
     return 0
 
 
@@ -149,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--warps", type=int, default=96)
         p.add_argument("--accesses", type=int, default=64)
         p.add_argument("--quick", action="store_true", help="small fast run")
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the simulation matrix (default: 1)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="persist results here and reuse them across invocations",
+        )
 
     p_run = sub.add_parser("run", help="simulate one platform/workload")
     p_run.add_argument("--platform", choices=list(PLATFORMS), required=True)
@@ -167,6 +250,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("name", choices=list(EXPERIMENTS))
     add_sizing(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
+
+    p_export = sub.add_parser(
+        "export", help="emit a figure/table as structured data"
+    )
+    p_export.add_argument("name", choices=list(EXPERIMENTS))
+    p_export.add_argument(
+        "--format", choices=list(EMITTERS), default="json",
+        help="output format (default: json)",
+    )
+    p_export.add_argument(
+        "-o", "--output", default=None,
+        help="write to this file instead of stdout",
+    )
+    add_sizing(p_export)
+    p_export.set_defaults(fn=cmd_export)
 
     p_list = sub.add_parser("list", help="list platforms/workloads/experiments")
     p_list.set_defaults(fn=cmd_list)

@@ -11,7 +11,7 @@ default because this simulator is pure Python.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 KB = 1024
 MB = 1024 * KB
@@ -188,6 +188,31 @@ class SystemConfig:
         if n < 1:
             raise ValueError("need at least one waveguide")
         return replace(self, optical=replace(self.optical, num_waveguides=n))
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested dict; the result-cache fingerprint input."""
+        data = asdict(self)
+        data["hetero"]["mode"] = self.hetero.mode.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Inverse of :meth:`to_dict` (``cfg == from_dict(cfg.to_dict())``)."""
+        hetero = dict(data["hetero"])
+        hetero["mode"] = MemoryMode(hetero["mode"])
+        return cls(
+            gpu=GpuConfig(**data["gpu"]),
+            dram_timing=DramTimingConfig(**data["dram_timing"]),
+            xpoint=XPointConfig(**data["xpoint"]),
+            electrical=ElectricalChannelConfig(**data["electrical"]),
+            optical=OpticalChannelConfig(**data["optical"]),
+            hetero=HeteroConfig(**hetero),
+            host=HostConfig(**data["host"]),
+            base_dram_capacity=data["base_dram_capacity"],
+            scale_down=data["scale_down"],
+            bandwidth_scale_down=data["bandwidth_scale_down"],
+            host_bandwidth_scale_down=data["host_bandwidth_scale_down"],
+        )
 
 
 def default_config(mode: MemoryMode = MemoryMode.PLANAR) -> SystemConfig:

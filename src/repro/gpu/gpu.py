@@ -75,6 +75,33 @@ class RunResult:
         total = demand + migration_on_data
         return migration_on_data / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload; the persistent result cache stores this."""
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "mode": self.mode,
+            "instructions": self.instructions,
+            "exec_time_ps": self.exec_time_ps,
+            "demand_requests": self.demand_requests,
+            "mean_mem_latency_ps": self.mean_mem_latency_ps,
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict` (stable round-trip)."""
+        return cls(
+            platform=data["platform"],
+            workload=data["workload"],
+            mode=data["mode"],
+            instructions=data["instructions"],
+            exec_time_ps=data["exec_time_ps"],
+            demand_requests=data["demand_requests"],
+            mean_mem_latency_ps=data["mean_mem_latency_ps"],
+            counters=dict(data["counters"]),
+        )
+
 
 class GpuModel:
     """Assembles SMs and warps around a platform's memory system."""

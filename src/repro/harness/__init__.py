@@ -1,7 +1,41 @@
-"""Experiment harness: runs platform x workload x mode matrices and
-regenerates every table and figure of the paper's evaluation."""
+"""Experiment harness: a three-layer service (executors -> persistent
+cache -> declarative registry) that runs platform x workload x mode
+matrices and regenerates every table and figure of the paper's
+evaluation.  See DESIGN.md."""
 
-from repro.harness.runner import RunConfig, Runner
-from repro.harness.report import format_table
+from repro.harness.cache import ResultCache, job_fingerprint
+from repro.harness.executor import (
+    ParallelExecutor,
+    RunConfig,
+    SerialExecutor,
+    SimulationJob,
+    execute_job,
+    make_executor,
+)
+from repro.harness.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+    run_spec,
+)
+from repro.harness.report import emit_csv, emit_json, format_table
+from repro.harness.runner import Runner
 
-__all__ = ["Runner", "RunConfig", "format_table"]
+__all__ = [
+    "Runner",
+    "RunConfig",
+    "SimulationJob",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_job",
+    "make_executor",
+    "ResultCache",
+    "job_fingerprint",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "run_spec",
+    "format_table",
+    "emit_json",
+    "emit_csv",
+]

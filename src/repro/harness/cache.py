@@ -1,0 +1,106 @@
+"""Persistent on-disk cache of simulation results.
+
+Layer 2 of the experiment service (see DESIGN.md).  Each
+:class:`~repro.harness.executor.SimulationJob` is fingerprinted over its
+*fully resolved* inputs — the complete :class:`SystemConfig`, the
+:class:`RunConfig` sizing, platform, workload and mode — so a hit is
+guaranteed to describe the same deterministic simulation, and changing
+any knob (a waveguide count, an XPoint latency, a trace seed) changes
+the key.  Results are stored one JSON file per fingerprint, written
+atomically, so concurrent runs and repeated CLI/benchmark invocations
+share work across processes and across sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.gpu.gpu import RunResult
+from repro.harness.executor import SimulationJob
+
+log = logging.getLogger("repro.cache")
+
+# Bump when the fingerprint payload or RunResult schema changes shape;
+# stale entries then simply miss instead of deserializing garbage.
+SCHEMA_VERSION = 1
+
+
+def job_fingerprint(job: SimulationJob) -> str:
+    """Stable hex digest of everything that determines a job's result."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "platform": job.platform,
+        "workload": job.workload,
+        "mode": job.mode.value,
+        "run_cfg": job.run_cfg.to_dict(),
+        "system": job.resolved_config().to_dict(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<fingerprint>.json`` RunResult files."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        if self.cache_dir.exists() and not self.cache_dir.is_dir():
+            raise NotADirectoryError(
+                f"cache path {self.cache_dir} exists and is not a directory"
+            )
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, job: SimulationJob) -> Path:
+        return self.cache_dir / f"{job_fingerprint(job)}.json"
+
+    def get(self, job: SimulationJob) -> Optional[RunResult]:
+        """Cached result, or ``None`` on miss (corrupt entries miss too)."""
+        path = self.path_for(job)
+        try:
+            data = json.loads(path.read_text())
+            result = RunResult.from_dict(data["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            log.warning("cache entry %s unreadable (%s); re-running", path.name, exc)
+            self.misses += 1
+            return None
+        self.hits += 1
+        log.info(
+            "cache hit %s/%s/%s (%s)",
+            job.platform, job.workload, job.mode.value, path.name[:12],
+        )
+        return result
+
+    def put(self, job: SimulationJob, result: RunResult) -> None:
+        """Atomically persist one result (write temp file, then rename)."""
+        path = self.path_for(job)
+        payload = {"schema": SCHEMA_VERSION, "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def summary(self) -> str:
+        return f"cache: {self.hits} hits, {self.misses} misses, {self.stores} stores"

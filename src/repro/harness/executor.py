@@ -1,0 +1,169 @@
+"""Execution backend: pure job descriptions plus pluggable executors.
+
+Layer 1 of the experiment service (see DESIGN.md).  A
+:class:`SimulationJob` is a frozen, hashable, picklable value that fully
+describes one simulation — (platform, workload, mode, sizing, optional
+config override) — and :func:`execute_job` turns one into a
+:class:`~repro.gpu.gpu.RunResult` deterministically from scratch.
+
+Executors evaluate whole job batches.  :class:`SerialExecutor` runs them
+in-process; :class:`ParallelExecutor` fans them out over a
+``concurrent.futures.ProcessPoolExecutor``.  Because ``execute_job`` is
+a pure function of the job, both produce bit-identical results, so the
+choice is purely a wall-clock knob.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent import futures
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MemoryMode, SystemConfig, default_config
+from repro.core.platforms import PLATFORMS
+from repro.gpu.gpu import GpuModel, RunResult
+from repro.workloads.registry import generate_traces, get_workload
+from repro.workloads.synthetic import WarpTrace
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Simulation sizing: trade fidelity for wall-clock time."""
+
+    num_warps: int = 192
+    accesses_per_warp: int = 80
+    seed: int = 7
+    waveguides: int = 1
+
+    def scaled(self, factor: float) -> "RunConfig":
+        return replace(
+            self, accesses_per_warp=max(8, int(self.accesses_per_warp * factor))
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "num_warps": self.num_warps,
+            "accesses_per_warp": self.accesses_per_warp,
+            "seed": self.seed,
+            "waveguides": self.waveguides,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """Pure description of one (platform, workload, mode) simulation.
+
+    ``cfg`` overrides the mode-derived :class:`SystemConfig` entirely —
+    the sweep utilities use it to vary arbitrary knobs — while the
+    common case derives the Table I configuration from ``mode`` and the
+    ``run_cfg.waveguides`` count.
+    """
+
+    platform: str
+    workload: str
+    mode: MemoryMode
+    run_cfg: RunConfig = RunConfig()
+    cfg: Optional[SystemConfig] = None
+
+    def resolved_config(self) -> SystemConfig:
+        """The SystemConfig this job simulates under."""
+        if self.cfg is not None:
+            return self.cfg
+        cfg = default_config(self.mode)
+        if self.run_cfg.waveguides != 1:
+            cfg = cfg.with_waveguides(self.run_cfg.waveguides)
+        return cfg
+
+
+# Worker-local trace memo: regenerating a workload's traces is pure in
+# (workload, footprint, sizing, geometry, seed), and a matrix reuses the
+# same traces across its seven platforms, so each process keeps them.
+# Bounded FIFO so sizing sweeps in one long session can't accumulate
+# every trace set ever generated.
+_TRACE_MEMO: Dict[Tuple, List[WarpTrace]] = {}
+_TRACE_MEMO_MAX = 64
+
+
+def _traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
+    key = (
+        job.workload,
+        cfg.scale_down,
+        job.run_cfg.num_warps,
+        job.run_cfg.accesses_per_warp,
+        cfg.gpu.line_bytes,
+        cfg.hetero.page_bytes,
+        job.run_cfg.seed,
+    )
+    if key not in _TRACE_MEMO:
+        while len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        spec = get_workload(job.workload)
+        _TRACE_MEMO[key] = generate_traces(
+            spec,
+            spec.scaled_footprint(cfg.scale_down),
+            num_warps=job.run_cfg.num_warps,
+            accesses_per_warp=job.run_cfg.accesses_per_warp,
+            line_bytes=cfg.gpu.line_bytes,
+            page_bytes=cfg.hetero.page_bytes,
+            seed=job.run_cfg.seed,
+        )
+    return _TRACE_MEMO[key]
+
+
+def execute_job(job: SimulationJob) -> RunResult:
+    """Run one simulation from scratch.  Deterministic in ``job``."""
+    cfg = job.resolved_config()
+    spec = get_workload(job.workload)
+    traces = _traces_for(job, cfg)
+    return GpuModel(PLATFORMS[job.platform], cfg, spec, traces).run()
+
+
+class SerialExecutor:
+    """Evaluate jobs one after the other in the calling process."""
+
+    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[RunResult]:
+        """Results in job order; duplicate jobs are simulated once."""
+        memo: Dict[SimulationJob, RunResult] = {}
+        out = []
+        for job in jobs:
+            if job not in memo:
+                memo[job] = execute_job(job)
+            out.append(memo[job])
+        return out
+
+
+class ParallelExecutor:
+    """Evaluate jobs concurrently across worker processes.
+
+    Results are identical to :class:`SerialExecutor` — each job is an
+    independent simulation — but a matrix finishes in roughly
+    ``len(jobs) / max_workers`` of the serial time.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        self.max_workers = max_workers
+
+    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[RunResult]:
+        """Results in job order; duplicate jobs are simulated once."""
+        unique = list(dict.fromkeys(jobs))
+        if len(unique) <= 1 or self.max_workers == 1:
+            return SerialExecutor().run_jobs(jobs)
+        with futures.ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(unique))
+        ) as pool:
+            results = dict(zip(unique, pool.map(execute_job, unique)))
+        return [results[job] for job in jobs]
+
+
+def make_executor(jobs: int = 1):
+    """``jobs`` worker processes; 1 means in-process serial execution."""
+    return SerialExecutor() if jobs <= 1 else ParallelExecutor(jobs)

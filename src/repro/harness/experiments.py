@@ -1,18 +1,31 @@
-"""One function per evaluation figure/table (see DESIGN.md section 5).
+"""Experiment specs + reducers, one per evaluation figure/table (see
+DESIGN.md section 5 for the figure -> spec mapping).
 
-Each returns plain data (rows) so benchmarks can print them and tests
-can assert the paper's qualitative claims on them.
+Each figure is declared as an :class:`ExperimentSpec`: the job matrix it
+needs, a *reducer* that folds the evaluated results into the figure
+payload, and a *tabulator* that flattens the payload into schema'd rows
+for the json/csv exporters.  The module-level ``figureNN`` functions are
+thin wrappers kept for tests, benchmarks and notebooks; they evaluate
+the same specs through a :class:`Runner`, so serial, parallel and cached
+execution all produce identical data.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import MemoryMode, default_config
+from repro.core.platforms import PLATFORMS
 from repro.cost.model import CostModel
 from repro.energy.accounting import EnergyBreakdown, EnergyModel
-from repro.harness.runner import ALL_WORKLOADS, RunConfig, Runner
+from repro.harness.registry import (
+    ExperimentSpec,
+    JobResults,
+    register,
+    run_spec,
+)
+from repro.harness.runner import ALL_WORKLOADS, RunConfig, Runner, SimulationJob
 from repro.hoststorage.gpudirect import GpuSsdSystem
 from repro.optical.ber import LinkBudget, figure20b_budgets
 from repro.optical.layout import (
@@ -21,12 +34,14 @@ from repro.optical.layout import (
     layout_for_mode,
     mode_reduction,
 )
-from repro.workloads.registry import WORKLOADS, get_workload
+from repro.workloads.registry import get_workload
 
 FIG16_PLATFORMS = ("Origin", "Hetero", "Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW", "Oracle")
 LATENCY_PLATFORMS = ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW", "Oracle")
 BANDWIDTH_PLATFORMS = ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW")
 ENERGY_PLATFORMS = ("Hetero", "Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW")
+FIG20A_WORKLOADS = ("backp", "GRAMS", "betw", "pagerank")
+FIG20A_WAVEGUIDES = (1, 2, 4, 8)
 
 MODES = (MemoryMode.PLANAR, MemoryMode.TWO_LEVEL)
 
@@ -44,46 +59,157 @@ class FigureData:
         return sum(vals) / len(vals) if vals else 0.0
 
 
+def _mode_matrix_jobs(
+    platforms: Tuple[str, ...], workloads: Tuple[str, ...]
+) -> "callable":
+    """Standard job set: every (platform, workload) cell in both modes."""
+
+    def jobs(run_cfg: RunConfig) -> Tuple[SimulationJob, ...]:
+        return tuple(
+            SimulationJob(p, w, mode, run_cfg)
+            for mode in MODES
+            for w in workloads
+            for p in platforms
+        )
+
+    return jobs
+
+
+def _figure_rows(series: str = "platform"):
+    """Tabulator for the two-mode FigureData payloads."""
+
+    def tabulate(payload: Dict[str, FigureData]) -> List[dict]:
+        return [
+            {"mode": mode, "workload": w, series: s, "value": v}
+            for mode, fig in payload.items()
+            for (w, s), v in fig.values.items()
+        ]
+
+    return tabulate
+
+
+# --------------------------------------------------------------------
+# Fig. 3 — GPU+SSD motivation breakdowns (analytic, no simulations)
+# --------------------------------------------------------------------
+
+def _fig3_reduce(workloads: Tuple[str, ...]):
+    def reduce(_results: JobResults) -> List[dict]:
+        cfg = default_config()
+        system = GpuSsdSystem(cfg)
+        rows = []
+        for name in workloads:
+            spec = get_workload(name)
+            phase = system.phase_breakdown(spec)
+            mem = system.memory_breakdown(spec)
+            rows.append(
+                {
+                    "workload": name,
+                    "data_move_frac": phase.data_move_frac,
+                    "storage_frac": phase.storage_frac,
+                    "gpu_frac": phase.gpu_frac,
+                    "dma_time_frac": mem.dma_time_frac,
+                    "dma_energy_frac": mem.dma_energy_frac,
+                }
+            )
+        return rows
+
+    return reduce
+
+
+def make_fig3_spec(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig3",
+        title="Fig. 3 — GPU+SSD execution and memory-subsystem breakdowns",
+        columns=(
+            "workload", "data_move_frac", "storage_frac", "gpu_frac",
+            "dma_time_frac", "dma_energy_frac",
+        ),
+        jobs=lambda run_cfg: (),
+        reduce=_fig3_reduce(workloads),
+        tabulate=lambda rows: rows,
+    )
+
+
 def figure3(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> List[dict]:
     """Fig. 3a+3b: GPU+SSD execution and memory-subsystem breakdowns."""
-    cfg = default_config()
-    system = GpuSsdSystem(cfg)
-    rows = []
-    for name in workloads:
-        spec = get_workload(name)
-        phase = system.phase_breakdown(spec)
-        mem = system.memory_breakdown(spec)
-        rows.append(
-            {
-                "workload": name,
-                "data_move_frac": phase.data_move_frac,
-                "storage_frac": phase.storage_frac,
-                "gpu_frac": phase.gpu_frac,
-                "dma_time_frac": mem.dma_time_frac,
-                "dma_energy_frac": mem.dma_energy_frac,
-            }
-        )
-    return rows
+    return run_spec(make_fig3_spec(workloads), Runner()).payload
+
+
+# --------------------------------------------------------------------
+# Fig. 8 — baseline migration overhead
+# --------------------------------------------------------------------
+
+def _fig8_reduce(workloads: Tuple[str, ...]):
+    def reduce(results: JobResults) -> Dict[str, FigureData]:
+        out = {}
+        for mode in MODES:
+            values: Dict[Tuple[str, str], float] = {}
+            for w in workloads:
+                base = results.get("Ohm-base", w, mode)
+                oracle = results.get("Oracle", w, mode)
+                values[(w, "migration_bw_frac")] = base.migration_bandwidth_fraction
+                values[(w, "latency_vs_oracle")] = (
+                    base.mean_mem_latency_ps / oracle.mean_mem_latency_ps
+                    if oracle.mean_mem_latency_ps
+                    else 0.0
+                )
+            out[mode.value] = FigureData("fig8", mode.value, values)
+        return out
+
+    return reduce
+
+
+def make_fig8_spec(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig8",
+        title="Fig. 8 — baseline migration bandwidth share and latency",
+        columns=("mode", "workload", "metric", "value"),
+        jobs=_mode_matrix_jobs(("Ohm-base", "Oracle"), workloads),
+        reduce=_fig8_reduce(workloads),
+        tabulate=_figure_rows(series="metric"),
+    )
 
 
 def figure8(
     runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
 ) -> Dict[str, FigureData]:
     """Fig. 8: baseline migration bandwidth share + latency vs Oracle."""
-    out = {}
-    for mode in MODES:
-        values: Dict[Tuple[str, str], float] = {}
-        for w in workloads:
-            base = runner.run("Ohm-base", w, mode)
-            oracle = runner.run("Oracle", w, mode)
-            values[(w, "migration_bw_frac")] = base.migration_bandwidth_fraction
-            values[(w, "latency_vs_oracle")] = (
-                base.mean_mem_latency_ps / oracle.mean_mem_latency_ps
-                if oracle.mean_mem_latency_ps
-                else 0.0
-            )
-        out[mode.value] = FigureData("fig8", mode.value, values)
-    return out
+    return run_spec(make_fig8_spec(workloads), runner).payload
+
+
+# --------------------------------------------------------------------
+# Fig. 16 — IPC normalized to Ohm-base
+# --------------------------------------------------------------------
+
+def _fig16_reduce(workloads: Tuple[str, ...], platforms: Tuple[str, ...]):
+    def reduce(results: JobResults) -> Dict[str, FigureData]:
+        out = {}
+        for mode in MODES:
+            values: Dict[Tuple[str, str], float] = {}
+            for w in workloads:
+                base = results.get("Ohm-base", w, mode)
+                for p in platforms:
+                    res = results.get(p, w, mode)
+                    values[(w, p)] = res.performance / base.performance
+            out[mode.value] = FigureData("fig16", mode.value, values)
+        return out
+
+    return reduce
+
+
+def make_fig16_spec(
+    workloads: Tuple[str, ...] = ALL_WORKLOADS,
+    platforms: Tuple[str, ...] = FIG16_PLATFORMS,
+) -> ExperimentSpec:
+    needed = platforms if "Ohm-base" in platforms else platforms + ("Ohm-base",)
+    return ExperimentSpec(
+        name="fig16",
+        title="Fig. 16 — IPC normalized to Ohm-base",
+        columns=("mode", "workload", "platform", "value"),
+        jobs=_mode_matrix_jobs(needed, workloads),
+        reduce=_fig16_reduce(workloads, platforms),
+        tabulate=_figure_rows(),
+    )
 
 
 def figure16(
@@ -92,117 +218,263 @@ def figure16(
     platforms: Tuple[str, ...] = FIG16_PLATFORMS,
 ) -> Dict[str, FigureData]:
     """Fig. 16: IPC normalized to Ohm-base, both modes."""
-    out = {}
-    for mode in MODES:
-        values: Dict[Tuple[str, str], float] = {}
-        for w in workloads:
-            base = runner.run("Ohm-base", w, mode)
-            for p in platforms:
-                res = runner.run(p, w, mode)
-                values[(w, p)] = res.performance / base.performance
-        out[mode.value] = FigureData("fig16", mode.value, values)
-    return out
+    return run_spec(make_fig16_spec(workloads, platforms), runner).payload
+
+
+# --------------------------------------------------------------------
+# Fig. 17 — mean memory latency normalized to Ohm-base
+# --------------------------------------------------------------------
+
+def _fig17_reduce(workloads: Tuple[str, ...]):
+    def reduce(results: JobResults) -> Dict[str, FigureData]:
+        out = {}
+        for mode in MODES:
+            values: Dict[Tuple[str, str], float] = {}
+            for w in workloads:
+                base = results.get("Ohm-base", w, mode)
+                for p in LATENCY_PLATFORMS:
+                    res = results.get(p, w, mode)
+                    values[(w, p)] = (
+                        res.mean_mem_latency_ps / base.mean_mem_latency_ps
+                        if base.mean_mem_latency_ps
+                        else 0.0
+                    )
+            out[mode.value] = FigureData("fig17", mode.value, values)
+        return out
+
+    return reduce
+
+
+def make_fig17_spec(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig17",
+        title="Fig. 17 — mean memory latency normalized to Ohm-base",
+        columns=("mode", "workload", "platform", "value"),
+        jobs=_mode_matrix_jobs(LATENCY_PLATFORMS, workloads),
+        reduce=_fig17_reduce(workloads),
+        tabulate=_figure_rows(),
+    )
 
 
 def figure17(
     runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
 ) -> Dict[str, FigureData]:
     """Fig. 17: mean memory latency normalized to Ohm-base."""
-    out = {}
-    for mode in MODES:
-        values: Dict[Tuple[str, str], float] = {}
-        for w in workloads:
-            base = runner.run("Ohm-base", w, mode)
-            for p in LATENCY_PLATFORMS:
-                res = runner.run(p, w, mode)
-                values[(w, p)] = (
-                    res.mean_mem_latency_ps / base.mean_mem_latency_ps
-                    if base.mean_mem_latency_ps
-                    else 0.0
-                )
-        out[mode.value] = FigureData("fig17", mode.value, values)
-    return out
+    return run_spec(make_fig17_spec(workloads), runner).payload
+
+
+# --------------------------------------------------------------------
+# Fig. 18 — migration share of channel bandwidth
+# --------------------------------------------------------------------
+
+def _fig18_reduce(workloads: Tuple[str, ...]):
+    def reduce(results: JobResults) -> Dict[str, FigureData]:
+        out = {}
+        for mode in MODES:
+            values: Dict[Tuple[str, str], float] = {}
+            for w in workloads:
+                for p in BANDWIDTH_PLATFORMS:
+                    res = results.get(p, w, mode)
+                    values[(w, p)] = res.migration_bandwidth_fraction
+            out[mode.value] = FigureData("fig18", mode.value, values)
+        return out
+
+    return reduce
+
+
+def make_fig18_spec(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig18",
+        title="Fig. 18 — migration share of channel bandwidth",
+        columns=("mode", "workload", "platform", "value"),
+        jobs=_mode_matrix_jobs(BANDWIDTH_PLATFORMS, workloads),
+        reduce=_fig18_reduce(workloads),
+        tabulate=_figure_rows(),
+    )
 
 
 def figure18(
     runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
 ) -> Dict[str, FigureData]:
     """Fig. 18: fraction of channel bandwidth consumed by migration."""
-    out = {}
-    for mode in MODES:
-        values: Dict[Tuple[str, str], float] = {}
-        for w in workloads:
-            for p in BANDWIDTH_PLATFORMS:
-                res = runner.run(p, w, mode)
-                values[(w, p)] = res.migration_bandwidth_fraction
-        out[mode.value] = FigureData("fig18", mode.value, values)
-    return out
+    return run_spec(make_fig18_spec(workloads), runner).payload
+
+
+# --------------------------------------------------------------------
+# Fig. 19 — energy breakdown
+# --------------------------------------------------------------------
+
+def _fig19_reduce(workloads: Tuple[str, ...]):
+    def reduce(results: JobResults) -> Dict[str, Dict[Tuple[str, str], EnergyBreakdown]]:
+        out: Dict[str, Dict[Tuple[str, str], EnergyBreakdown]] = {}
+        for mode in MODES:
+            model = EnergyModel(default_config(mode))
+            rows: Dict[Tuple[str, str], EnergyBreakdown] = {}
+            for w in workloads:
+                for p in ENERGY_PLATFORMS:
+                    res = results.get(p, w, mode)
+                    rows[(w, p)] = model.breakdown(PLATFORMS[p], res)
+            out[mode.value] = rows
+        return out
+
+    return reduce
+
+
+def _fig19_tabulate(payload) -> List[dict]:
+    return [
+        {
+            "mode": mode,
+            "workload": w,
+            "platform": p,
+            "xpoint_j": b.xpoint_j,
+            "dram_dynamic_j": b.dram_dynamic_j,
+            "dram_static_j": b.dram_static_j,
+            "optical_j": b.optical_j,
+            "electrical_j": b.electrical_j,
+            "total_j": b.total_j,
+        }
+        for mode, rows in payload.items()
+        for (w, p), b in rows.items()
+    ]
+
+
+def make_fig19_spec(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig19",
+        title="Fig. 19 — energy breakdown per platform and workload",
+        columns=(
+            "mode", "workload", "platform", "xpoint_j", "dram_dynamic_j",
+            "dram_static_j", "optical_j", "electrical_j", "total_j",
+        ),
+        jobs=_mode_matrix_jobs(ENERGY_PLATFORMS, workloads),
+        reduce=_fig19_reduce(workloads),
+        tabulate=_fig19_tabulate,
+    )
 
 
 def figure19(
     runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
 ) -> Dict[str, Dict[Tuple[str, str], EnergyBreakdown]]:
     """Fig. 19: energy breakdown per platform and workload."""
-    out: Dict[str, Dict[Tuple[str, str], EnergyBreakdown]] = {}
-    for mode in MODES:
-        cfg = default_config(mode)
-        model = EnergyModel(cfg)
-        rows: Dict[Tuple[str, str], EnergyBreakdown] = {}
-        for w in workloads:
-            for p in ENERGY_PLATFORMS:
-                res = runner.run(p, w, mode)
-                rows[(w, p)] = model.breakdown(runner.platform(p), res)
-        out[mode.value] = rows
-    return out
+    return run_spec(make_fig19_spec(workloads), runner).payload
+
+
+# --------------------------------------------------------------------
+# Fig. 20a — performance vs optical waveguide count
+# --------------------------------------------------------------------
+
+def _fig20a_jobs(workloads: Tuple[str, ...], counts: Tuple[int, ...]):
+    def jobs(run_cfg: RunConfig) -> Tuple[SimulationJob, ...]:
+        out = [
+            SimulationJob("Hetero", w, MemoryMode.PLANAR, run_cfg)
+            for w in workloads
+        ]
+        for n in counts:
+            cfg_n = replace(run_cfg, waveguides=n)
+            out.extend(
+                SimulationJob(p, w, MemoryMode.PLANAR, cfg_n)
+                for p in ("Ohm-base", "Ohm-BW")
+                for w in workloads
+            )
+        return tuple(out)
+
+    return jobs
+
+
+def _fig20a_reduce(workloads: Tuple[str, ...], counts: Tuple[int, ...]):
+    def reduce(results: JobResults) -> List[dict]:
+        base_cfg = results.run_cfg
+        hetero_perf = {
+            w: results.get("Hetero", w, MemoryMode.PLANAR).performance
+            for w in workloads
+        }
+        rows = []
+        for n in counts:
+            cfg_n = replace(base_cfg, waveguides=n)
+            for p in ("Ohm-base", "Ohm-BW"):
+                rel = [
+                    results.get(p, w, MemoryMode.PLANAR, cfg_n).performance
+                    / hetero_perf[w]
+                    for w in workloads
+                ]
+                rows.append(
+                    {
+                        "waveguides": n,
+                        "platform": p,
+                        "norm_performance": sum(rel) / len(rel),
+                    }
+                )
+        return rows
+
+    return reduce
+
+
+def make_fig20a_spec(
+    workloads: Tuple[str, ...] = FIG20A_WORKLOADS,
+    waveguide_counts: Tuple[int, ...] = FIG20A_WAVEGUIDES,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig20a",
+        title="Fig. 20a — performance vs number of optical waveguides",
+        columns=("waveguides", "platform", "norm_performance"),
+        jobs=_fig20a_jobs(workloads, waveguide_counts),
+        reduce=_fig20a_reduce(workloads, waveguide_counts),
+        tabulate=lambda rows: rows,
+    )
 
 
 def figure20a(
-    workloads: Tuple[str, ...] = ("backp", "GRAMS", "betw", "pagerank"),
-    waveguide_counts: Tuple[int, ...] = (1, 2, 4, 8),
+    workloads: Tuple[str, ...] = FIG20A_WORKLOADS,
+    waveguide_counts: Tuple[int, ...] = FIG20A_WAVEGUIDES,
     run_cfg: Optional[RunConfig] = None,
+    runner: Optional[Runner] = None,
 ) -> List[dict]:
     """Fig. 20a: performance vs number of optical waveguides.
 
     Normalized to Hetero (the electrical baseline), planar mode.
+    Sizing comes from ``run_cfg`` — or from ``runner.run_cfg`` when a
+    shared runner is supplied instead (passing both is ambiguous).
     """
-    rows = []
-    base_cfg = run_cfg or RunConfig()
-    hetero_runner = Runner(base_cfg)
-    hetero_perf = {
-        w: hetero_runner.run("Hetero", w, MemoryMode.PLANAR).performance
-        for w in workloads
-    }
-    for n in waveguide_counts:
-        runner = Runner(
-            RunConfig(
-                num_warps=base_cfg.num_warps,
-                accesses_per_warp=base_cfg.accesses_per_warp,
-                seed=base_cfg.seed,
-                waveguides=n,
-            )
-        )
-        for p in ("Ohm-base", "Ohm-BW"):
-            rel = [
-                runner.run(p, w, MemoryMode.PLANAR).performance / hetero_perf[w]
-                for w in workloads
-            ]
-            rows.append(
-                {
-                    "waveguides": n,
-                    "platform": p,
-                    "norm_performance": sum(rel) / len(rel),
-                }
-            )
-    return rows
+    if runner is not None and run_cfg is not None:
+        raise ValueError("pass either run_cfg or runner, not both")
+    runner = runner or Runner(run_cfg or RunConfig())
+    return run_spec(make_fig20a_spec(workloads, waveguide_counts), runner).payload
+
+
+# --------------------------------------------------------------------
+# Fig. 20b — BER link budgets (analytic)
+# --------------------------------------------------------------------
+
+def make_fig20b_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig20b",
+        title="Fig. 20b — BER of each platform/function",
+        columns=("label", "ber", "received_power_mw", "laser_scale", "reliable"),
+        jobs=lambda run_cfg: (),
+        reduce=lambda _results: figure20b_budgets(default_config().optical),
+        tabulate=lambda budgets: [
+            {
+                "label": b.label,
+                "ber": b.ber,
+                "received_power_mw": b.received_power_mw,
+                "laser_scale": b.laser_scale,
+                "reliable": b.reliable,
+            }
+            for b in budgets
+        ],
+    )
 
 
 def figure20b() -> List[LinkBudget]:
     """Fig. 20b: BER of each platform/function."""
-    return figure20b_budgets(default_config().optical)
+    return run_spec(make_fig20b_spec(), Runner()).payload
 
 
-def figure15() -> List[dict]:
-    """Fig. 15 / Section V-C: MRR counts per layout and reductions."""
+# --------------------------------------------------------------------
+# Fig. 15 — MRR layout counts (analytic)
+# --------------------------------------------------------------------
+
+def _fig15_reduce(_results: JobResults) -> List[dict]:
     rows = []
     for layout in (GENERAL_LAYOUT, BASELINE_LAYOUT):
         rows.append(
@@ -228,8 +500,29 @@ def figure15() -> List[dict]:
     return rows
 
 
-def table3() -> List[dict]:
-    """Table III: bill of materials + cost deltas."""
+def make_fig15_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig15",
+        title="Fig. 15 — MRR counts per layout",
+        columns=(
+            "layout", "transmitters", "receivers", "total", "reduction_vs_general",
+        ),
+        jobs=lambda run_cfg: (),
+        reduce=_fig15_reduce,
+        tabulate=lambda rows: rows,
+    )
+
+
+def figure15() -> List[dict]:
+    """Fig. 15 / Section V-C: MRR counts per layout and reductions."""
+    return run_spec(make_fig15_spec(), Runner()).payload
+
+
+# --------------------------------------------------------------------
+# Table III — bill of materials + cost deltas (analytic)
+# --------------------------------------------------------------------
+
+def _table3_reduce(_results: JobResults) -> List[dict]:
     rows = []
     for mode in MODES:
         cost = CostModel(mode)
@@ -254,22 +547,102 @@ def table3() -> List[dict]:
     return rows
 
 
+def make_table3_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="table3",
+        title="Table III — bill of materials and cost deltas",
+        columns=(
+            "mode", "platform", "dram_gb", "dram_price", "xpoint_gb",
+            "xpoint_price", "modulators", "detectors", "mrr_price",
+            "total_cost", "cost_increase",
+        ),
+        jobs=lambda run_cfg: (),
+        reduce=_table3_reduce,
+        tabulate=lambda rows: rows,
+    )
+
+
+def table3() -> List[dict]:
+    """Table III: bill of materials + cost deltas."""
+    return run_spec(make_table3_spec(), Runner()).payload
+
+
+# --------------------------------------------------------------------
+# Fig. 21 — cost-performance
+# --------------------------------------------------------------------
+
+def _fig21_reduce(workloads: Tuple[str, ...]):
+    def reduce(results: JobResults) -> Dict[str, FigureData]:
+        out = {}
+        for mode in MODES:
+            cost = CostModel(mode)
+            values: Dict[Tuple[str, str], float] = {}
+            for w in workloads:
+                origin = results.get("Origin", w, mode)
+                for p in ("Origin", "Ohm-BW", "Oracle"):
+                    res = results.get(p, w, mode)
+                    perf = res.performance / origin.performance
+                    values[(w, p)] = cost.cost_performance(p, perf)
+            out[mode.value] = FigureData("fig21", mode.value, values)
+        return out
+
+    return reduce
+
+
+def make_fig21_spec(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig21",
+        title="Fig. 21 — cost-performance ratio",
+        columns=("mode", "workload", "platform", "value"),
+        jobs=_mode_matrix_jobs(("Origin", "Ohm-BW", "Oracle"), workloads),
+        reduce=_fig21_reduce(workloads),
+        tabulate=_figure_rows(),
+    )
+
+
 def figure21(
     runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS
 ) -> Dict[str, FigureData]:
     """Fig. 21: cost-performance ratio of Origin / Ohm-BW / Oracle."""
-    out = {}
-    for mode in MODES:
-        cost = CostModel(mode)
-        values: Dict[Tuple[str, str], float] = {}
-        for w in workloads:
-            origin = runner.run("Origin", w, mode)
-            for p in ("Origin", "Ohm-BW", "Oracle"):
-                res = runner.run(p, w, mode)
-                perf = res.performance / origin.performance
-                values[(w, p)] = cost.cost_performance(p, perf)
-        out[mode.value] = FigureData("fig21", mode.value, values)
-    return out
+    return run_spec(make_fig21_spec(workloads), runner).payload
+
+
+# --------------------------------------------------------------------
+# Headline — abstract claims
+# --------------------------------------------------------------------
+
+def _headline_reduce(workloads: Tuple[str, ...]):
+    def reduce(results: JobResults) -> dict:
+        import math
+
+        vs_origin: List[float] = []
+        vs_base: List[float] = []
+        for mode in MODES:
+            for w in workloads:
+                bw = results.get("Ohm-BW", w, mode).performance
+                vs_origin.append(bw / results.get("Origin", w, mode).performance)
+                vs_base.append(bw / results.get("Ohm-base", w, mode).performance)
+
+        def geomean(xs: List[float]) -> float:
+            return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+        return {
+            "speedup_vs_origin": geomean(vs_origin),
+            "speedup_vs_ohm_base": geomean(vs_base),
+        }
+
+    return reduce
+
+
+def make_headline_spec(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="headline",
+        title="Headline — Ohm-BW vs Origin and vs Ohm-base (geomean)",
+        columns=("speedup_vs_origin", "speedup_vs_ohm_base"),
+        jobs=_mode_matrix_jobs(("Ohm-BW", "Origin", "Ohm-base"), workloads),
+        reduce=_headline_reduce(workloads),
+        tabulate=lambda payload: [payload],
+    )
 
 
 def headline(runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS) -> dict:
@@ -278,20 +651,24 @@ def headline(runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS) -> dict
     Speedups are aggregated with the geometric mean, the standard
     aggregation for performance ratios.
     """
-    import math
+    return run_spec(make_headline_spec(workloads), runner).payload
 
-    vs_origin: List[float] = []
-    vs_base: List[float] = []
-    for mode in MODES:
-        for w in workloads:
-            bw = runner.run("Ohm-BW", w, mode).performance
-            vs_origin.append(bw / runner.run("Origin", w, mode).performance)
-            vs_base.append(bw / runner.run("Ohm-base", w, mode).performance)
 
-    def geomean(xs: List[float]) -> float:
-        return math.exp(sum(math.log(x) for x in xs) / len(xs))
-
-    return {
-        "speedup_vs_origin": geomean(vs_origin),
-        "speedup_vs_ohm_base": geomean(vs_base),
-    }
+# Register the default-parameter spec of every figure/table.  The CLI
+# and the exporters discover experiments exclusively through this
+# registry; a new figure is one more ``register(make_*_spec())`` line.
+for _spec_factory in (
+    make_fig3_spec,
+    make_fig8_spec,
+    make_fig15_spec,
+    make_fig16_spec,
+    make_fig17_spec,
+    make_fig18_spec,
+    make_fig19_spec,
+    make_fig20a_spec,
+    make_fig20b_spec,
+    make_fig21_spec,
+    make_table3_spec,
+    make_headline_spec,
+):
+    register(_spec_factory())

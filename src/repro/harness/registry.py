@@ -1,0 +1,121 @@
+"""Declarative experiment registry.
+
+Layer 3 of the experiment service (see DESIGN.md).  Every evaluation
+figure/table is an :class:`ExperimentSpec`: the simulations it needs
+(as pure :class:`SimulationJob` descriptions), a reducer that turns the
+evaluated results into the figure's payload, and a tabulator that
+flattens the payload into schema'd rows for the structured exporters.
+
+Because a spec *declares* its whole job set up front,
+:func:`run_experiment` submits the complete batch to the
+:class:`~repro.harness.runner.Runner` in one call — a parallel executor
+evaluates it concurrently and a persistent cache skips everything it
+has seen — instead of discovering runs one at a time inside hand-written
+figure loops.  Adding a figure (or a whole new sweep axis) is a registry
+entry, not a new module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MemoryMode
+from repro.gpu.gpu import RunResult
+from repro.harness.executor import RunConfig, SimulationJob
+from repro.harness.runner import Runner
+
+
+class JobResults:
+    """Evaluated results of a spec's job set, with ergonomic lookup."""
+
+    def __init__(
+        self, results: Dict[SimulationJob, RunResult], run_cfg: RunConfig
+    ) -> None:
+        self._results = results
+        self.run_cfg = run_cfg
+
+    def get(
+        self,
+        platform: str,
+        workload: str,
+        mode: MemoryMode,
+        run_cfg: Optional[RunConfig] = None,
+    ) -> RunResult:
+        job = SimulationJob(platform, workload, mode, run_cfg or self.run_cfg)
+        return self._results[job]
+
+    def __getitem__(self, job: SimulationJob) -> RunResult:
+        return self._results[job]
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One figure/table: required runs, reducer, output schema."""
+
+    name: str
+    title: str
+    # Flat output schema: the column names ``tabulate`` rows carry.
+    columns: Tuple[str, ...]
+    # run_cfg -> every simulation the figure needs (may be empty for
+    # analytic figures like the MRR layout or the cost table).
+    jobs: Callable[[RunConfig], Tuple[SimulationJob, ...]]
+    # Evaluated results -> the figure payload the tests/CLI consume.
+    reduce: Callable[[JobResults], Any]
+    # Payload -> flat rows matching ``columns`` (for json/csv export).
+    tabulate: Callable[[Any], List[dict]]
+
+
+@dataclass
+class ExperimentResult:
+    """A spec evaluated under one runner."""
+
+    spec: ExperimentSpec
+    payload: Any
+
+    @property
+    def rows(self) -> List[dict]:
+        return self.spec.tabulate(self.payload)
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    if spec.name in EXPERIMENTS:
+        raise ValueError(f"experiment {spec.name!r} already registered")
+    EXPERIMENTS[spec.name] = spec
+    return spec
+
+
+def experiment_names() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_spec(spec: ExperimentSpec, runner: Runner) -> ExperimentResult:
+    """Evaluate a spec's whole job set as one batch, then reduce."""
+    jobs = spec.jobs(runner.run_cfg)
+    results = runner.run_jobs(jobs)
+    payload = spec.reduce(JobResults(results, runner.run_cfg))
+    return ExperimentResult(spec, payload)
+
+
+def run_experiment(name: str, runner: Optional[Runner] = None) -> ExperimentResult:
+    """Evaluate a registered experiment (importing the spec definitions)."""
+    # Spec definitions live with their reducers in harness.experiments;
+    # importing it populates the registry exactly once.
+    from repro.harness import experiments  # noqa: F401
+
+    return run_spec(get_experiment(name), runner or Runner())

@@ -1,8 +1,11 @@
-"""ASCII table rendering for benchmark output."""
+"""ASCII table rendering and structured (json/csv) emitters."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+import csv
+import io
+import json
+from typing import Iterable, List, Optional, Sequence, Union
 
 Cell = Union[str, int, float]
 
@@ -64,3 +67,38 @@ def format_bar_chart(
         bar = "#" * (int(round(width * value / peak)) if peak else 0)
         lines.append(f"{label.ljust(label_w)} {value:.3f}{unit} {bar}")
     return "\n".join(lines)
+
+
+def emit_json(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render experiment rows as a JSON array (stable key order).
+
+    ``columns`` fixes the key order and drops extras; by default each
+    row is emitted as-is.
+    """
+    if columns is not None:
+        rows = [{c: row.get(c) for c in columns} for row in rows]
+    return json.dumps(list(rows), indent=2, default=str)
+
+
+def emit_csv(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render experiment rows as CSV with a header line.
+
+    ``columns`` fixes the column set; by default the first row's keys
+    define the schema (all rows of one experiment share it).
+    """
+    rows = list(rows)
+    if columns is None:
+        if not rows:
+            return ""
+        columns = list(rows[0])
+    buf = io.StringIO()
+    writer = csv.DictWriter(
+        buf, fieldnames=list(columns), extrasaction="ignore", lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({c: row.get(c) for c in columns})
+    return buf.getvalue()
+
+
+EMITTERS = {"json": emit_json, "csv": emit_csv}

@@ -1,80 +1,104 @@
-"""Run matrices of (platform, workload, mode) simulations with caching.
+"""The experiment service: memoizing front-end over executors + cache.
 
-One :class:`Runner` owns a :class:`RunConfig` (how big each simulation
-is) and memoizes results, so the per-figure experiment functions can
-share runs — Figs. 16, 17, 18 and 19 all read the same matrix.
+One :class:`Runner` owns a default :class:`RunConfig` (how big each
+simulation is), an executor (how jobs are evaluated — serially or
+across worker processes) and an optional persistent
+:class:`~repro.harness.cache.ResultCache`.  Per-figure experiment specs
+submit whole job batches through :meth:`Runner.run_jobs`, so Figs. 16,
+17, 18 and 19 all read the same warm matrix, and a parallel executor
+evaluates the distinct jobs concurrently.
+
+The lookup order per job is: in-memory memo -> persistent cache ->
+executor, with every executed result stored back to both.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.config import MemoryMode, SystemConfig, default_config
+from repro.config import MemoryMode
 from repro.core.platforms import PLATFORMS, Platform
-from repro.gpu.gpu import GpuModel, RunResult
-from repro.workloads.registry import WORKLOADS, generate_traces, get_workload
-from repro.workloads.synthetic import WarpTrace
+from repro.gpu.gpu import RunResult
+from repro.harness.cache import ResultCache
+from repro.harness.executor import (
+    ParallelExecutor,
+    RunConfig,
+    SerialExecutor,
+    SimulationJob,
+    execute_job,
+    make_executor,
+)
+from repro.workloads.registry import WORKLOADS
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "HETERO_PLATFORMS",
+    "ALL_WORKLOADS",
+    "RunConfig",
+    "Runner",
+    "SimulationJob",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_job",
+    "make_executor",
+]
 
 ALL_PLATFORMS = tuple(PLATFORMS)
 HETERO_PLATFORMS = ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW", "Oracle")
 ALL_WORKLOADS = tuple(WORKLOADS)
 
 
-@dataclass(frozen=True)
-class RunConfig:
-    """Simulation sizing: trade fidelity for wall-clock time."""
-
-    num_warps: int = 192
-    accesses_per_warp: int = 80
-    seed: int = 7
-    waveguides: int = 1
-
-    def scaled(self, factor: float) -> "RunConfig":
-        return replace(
-            self, accesses_per_warp=max(8, int(self.accesses_per_warp * factor))
-        )
-
-
 class Runner:
-    """Memoizing simulation runner for the benchmark harness."""
+    """Memoizing simulation service for the benchmark harness."""
 
-    def __init__(self, run_cfg: Optional[RunConfig] = None) -> None:
+    def __init__(
+        self,
+        run_cfg: Optional[RunConfig] = None,
+        executor: Optional[object] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
         self.run_cfg = run_cfg or RunConfig()
-        self._results: Dict[Tuple[str, str, str, int], RunResult] = {}
-        self._traces: Dict[Tuple[str, str], List[WarpTrace]] = {}
+        self.executor = executor or SerialExecutor()
+        self.cache = cache
+        self._results: Dict[SimulationJob, RunResult] = {}
 
-    def _system_config(self, mode: MemoryMode) -> SystemConfig:
-        cfg = default_config(mode)
-        if self.run_cfg.waveguides != 1:
-            cfg = cfg.with_waveguides(self.run_cfg.waveguides)
-        return cfg
+    def job(
+        self,
+        platform: str,
+        workload: str,
+        mode: MemoryMode,
+        run_cfg: Optional[RunConfig] = None,
+    ) -> SimulationJob:
+        """Job description under this runner's default sizing."""
+        return SimulationJob(platform, workload, mode, run_cfg or self.run_cfg)
 
-    def _traces_for(self, workload: str, cfg: SystemConfig) -> List[WarpTrace]:
-        key = (workload, f"{cfg.scale_down}")
-        if key not in self._traces:
-            spec = get_workload(workload)
-            self._traces[key] = generate_traces(
-                spec,
-                spec.scaled_footprint(cfg.scale_down),
-                num_warps=self.run_cfg.num_warps,
-                accesses_per_warp=self.run_cfg.accesses_per_warp,
-                line_bytes=cfg.gpu.line_bytes,
-                page_bytes=cfg.hetero.page_bytes,
-                seed=self.run_cfg.seed,
-            )
-        return self._traces[key]
+    def run_jobs(
+        self, jobs: Sequence[SimulationJob]
+    ) -> Dict[SimulationJob, RunResult]:
+        """Evaluate a batch; only never-seen jobs reach the executor."""
+        pending: List[SimulationJob] = []
+        for job in dict.fromkeys(jobs):
+            if job in self._results:
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(job)
+                if cached is not None:
+                    self._results[job] = cached
+                    continue
+            pending.append(job)
+        if pending:
+            for job, result in zip(pending, self.executor.run_jobs(pending)):
+                self._results[job] = result
+                if self.cache is not None:
+                    self.cache.put(job, result)
+        return {job: self._results[job] for job in jobs}
+
+    def run_job(self, job: SimulationJob) -> RunResult:
+        return self.run_jobs([job])[job]
 
     def run(self, platform: str, workload: str, mode: MemoryMode) -> RunResult:
-        """One simulation (cached)."""
-        key = (platform, workload, mode.value, self.run_cfg.waveguides)
-        if key not in self._results:
-            cfg = self._system_config(mode)
-            spec = get_workload(workload)
-            traces = self._traces_for(workload, cfg)
-            model = GpuModel(PLATFORMS[platform], cfg, spec, traces)
-            self._results[key] = model.run()
-        return self._results[key]
+        """One simulation (memoized, cache-aware)."""
+        return self.run_job(self.job(platform, workload, mode))
 
     def matrix(
         self,
@@ -82,10 +106,11 @@ class Runner:
         workloads: Iterable[str],
         mode: MemoryMode,
     ) -> Dict[Tuple[str, str], RunResult]:
+        """A (platform x workload) matrix, evaluated as one batch."""
+        cells = [(p, w) for p in platforms for w in workloads]
+        results = self.run_jobs([self.job(p, w, mode) for p, w in cells])
         return {
-            (p, w): self.run(p, w, mode)
-            for p in platforms
-            for w in workloads
+            (p, w): results[self.job(p, w, mode)] for p, w in cells
         }
 
     def platform(self, name: str) -> Platform:

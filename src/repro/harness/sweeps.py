@@ -3,6 +3,12 @@
 Thin, reusable wrappers for the sensitivity studies of Section VI-B and
 the extra ablations: vary one configuration knob, re-simulate, collect a
 metric.  Used by ``benchmarks/test_ablations.py`` and the examples.
+
+Sweeps are expressed as :class:`SimulationJob` batches with explicit
+``SystemConfig`` overrides and evaluated through a shared
+:class:`Runner`, so they ride the same executor (``--jobs``) and
+persistent cache as the figure experiments instead of owning a private
+simulation path.
 """
 
 from __future__ import annotations
@@ -11,10 +17,9 @@ from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence
 
 from repro.config import MemoryMode, SystemConfig, default_config
-from repro.core.platforms import PLATFORMS
-from repro.gpu.gpu import GpuModel, RunResult
-from repro.harness.runner import RunConfig
-from repro.workloads.registry import generate_traces, get_workload
+from repro.gpu.gpu import RunResult
+from repro.harness.executor import RunConfig, SimulationJob
+from repro.harness.runner import Runner
 
 
 @dataclass(frozen=True)
@@ -25,23 +30,21 @@ class SweepPoint:
     result: RunResult
 
 
-def _simulate(
+def sweep_jobs(
     platform: str,
     workload: str,
-    cfg: SystemConfig,
+    mode: MemoryMode,
+    values: Sequence[float],
+    mutate: Callable[[SystemConfig, float], SystemConfig],
     sizing: RunConfig,
-) -> RunResult:
-    spec = get_workload(workload)
-    traces = generate_traces(
-        spec,
-        spec.scaled_footprint(cfg.scale_down),
-        num_warps=sizing.num_warps,
-        accesses_per_warp=sizing.accesses_per_warp,
-        line_bytes=cfg.gpu.line_bytes,
-        page_bytes=cfg.hetero.page_bytes,
-        seed=sizing.seed,
-    )
-    return GpuModel(PLATFORMS[platform], cfg, spec, traces).run()
+) -> List[SimulationJob]:
+    """The job batch a sweep needs: one config override per knob value."""
+    return [
+        SimulationJob(
+            platform, workload, mode, sizing, cfg=mutate(default_config(mode), v)
+        )
+        for v in values
+    ]
 
 
 def sweep_config(
@@ -51,18 +54,20 @@ def sweep_config(
     values: Sequence[float],
     mutate: Callable[[SystemConfig, float], SystemConfig],
     sizing: Optional[RunConfig] = None,
+    runner: Optional[Runner] = None,
 ) -> List[SweepPoint]:
     """Run ``platform`` on ``workload`` once per knob value.
 
     ``mutate(cfg, value)`` returns the modified configuration; traces
     are regenerated per point because page size or footprint may change.
+    Pass a ``runner`` to share its executor, memo and persistent cache
+    with the rest of the harness.
     """
     sizing = sizing or RunConfig(num_warps=48, accesses_per_warp=48)
-    points = []
-    for value in values:
-        cfg = mutate(default_config(mode), value)
-        points.append(SweepPoint(value, _simulate(platform, workload, cfg, sizing)))
-    return points
+    runner = runner or Runner(sizing)
+    jobs = sweep_jobs(platform, workload, mode, values, mutate, sizing)
+    results = runner.run_jobs(jobs)
+    return [SweepPoint(v, results[job]) for v, job in zip(values, jobs)]
 
 
 def sweep_hot_threshold(
@@ -70,6 +75,7 @@ def sweep_hot_threshold(
     workload: str = "backp",
     thresholds: Sequence[int] = (6, 14, 28, 56),
     sizing: Optional[RunConfig] = None,
+    runner: Optional[Runner] = None,
 ) -> List[SweepPoint]:
     """Planar migration aggressiveness sweep."""
     return sweep_config(
@@ -79,6 +85,7 @@ def sweep_hot_threshold(
         thresholds,
         lambda cfg, v: replace(cfg, hetero=replace(cfg.hetero, hot_threshold=int(v))),
         sizing,
+        runner,
     )
 
 
@@ -87,6 +94,7 @@ def sweep_waveguides(
     workload: str = "GRAMS",
     counts: Sequence[int] = (1, 2, 4, 8),
     sizing: Optional[RunConfig] = None,
+    runner: Optional[Runner] = None,
 ) -> List[SweepPoint]:
     """Fig. 20a's knob as a reusable sweep."""
     return sweep_config(
@@ -96,6 +104,7 @@ def sweep_waveguides(
         counts,
         lambda cfg, v: cfg.with_waveguides(int(v)),
         sizing,
+        runner,
     )
 
 
@@ -104,6 +113,7 @@ def sweep_xpoint_read_latency(
     workload: str = "pagerank",
     latencies_ns: Sequence[float] = (95.0, 190.0, 380.0, 760.0),
     sizing: Optional[RunConfig] = None,
+    runner: Optional[Runner] = None,
 ) -> List[SweepPoint]:
     """How sensitive is Ohm-GPU to the NVM technology's read latency?
 
@@ -117,4 +127,5 @@ def sweep_xpoint_read_latency(
         latencies_ns,
         lambda cfg, v: replace(cfg, xpoint=replace(cfg.xpoint, read_ns=float(v))),
         sizing,
+        runner,
     )

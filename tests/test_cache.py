@@ -1,0 +1,162 @@
+"""Persistent result cache: fingerprint stability, round-trips, reuse."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import MemoryMode, ResultCache, RunConfig, Runner, SimulationJob
+from repro.config import default_config
+from repro.gpu.gpu import RunResult
+from repro.harness.cache import job_fingerprint
+from repro.harness.executor import SerialExecutor, execute_job
+
+TINY = RunConfig(num_warps=8, accesses_per_warp=8)
+
+
+def tiny_job(platform="Ohm-base", workload="backp", mode=MemoryMode.PLANAR,
+             run_cfg=TINY, cfg=None):
+    return SimulationJob(platform, workload, mode, run_cfg, cfg)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert job_fingerprint(tiny_job()) == job_fingerprint(tiny_job())
+
+    def test_platform_changes_fingerprint(self):
+        assert job_fingerprint(tiny_job()) != job_fingerprint(
+            tiny_job(platform="Oracle")
+        )
+
+    def test_workload_changes_fingerprint(self):
+        assert job_fingerprint(tiny_job()) != job_fingerprint(
+            tiny_job(workload="pagerank")
+        )
+
+    def test_mode_changes_fingerprint(self):
+        assert job_fingerprint(tiny_job()) != job_fingerprint(
+            tiny_job(mode=MemoryMode.TWO_LEVEL)
+        )
+
+    def test_run_config_changes_fingerprint(self):
+        assert job_fingerprint(tiny_job()) != job_fingerprint(
+            tiny_job(run_cfg=replace(TINY, accesses_per_warp=16))
+        )
+
+    def test_waveguides_change_fingerprint(self):
+        assert job_fingerprint(tiny_job()) != job_fingerprint(
+            tiny_job(run_cfg=replace(TINY, waveguides=4))
+        )
+
+    def test_explicit_cfg_override_changes_fingerprint(self):
+        cfg = default_config(MemoryMode.PLANAR)
+        hot = replace(cfg, hetero=replace(cfg.hetero, hot_threshold=99))
+        assert job_fingerprint(tiny_job()) != job_fingerprint(tiny_job(cfg=hot))
+
+    def test_equivalent_cfg_override_matches_default(self):
+        # An explicit override identical to the mode-derived config is
+        # the same simulation, so it must share a fingerprint.
+        cfg = default_config(MemoryMode.PLANAR)
+        assert job_fingerprint(tiny_job()) == job_fingerprint(tiny_job(cfg=cfg))
+
+
+class TestSerialization:
+    def test_run_result_round_trip(self):
+        result = execute_job(tiny_job())
+        assert RunResult.from_dict(result.to_dict()) == result
+
+    def test_system_config_round_trip(self):
+        from repro.config import SystemConfig
+
+        cfg = default_config(MemoryMode.TWO_LEVEL).with_waveguides(4)
+        assert SystemConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_run_config_round_trip(self):
+        assert RunConfig.from_dict(TINY.to_dict()) == TINY
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        assert cache.get(job) is None
+        result = execute_job(job)
+        cache.put(job, result)
+        assert cache.get(job) == result
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        job = tiny_job()
+        result = execute_job(job)
+        ResultCache(tmp_path).put(job, result)
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(job) == result
+
+    def test_changed_run_config_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        cache.put(job, execute_job(job))
+        assert cache.get(tiny_job(run_cfg=replace(TINY, accesses_per_warp=16))) is None
+
+    def test_changed_waveguides_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        cache.put(job, execute_job(job))
+        assert cache.get(tiny_job(run_cfg=replace(TINY, waveguides=8))) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        cache.put(job, execute_job(job))
+        cache.path_for(job).write_text("{not json")
+        assert cache.get(job) is None
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(tiny_job(), execute_job(tiny_job()))
+        assert len(cache) == 1
+
+
+class _CountingExecutor(SerialExecutor):
+    """Serial executor that counts how many jobs actually simulate."""
+
+    def __init__(self):
+        self.executed = 0
+
+    def run_jobs(self, jobs):
+        self.executed += len(jobs)
+        return super().run_jobs(jobs)
+
+
+class TestRunnerCacheIntegration:
+    def test_second_runner_never_simulates(self, tmp_path):
+        warm = Runner(TINY, cache=ResultCache(tmp_path))
+        a = warm.run("Ohm-base", "backp", MemoryMode.PLANAR)
+
+        counting = _CountingExecutor()
+        cold = Runner(TINY, executor=counting, cache=ResultCache(tmp_path))
+        b = cold.run("Ohm-base", "backp", MemoryMode.PLANAR)
+        assert counting.executed == 0
+        assert cold.cache.hits == 1
+        assert a == b
+
+    def test_memo_shields_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = Runner(TINY, cache=cache)
+        runner.run("Ohm-base", "backp", MemoryMode.PLANAR)
+        runner.run("Ohm-base", "backp", MemoryMode.PLANAR)
+        # The in-memory memo answers the repeat; the cache sees one miss.
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_cache_serves_identical_results_to_serial_path(self, tmp_path):
+        plain = Runner(TINY).run("Auto-rw", "pagerank", MemoryMode.TWO_LEVEL)
+        cached_runner = Runner(TINY, cache=ResultCache(tmp_path))
+        first = cached_runner.run("Auto-rw", "pagerank", MemoryMode.TWO_LEVEL)
+        again = Runner(TINY, cache=ResultCache(tmp_path)).run(
+            "Auto-rw", "pagerank", MemoryMode.TWO_LEVEL
+        )
+        assert first == plain
+        # JSON round-trip preserves every metric the figures consume.
+        assert again.exec_time_ps == plain.exec_time_ps
+        assert again.counters == pytest.approx(plain.counters)
+        assert again.mean_mem_latency_ps == pytest.approx(plain.mean_mem_latency_ps)

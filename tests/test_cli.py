@@ -1,5 +1,9 @@
 """CLI tests (argument parsing and command execution)."""
 
+import csv
+import io
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -57,3 +61,66 @@ class TestCommands:
     def test_experiment_fig15(self, capsys):
         assert main(["experiment", "fig15", "--quick"]) == 0
         assert "planar" in capsys.readouterr().out
+
+
+class TestServiceFlags:
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["experiment", "fig15", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_cache_dir_flag_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            ["experiment", "fig15", "--cache-dir", str(tmp_path)]
+        )
+        assert args.cache_dir == str(tmp_path)
+
+    def test_second_invocation_hits_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "run", "--platform", "Oracle", "--workload", "backp",
+            "--warps", "8", "--accesses", "8", "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "0 hits, 1 misses" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "1 hits, 0 misses" in second.err
+        # The cached replay reports the identical simulation.
+        assert first.out == second.out
+
+
+class TestExport:
+    def test_export_json_stdout(self, capsys):
+        assert main(["export", "fig15", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["layout"] for r in rows} == {
+            "general", "ohm-base", "planar", "two-level"
+        }
+
+    def test_export_csv_stdout(self, capsys):
+        assert main(["export", "table3", "--format", "csv"]) == 0
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert len(rows) == 4
+        assert {r["platform"] for r in rows} == {"Ohm-base", "Ohm-BW"}
+
+    def test_export_to_file(self, tmp_path, capsys):
+        out = tmp_path / "fig20b.json"
+        assert main(["export", "fig20b", "-o", str(out)]) == 0
+        rows = json.loads(out.read_text())
+        assert len(rows) == 7
+        assert "wrote 7 rows" in capsys.readouterr().err
+
+    def test_export_simulated_figure_quick(self, capsys):
+        assert main(
+            ["export", "fig8", "--format", "csv", "--warps", "8", "--accesses", "8"]
+        ) == 0
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert {r["mode"] for r in rows} == {"planar", "two_level"}
+        assert {r["metric"] for r in rows} == {
+            "migration_bw_frac", "latency_vs_oracle"
+        }
+
+    def test_export_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export", "fig99"])

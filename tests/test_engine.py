@@ -108,3 +108,95 @@ class TestEngine:
             eng.schedule(1, lambda: None)
         eng.run()
         assert eng.events_processed == 4
+
+
+class TestEngineEdgeCases:
+    def test_event_exactly_at_until_ps_still_runs(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(10, lambda: seen.append(10))
+        eng.schedule(11, lambda: seen.append(11))
+        eng.run(until_ps=10)
+        assert seen == [10]
+        assert eng.now == 10
+
+    def test_run_resumes_after_until_ps(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(5, lambda: seen.append(5))
+        eng.schedule(15, lambda: seen.append(15))
+        eng.run(until_ps=10)
+        eng.run()
+        assert seen == [5, 15]
+        assert eng.pending() == 0
+
+    def test_until_ps_in_the_past_runs_nothing(self):
+        eng = Engine()
+        eng.schedule(5, lambda: None)
+        eng.run()
+        eng.schedule(5, lambda: None)  # now at t=10
+        eng.run(until_ps=7)
+        assert eng.pending() == 1
+
+    def test_max_events_counts_events_spawned_mid_run(self):
+        eng = Engine()
+        seen = []
+
+        def spawner():
+            seen.append(eng.now)
+            eng.schedule(1, spawner)
+
+        eng.schedule(0, spawner)
+        eng.run(max_events=5)  # would otherwise loop forever
+        assert len(seen) == 5
+        assert eng.pending() == 1
+
+    def test_max_events_zero_processes_nothing(self):
+        eng = Engine()
+        eng.schedule(1, lambda: None)
+        eng.run(max_events=0)
+        assert eng.pending() == 1
+        assert eng.events_processed == 0
+
+    def test_until_and_max_events_combine(self):
+        eng = Engine()
+        seen = []
+        for t in (1, 2, 3, 4):
+            eng.schedule(t, lambda t=t: seen.append(t))
+        eng.run(until_ps=3, max_events=2)
+        assert seen == [1, 2]
+
+    def test_zero_delay_runs_at_current_time(self):
+        eng = Engine()
+        eng.schedule(3, lambda: None)
+        eng.run()
+        seen = []
+        eng.schedule(0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [3]
+
+    def test_past_scheduling_rejected_after_time_advances(self):
+        eng = Engine()
+        eng.schedule(100, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule(-1, lambda: None)
+        with pytest.raises(ValueError):
+            eng.at(99, lambda: None)
+        eng.at(100, lambda: None)  # the current instant is still legal
+        eng.run()
+        assert eng.now == 100
+
+    def test_callback_scheduling_into_its_own_past_rejected(self):
+        eng = Engine()
+        failures = []
+
+        def cb():
+            try:
+                eng.at(eng.now - 1, lambda: None)
+            except ValueError:
+                failures.append(eng.now)
+
+        eng.schedule(10, cb)
+        eng.run()
+        assert failures == [10]
