@@ -1,0 +1,63 @@
+"""Perf-smoke benchmark: events/sec of the simulation core.
+
+The quick companion to ``repro perf``: runs the CI-sized smoke cases,
+prints the events/sec table, writes ``BENCH_perf.json`` (CI uploads it
+as an artifact) and sanity-checks the measurements.  Determinism of the
+event *count* is asserted — the clock is the only thing allowed to
+vary between machines.
+
+Run the figure-sized suite locally with::
+
+    PYTHONPATH=src python -m repro.cli perf -o BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.harness.perf import SMOKE_CASES, measure_case, run_suite, write_bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_perf_smoke_suite_writes_bench_json(tmp_path):
+    measurements = run_suite(SMOKE_CASES, repeats=2)
+    out = os.environ.get("REPRO_BENCH_PERF_OUT", str(tmp_path / "BENCH_perf.json"))
+    payload = write_bench(out, measurements)
+
+    assert len(measurements) == len(SMOKE_CASES)
+    for m in measurements:
+        assert m.events > 0
+        assert m.wall_s > 0
+        assert m.events_per_sec > 0
+        # Each warp contributes one issue event and one completion event
+        # per access: the deterministic simulation implies a fixed count.
+        case = next(c for c in SMOKE_CASES if c.name == m.case)
+        expected_min = case.run_cfg.num_warps * case.run_cfg.accesses_per_warp
+        assert m.events >= expected_min
+
+    on_disk = json.loads(pathlib.Path(out).read_text())
+    assert on_disk == json.loads(json.dumps(payload))  # round-trips
+    assert on_disk["unit"] == "events_per_sec"
+    assert set(on_disk["baseline"]["events_per_sec"]) >= {
+        m.case for m in measurements
+    }
+
+    print("\nperf smoke (best of 2):")
+    for m in measurements:
+        speedup = m.speedup_vs_baseline
+        print(
+            f"  {m.case:16s} {m.events:6d} events  "
+            f"{m.wall_s * 1e3:7.1f} ms  {m.events_per_sec:10,.0f} ev/s  "
+            + (f"{speedup:.2f}x vs baseline" if speedup else "")
+        )
+
+
+def test_event_count_is_deterministic():
+    case = SMOKE_CASES[0]
+    a = measure_case(case, repeats=1)
+    b = measure_case(case, repeats=1)
+    assert a.events == b.events
+    assert a.instructions == b.instructions

@@ -8,6 +8,15 @@ implementation folds everything onto one bus.
 Every transfer is tagged with a :class:`~repro.sim.records.RequestKind`
 so the harness can split channel time into demand vs migration traffic
 (Figures 8 and 18).
+
+Hot-path shape: ports pre-format all their stat keys **once at
+construction** (see the plumbing in :meth:`ChannelPort.__init__`), so
+accounting a transfer is a handful of ``dict[key] += v`` updates — no
+name formatting per event.  Subclasses implement
+:meth:`transfer_window`, which returns a plain ``(start_ps, end_ps)``
+tuple; the memory-system slices call it directly so the per-event path
+allocates nothing.  :meth:`transfer` wraps the same window in a
+:class:`TransferResult` for callers that want the richer record.
 """
 
 from __future__ import annotations
@@ -25,8 +34,15 @@ class RouteKind(enum.Enum):
     MEMORY = "memory"  # memory device <-> memory device (dual route)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class TransferResult:
+    """One channel occupancy window.
+
+    Slotted but *not* frozen: a frozen dataclass pays an
+    ``object.__setattr__`` per field per construction, which matters for
+    records built on the per-event path.
+    """
+
     start_ps: int
     end_ps: int
 
@@ -41,6 +57,18 @@ class ChannelPort(abc.ABC):
     def __init__(self, name: str, stats: Stats) -> None:
         self.name = name
         self.stats = stats
+        # Accounting plumbing for subclass hot loops: the shared
+        # counter dict plus pre-formatted key strings, so one transfer
+        # costs four ``dict[key] += v`` updates and a single enum-keyed
+        # lookup — no per-call handle dispatch.
+        self._cdict = stats.counters
+        self._kind_keys = {
+            k: (f"{name}.bits.{k.value}", f"{name}.busy_ps.{k.value}")
+            for k in RequestKind
+        }
+        self._k_route_data = f"{name}.busy_ps.route.{RouteKind.DATA.value}"
+        self._k_route_mem = f"{name}.busy_ps.route.{RouteKind.MEMORY.value}"
+        self._k_transfers = f"{name}.transfers"
 
     @property
     @abc.abstractmethod
@@ -48,6 +76,16 @@ class ChannelPort(abc.ABC):
         """Whether device-to-device transfers bypass the data route."""
 
     @abc.abstractmethod
+    def transfer_window(
+        self,
+        now_ps: int,
+        bits: int,
+        kind: RequestKind,
+        route: RouteKind = RouteKind.DATA,
+        device: int = 0,
+    ) -> tuple[int, int]:
+        """Occupy the channel for ``bits``; returns ``(start_ps, end_ps)``."""
+
     def transfer(
         self,
         now_ps: int,
@@ -56,16 +94,10 @@ class ChannelPort(abc.ABC):
         route: RouteKind = RouteKind.DATA,
         device: int = 0,
     ) -> TransferResult:
-        """Occupy the channel for ``bits``; returns the occupancy window."""
+        """Like :meth:`transfer_window`, wrapped in a record object."""
+        start, end = self.transfer_window(now_ps, bits, kind, route, device)
+        return TransferResult(start_ps=start, end_ps=end)
 
     @abc.abstractmethod
     def busy_until(self, route: RouteKind = RouteKind.DATA) -> int:
         """Earliest time a new transfer could start on ``route``."""
-
-    def _account(
-        self, kind: RequestKind, route: RouteKind, bits: int, duration_ps: int
-    ) -> None:
-        self.stats.add(f"{self.name}.bits.{kind.value}", bits)
-        self.stats.add(f"{self.name}.busy_ps.{kind.value}", duration_ps)
-        self.stats.add(f"{self.name}.busy_ps.route.{route.value}", duration_ps)
-        self.stats.add(f"{self.name}.transfers", 1)

@@ -8,7 +8,7 @@ charged per bit at the electrical-lane rate (~10x the optical rate).
 
 from __future__ import annotations
 
-from repro.channel.base import ChannelPort, RouteKind, TransferResult
+from repro.channel.base import ChannelPort, RouteKind
 from repro.config import ElectricalChannelConfig
 from repro.sim.records import RequestKind
 from repro.sim.stats import Stats
@@ -30,7 +30,9 @@ class ElectricalChannel(ChannelPort):
         self._bits_per_ps = (
             cfg.lane_bits * cfg.freq_ghz / 1000.0 / bandwidth_scale_down
         )
-        self._busy_until = 0
+        self._busy = 0
+        self._k_energy = f"{name}.energy_pj"
+        self._energy_pj_per_bit = cfg.energy_pj_per_bit
 
     @property
     def dual_routes(self) -> bool:
@@ -40,23 +42,31 @@ class ElectricalChannel(ChannelPort):
     def bits_per_ps(self) -> float:
         return self._bits_per_ps
 
-    def transfer(
+    def transfer_window(
         self,
         now_ps: int,
         bits: int,
         kind: RequestKind,
         route: RouteKind = RouteKind.DATA,
         device: int = 0,
-    ) -> TransferResult:
+    ) -> tuple[int, int]:
         if bits <= 0:
             raise ValueError("transfer needs a positive bit count")
-        start = max(now_ps, self._busy_until)
-        duration = max(1, int(round(bits / self._bits_per_ps)))
+        busy = self._busy
+        start = now_ps if now_ps > busy else busy
+        duration = int(round(bits / self._bits_per_ps))
+        if duration < 1:
+            duration = 1
         end = start + duration
-        self._busy_until = end
-        self._account(kind, RouteKind.DATA, bits, duration)
-        self.stats.add(f"{self.name}.energy_pj", bits * self.cfg.energy_pj_per_bit)
-        return TransferResult(start_ps=start, end_ps=end)
+        self._busy = end
+        counters = self._cdict
+        k_bits, k_busy = self._kind_keys[kind]
+        counters[k_bits] += bits
+        counters[k_busy] += duration
+        counters[self._k_route_data] += duration
+        counters[self._k_transfers] += 1
+        counters[self._k_energy] += bits * self._energy_pj_per_bit
+        return start, end
 
     def busy_until(self, route: RouteKind = RouteKind.DATA) -> int:
-        return self._busy_until
+        return self._busy

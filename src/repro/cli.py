@@ -3,15 +3,20 @@
 Usage examples::
 
     python -m repro.cli run --platform Ohm-BW --workload pagerank --mode planar
+    python -m repro.cli run --platform Ohm-BW --workload pagerank --profile
     python -m repro.cli compare --workload backp --mode two_level
     python -m repro.cli experiment fig16 --jobs 4 --cache-dir .repro-cache
     python -m repro.cli export fig16 --format csv -o fig16.csv
+    python -m repro.cli perf -o BENCH_perf.json
     python -m repro.cli list
 
 ``--jobs N`` fans the experiment's simulation matrix out over N worker
 processes; ``--cache-dir`` persists every result so repeated
 invocations are near-instant (cache hits are logged).  ``export`` emits
 an experiment's rows as json or csv via the structured emitters.
+``perf`` benchmarks the simulator itself (events/sec per calibrated
+case, written to ``BENCH_perf.json``); ``run --profile`` wraps one
+simulation in cProfile for hot-path hunts.
 """
 
 from __future__ import annotations
@@ -148,7 +153,17 @@ def _finish(runner: Runner) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
-    result = runner.run(args.platform, args.workload, _mode(args.mode))
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = runner.run(args.platform, args.workload, _mode(args.mode))
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+    else:
+        result = runner.run(args.platform, args.workload, _mode(args.mode))
     print(f"platform        : {result.platform}")
     print(f"workload        : {result.workload} ({result.mode})")
     print(f"instructions    : {result.instructions}")
@@ -208,6 +223,38 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.harness.perf import PERF_CASES, SMOKE_CASES, run_suite, write_bench
+
+    cases = SMOKE_CASES if args.smoke else PERF_CASES
+    measurements = run_suite(cases, repeats=args.repeats)
+    rows = []
+    for m in measurements:
+        speedup = m.speedup_vs_baseline
+        rows.append(
+            (
+                m.case,
+                m.events,
+                m.wall_s * 1e3,
+                m.events_per_sec,
+                m.baseline_events_per_sec or 0.0,
+                f"{speedup:.2f}x" if speedup else "n/a",
+            )
+        )
+    print(
+        format_table(
+            ["case", "events", "wall_ms", "events_per_sec", "baseline_eps", "speedup"],
+            rows,
+            title="simulation-core performance (best of "
+            f"{args.repeats} runs per case)",
+        )
+    )
+    if args.output:
+        write_bench(args.output, measurements)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("platforms :", ", ".join(PLATFORMS))
     print("workloads :", ", ".join(WORKLOADS))
@@ -237,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--platform", choices=list(PLATFORMS), required=True)
     p_run.add_argument("--workload", choices=list(WORKLOADS), required=True)
     p_run.add_argument("--mode", choices=[m.value for m in MemoryMode], default="planar")
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="wrap the simulation in cProfile and print the top-25 "
+        "cumulative entries",
+    )
     add_sizing(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -265,6 +317,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sizing(p_export)
     p_export.set_defaults(fn=cmd_export)
+
+    p_perf = sub.add_parser(
+        "perf", help="benchmark the simulator core (events/sec)"
+    )
+    p_perf.add_argument(
+        "--smoke", action="store_true",
+        help="quick CI-sized cases instead of figure-sized ones",
+    )
+    p_perf.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per case; the best is reported (default: 3)",
+    )
+    p_perf.add_argument(
+        "-o", "--output", default="BENCH_perf.json",
+        help="write the before/after payload here (default: BENCH_perf.json)",
+    )
+    p_perf.set_defaults(fn=cmd_perf)
 
     p_list = sub.add_parser("list", help="list platforms/workloads/experiments")
     p_list.set_defaults(fn=cmd_list)

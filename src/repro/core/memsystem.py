@@ -21,20 +21,34 @@ class MemorySystem:
         self.slices: List[SliceBase] = list(slices)
         self.stats = stats
         self.page_bytes = cfg.hetero.page_bytes
+        self._num_slices = len(self.slices)
 
     def route(self, addr: int) -> tuple[SliceBase, int]:
         """Global address -> (slice, slice-local address)."""
         if addr < 0:
             raise ValueError("negative address")
         page, offset = divmod(addr, self.page_bytes)
-        n = len(self.slices)
+        n = self._num_slices
         slice_id = page % n
         local_page = page // n
         return self.slices[slice_id], local_page * self.page_bytes + offset
 
+    def serve_addr(self, addr: int, is_write: bool, now_ps: int) -> int:
+        """Serve a bare demand access; returns its completion time.
+
+        The per-event entry point: interleave arithmetic inline, no
+        request record required.
+        """
+        if addr < 0:
+            raise ValueError("negative address")
+        page, offset = divmod(addr, self.page_bytes)
+        n = self._num_slices
+        return self.slices[page % n].serve(
+            (page // n) * self.page_bytes + offset, is_write, now_ps
+        )
+
     def serve(self, req: MemRequest, now_ps: int) -> int:
         """Serve a demand request; returns its completion time."""
-        mem_slice, local_addr = self.route(req.addr)
-        complete = mem_slice.serve(local_addr, req.is_write, now_ps)
+        complete = self.serve_addr(req.addr, req.is_write, now_ps)
         req.complete_ps = complete
         return complete

@@ -36,7 +36,12 @@ DEVICE_XPOINT = 1
 
 
 class SliceBase:
-    """Shared plumbing: channel helpers and DRAM streaming occupancy."""
+    """Shared plumbing: channel helpers and DRAM streaming occupancy.
+
+    ``_cmd``/``_data`` ride :meth:`ChannelPort.transfer_window`, the
+    allocation-free primitive (a ``(start, end)`` tuple, no
+    ``TransferResult``) — these run two-plus times per demand request.
+    """
 
     def __init__(self, cfg: SystemConfig, chan: ChannelPort, stats: Stats, name: str) -> None:
         self.cfg = cfg
@@ -46,11 +51,13 @@ class SliceBase:
         self.line_bits = cfg.gpu.line_bytes * 8
         self.page_bits = cfg.hetero.page_bytes * 8
         self.lines_per_page = cfg.hetero.page_bytes // cfg.gpu.line_bytes
+        self._window = chan.transfer_window
+        self._page_occupancy_ps: Optional[int] = None
 
     # -- channel helpers -----------------------------------------------
 
     def _cmd(self, now: int, kind: RequestKind, device: int) -> int:
-        return self.chan.transfer(now, CMD_BITS, kind, RouteKind.DATA, device).end_ps
+        return self._window(now, CMD_BITS, kind, RouteKind.DATA, device)[1]
 
     def _data(
         self,
@@ -60,14 +67,19 @@ class SliceBase:
         route: RouteKind = RouteKind.DATA,
         device: int = 0,
     ) -> int:
-        return self.chan.transfer(now, bits, kind, route, device).end_ps
+        return self._window(now, bits, kind, route, device)[1]
 
     def _dram_page_occupancy_ps(self) -> int:
         """Streaming page read/write: activate + first CAS + pipelined
-        line bursts at the channel rate."""
-        line_burst = max(1, int(round(self.line_bits / self.chan.bits_per_ps)))
-        t = self._dram_timing()
-        return t.t_rcd_ps + t.t_cl_ps + self.lines_per_page * line_burst
+        line bursts at the channel rate.  Constant per slice, so it is
+        computed once and cached."""
+        if self._page_occupancy_ps is None:
+            line_burst = max(1, int(round(self.line_bits / self.chan.bits_per_ps)))
+            t = self._dram_timing()
+            self._page_occupancy_ps = (
+                t.t_rcd_ps + t.t_cl_ps + self.lines_per_page * line_burst
+            )
+        return self._page_occupancy_ps
 
     def _dram_timing(self):
         raise NotImplementedError
@@ -94,14 +106,15 @@ class DramOnlySlice(SliceBase):
         return self.dram.timing
 
     def serve(self, addr: int, is_write: bool, now_ps: int) -> int:
-        t = self._cmd(now_ps, RequestKind.DEMAND, DEVICE_DRAM)
+        window = self._window
+        t = window(now_ps, CMD_BITS, RequestKind.DEMAND, RouteKind.DATA, DEVICE_DRAM)[1]
         if is_write:
             # Writes put the data on the channel first; the column write
             # happens once it lands.
-            t = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+            t = window(t, self.line_bits, RequestKind.DEMAND, RouteKind.DATA, DEVICE_DRAM)[1]
             return self.dram.access(addr, True, t)
         t = self.dram.access(addr, False, t)
-        return self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+        return window(t, self.line_bits, RequestKind.DEMAND, RouteKind.DATA, DEVICE_DRAM)[1]
 
 
 class OriginSlice(DramOnlySlice):
@@ -127,6 +140,9 @@ class OriginSlice(DramOnlySlice):
         self.num_frames = max(1, dram.capacity_bytes // self.page_bytes)
         self._resident: dict[int, list[int]] = {}  # page -> [tick, dirty]
         self._tick = 0
+        self._c_faults = stats.counter("host.faults")
+        self._c_writebacks = stats.counter("host.writebacks")
+        self._c_dma_time = stats.counter("host.dma_time_ps")
 
     def serve(self, addr: int, is_write: bool, now_ps: int) -> int:
         page = addr // self.page_bytes
@@ -146,13 +162,13 @@ class OriginSlice(DramOnlySlice):
         return super().serve(addr, is_write, ready)
 
     def _fault(self, page: int, now_ps: int) -> int:
-        self.stats.add("host.faults")
+        self._c_faults.add(1)
         if len(self._resident) >= self.num_frames:
             victim = min(self._resident, key=lambda p: self._resident[p][0])
             _, dirty = self._resident.pop(victim)
             if dirty:
                 # Dirty victim: write the page back to the host first.
-                self.stats.add("host.writebacks")
+                self._c_writebacks.add(1)
                 now_ps = self.host.transfer(now_ps, self.page_bytes)
         self._resident[page] = [self._tick, False]
         # Host-side latency + PCIe transfer of the page.
@@ -162,7 +178,7 @@ class OriginSlice(DramOnlySlice):
         done = self._data(
             arrive, self.page_bits, RequestKind.HOST_DMA, device=DEVICE_DRAM
         )
-        self.stats.add("host.dma_time_ps", done - arrive)
+        self._c_dma_time.add(done - arrive)
         return done
 
 
@@ -219,30 +235,32 @@ class PlanarSlice(HeteroSliceBase):
             cfg.hetero.hot_threshold, cfg.hetero.hotness_decay_accesses
         )
         self.page_bytes = page
+        self._c_migrations = stats.counter("mem.migrations")
+        self._c_swaps = stats.counter("mem.swaps")
 
     def serve(self, addr: int, is_write: bool, now_ps: int) -> int:
-        page = addr // self.page_bytes
-        offset = addr % self.page_bytes
+        page, offset = divmod(addr, self.page_bytes)
         place = self.mapper.lookup(page)
+        window = self._window
         if place.in_dram:
             dram_addr = place.device_page * self.page_bytes + offset
-            t = self._cmd(now_ps, RequestKind.DEMAND, DEVICE_DRAM)
+            t = window(now_ps, CMD_BITS, RequestKind.DEMAND, RouteKind.DATA, DEVICE_DRAM)[1]
             if is_write:
-                t = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+                t = window(t, self.line_bits, RequestKind.DEMAND, RouteKind.DATA, DEVICE_DRAM)[1]
                 return self.dram.access(dram_addr, True, t)
             t = self.dram.access(dram_addr, False, t)
-            return self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+            return window(t, self.line_bits, RequestKind.DEMAND, RouteKind.DATA, DEVICE_DRAM)[1]
         # XPoint access path.
         xp_addr = place.device_page * self.page_bytes + offset
-        t = self._cmd(now_ps, RequestKind.DEMAND, DEVICE_XPOINT)
+        t = window(now_ps, CMD_BITS, RequestKind.DEMAND, RouteKind.DATA, DEVICE_XPOINT)[1]
         if is_write:
             # Data rides the channel, then lands in the persistent write
             # buffer (DDR-T posts the write; media persistence is async).
-            done = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_XPOINT)
+            done = window(t, self.line_bits, RequestKind.DEMAND, RouteKind.DATA, DEVICE_XPOINT)[1]
             self.xp.write(xp_addr, done)
         else:
             t = self.xp.read(xp_addr, t)
-            done = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_XPOINT)
+            done = window(t, self.line_bits, RequestKind.DEMAND, RouteKind.DATA, DEVICE_XPOINT)[1]
         # Hot-page detection happens on XPoint traffic only.
         if self.hotness.record((place.group, place.slot)):
             self._migrate(page, done)
@@ -255,8 +273,8 @@ class PlanarSlice(HeteroSliceBase):
         plan = self.mapper.plan_swap(page)
         if plan is None:
             return
-        self.stats.add("mem.migrations")
-        self.stats.add("mem.swaps")
+        self._c_migrations.add(1)
+        self._c_swaps.add(1)
         dram_addr = plan.dram_page * self.page_bytes
         xp_addr = plan.xpoint_page * self.page_bytes
         if self.caps.swap:
@@ -327,28 +345,32 @@ class TwoLevelSlice(HeteroSliceBase):
         self.num_sets = max(1, dram.capacity_bytes // cfg.gpu.line_bytes)
         self.directory = DramCacheDirectory(self.num_sets)
         self.line_bytes = cfg.gpu.line_bytes
+        self._c_hits = stats.counter("mem.dram_cache_hits")
+        self._c_misses = stats.counter("mem.dram_cache_misses")
+        self._c_migrations = stats.counter("mem.migrations")
 
     def serve(self, addr: int, is_write: bool, now_ps: int) -> int:
         line_index = addr // self.line_bytes
         lookup = self.directory.lookup(line_index)
         set_addr = lookup.set_index * self.line_bytes
+        window = self._window
         # Tag check and data fetch are ONE DRAM access: the metadata
         # lives in the line's ECC region (Section III-B).
-        t = self._cmd(now_ps, RequestKind.DEMAND, DEVICE_DRAM)
+        t = window(now_ps, CMD_BITS, RequestKind.DEMAND, RouteKind.DATA, DEVICE_DRAM)[1]
         t = self.dram.access(set_addr, False, t)
-        t = self._data(t, self.line_bits, RequestKind.DEMAND, device=DEVICE_DRAM)
+        t = window(t, self.line_bits, RequestKind.DEMAND, RouteKind.DATA, DEVICE_DRAM)[1]
         if lookup.hit:
-            self.stats.add("mem.dram_cache_hits")
+            self._c_hits.add(1)
             if is_write:
                 self.directory.mark_dirty(line_index)
                 t = self.dram.access(set_addr, True, t)
             return t
-        self.stats.add("mem.dram_cache_misses")
+        self._c_misses.add(1)
         return self._miss(line_index, lookup, set_addr, is_write, t)
 
     def _miss(self, line_index, lookup, set_addr, is_write, now: int) -> int:
         xp_addr = line_index * self.line_bytes
-        self.stats.add("mem.migrations")
+        self._c_migrations.add(1)
         # --- eviction of the victim line ---
         if lookup.victim_valid and lookup.victim_dirty:
             victim_addr = self.directory.victim_line_index(lookup) * self.line_bytes

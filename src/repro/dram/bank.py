@@ -10,7 +10,7 @@ generator, so activation is exposed as a separate operation.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dram.timing import AccessOutcome, DramTiming
@@ -21,7 +21,7 @@ class BankState(enum.Enum):
     ACTIVE = "active"  # a row is latched in the row buffer
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     """Row-buffer state machine for one bank."""
 

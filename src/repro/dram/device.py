@@ -46,6 +46,16 @@ class DramDevice:
         self.enable_refresh = enable_refresh
         rows_total = max(1, capacity_bytes // cfg.row_bytes)
         self.rows_per_bank = max(1, rows_total // cfg.banks_per_device)
+        # Hot-path accounting: pre-formatted keys into the shared
+        # counter dict (see DESIGN.md, "Performance").
+        self._cdict = self.stats.counters
+        self._k_refresh_stalls = f"{name}.refresh_stalls"
+        self._k_accesses = f"{name}.accesses"
+        self._k_writes = f"{name}.writes"
+        self._k_reads = f"{name}.reads"
+        self._k_row_hits = f"{name}.row_hits"
+        self._k_activations = f"{name}.activations"
+        self._num_banks = len(self.banks)
 
     def decode(self, addr: int) -> DramAddress:
         """Row-interleaved mapping: consecutive rows hit different banks."""
@@ -66,21 +76,38 @@ class DramDevice:
         offset = now_ps % interval
         window = self.timing.refresh_latency_ps
         if offset < window:
-            self.stats.add(f"{self.name}.refresh_stalls")
+            self._cdict[self._k_refresh_stalls] += 1
             return window - offset
         return 0
 
     def access(self, addr: int, is_write: bool, now_ps: int) -> int:
-        """Issue a column access; returns the completion time (ps)."""
-        now_ps += self._refresh_delay(now_ps)
-        loc = self.decode(addr)
-        finish, outcome = self.banks[loc.bank].access(loc.row, now_ps)
-        self.stats.add(f"{self.name}.accesses")
-        self.stats.add(f"{self.name}.writes" if is_write else f"{self.name}.reads")
+        """Issue a column access; returns the completion time (ps).
+
+        Inlines :meth:`decode` (address math only — no
+        :class:`DramAddress` record is allocated per access) and the
+        refresh-window check; this runs once or more per demand request.
+        """
+        if addr < 0:
+            raise ValueError("negative address")
+        timing = self.timing
+        if self.enable_refresh:
+            offset = now_ps % timing.refresh_interval_ps
+            window = timing.refresh_latency_ps
+            if offset < window:
+                self._cdict[self._k_refresh_stalls] += 1
+                now_ps += window - offset
+        row_index = (addr % self.capacity_bytes) // self.cfg.row_bytes
+        num_banks = self._num_banks
+        bank = row_index % num_banks
+        row = (row_index // num_banks) % self.rows_per_bank
+        finish, outcome = self.banks[bank].access(row, now_ps)
+        counters = self._cdict
+        counters[self._k_accesses] += 1
+        counters[self._k_writes if is_write else self._k_reads] += 1
         if outcome is AccessOutcome.ROW_HIT:
-            self.stats.add(f"{self.name}.row_hits")
+            counters[self._k_row_hits] += 1
         else:
-            self.stats.add(f"{self.name}.activations")
+            counters[self._k_activations] += 1
         return finish
 
     def activate_for_swap(self, addr: int, now_ps: int) -> int:

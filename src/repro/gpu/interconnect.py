@@ -29,14 +29,19 @@ class Interconnect:
         self._bits_per_ps = bandwidth_bits_per_ns / 1000.0
         self._busy_until = 0
         self.stats = stats if stats is not None else Stats()
+        self._cdict = self.stats.counters
 
     def traverse(self, now_ps: int, bits: int) -> int:
         """Send ``bits`` across; returns delivery time."""
         if bits <= 0:
             raise ValueError("need a positive bit count")
-        start = max(now_ps, self._busy_until)
-        occupancy = max(1, int(round(bits / self._bits_per_ps)))
+        busy = self._busy_until
+        start = now_ps if now_ps > busy else busy
+        occupancy = int(round(bits / self._bits_per_ps))
+        if occupancy < 1:
+            occupancy = 1
         self._busy_until = start + occupancy
-        self.stats.add("noc.bits", bits)
-        self.stats.add("noc.busy_ps", occupancy)
+        counters = self._cdict
+        counters["noc.bits"] += bits
+        counters["noc.busy_ps"] += occupancy
         return start + occupancy + self.latency_ps

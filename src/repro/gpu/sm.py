@@ -4,11 +4,17 @@ The SM issues one instruction per cycle; compute bursts from different
 warps serialize on this capacity.  Memory instructions go through the
 (optional) L1 cache, the interconnect and the memory system; the warp
 sleeps until the response timestamp.
+
+:meth:`StreamingMultiprocessor.access_memory` is the hot entry point:
+warps hand it a bare ``(addr, is_write)`` pair, so cache hits complete
+without ever allocating a :class:`~repro.sim.records.MemRequest` — a
+request object is built only for background L2 writebacks and for the
+:meth:`submit_memory_request` compatibility wrapper.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.gpu.cache import SetAssocCache
 from repro.gpu.interconnect import Interconnect
@@ -48,43 +54,60 @@ class StreamingMultiprocessor:
         self.l1 = l1
         self.l2 = l2  # shared; multiple SMs may hold the same object
         self._issue_free_at = 0
+        # Pre-bound stat handles: every per-event name resolved once;
+        # the busiest three are raw dict updates on constant keys.
+        self._cdict = stats.counters
+        self._lat_mem = stats.latency_handle("mem.latency_ps")
+        self._l1_hit_ps = L1_HIT_LATENCY_CYCLES * self.period_ps
+        self._l2_hit_ps = L2_HIT_LATENCY_CYCLES * self.period_ps
+        self._line_bits = line_bytes * 8
 
     def issue_burst(self, instructions: int) -> int:
         """Claim issue slots for ``instructions``; returns finish time."""
         if instructions < 1:
             raise ValueError("a burst needs at least one instruction")
-        start = max(self.engine.now, self._issue_free_at)
+        free_at = self._issue_free_at
+        now = self.engine.now
+        start = now if now > free_at else free_at
         end = start + instructions * self.period_ps
         self._issue_free_at = end
-        self.stats.add("gpu.instructions", instructions)
+        self._cdict["gpu.instructions"] += instructions
         return end
 
-    def submit_memory_request(self, req: MemRequest) -> int:
-        """Run the memory path synchronously; returns completion time."""
+    def access_memory(self, addr: int, is_write: bool) -> int:
+        """Run the memory path synchronously; returns completion time.
+
+        Takes the bare access pair so L1 hits (the common case on
+        cache-modelled runs) cost a tag probe and an add — no request
+        record is allocated before the access commits to main memory.
+        """
         now = self.engine.now
-        if self.l1 is not None:
-            hit, _ = self.l1.access(req.addr, req.is_write)
+        l1 = self.l1
+        if l1 is not None:
+            hit, _ = l1.access(addr, is_write)
             if hit:
-                self.stats.add("gpu.l1_hits")
-                return now + L1_HIT_LATENCY_CYCLES * self.period_ps
-        if self.l2 is not None:
-            hit, evicted = self.l2.access(req.addr, req.is_write)
+                self._cdict["gpu.l1_hits"] += 1
+                return now + self._l1_hit_ps
+        l2 = self.l2
+        if l2 is not None:
+            hit, evicted = l2.access(addr, is_write)
             if hit:
-                self.stats.add("gpu.l2_hits")
-                return now + L2_HIT_LATENCY_CYCLES * self.period_ps
+                self._cdict["gpu.l2_hits"] += 1
+                return now + self._l2_hit_ps
             if evicted is not None and evicted.dirty:
                 # Dirty L2 victim: write back to memory in the background.
-                wb = MemRequest(
-                    addr=evicted.addr,
-                    is_write=True,
-                    size_bytes=self.line_bytes,
-                    sm_id=self.sm_id,
-                    warp_id=-1,
-                    issue_ps=now,
+                wb = MemRequest.demand(
+                    evicted.addr, True, self.line_bytes, self.sm_id, -1, now
                 )
                 self.memory.serve(wb, now)
-        arrive = self.interconnect.traverse(now, self.line_bytes * 8)
-        complete = self.memory.serve(req, arrive)
-        self.stats.add("mem.demand_requests")
-        self.stats.record_latency("mem.latency_ps", complete - now)
+        arrive = self.interconnect.traverse(now, self._line_bits)
+        complete = self.memory.serve_addr(addr, is_write, arrive)
+        self._cdict["mem.demand_requests"] += 1
+        self._lat_mem.record(complete - now)
+        return complete
+
+    def submit_memory_request(self, req: MemRequest) -> int:
+        """Compatibility wrapper over :meth:`access_memory`."""
+        complete = self.access_memory(req.addr, req.is_write)
+        req.complete_ps = complete
         return complete

@@ -5,13 +5,17 @@ trace) with one memory instruction.  The SM's issue server serializes
 bursts from its warps; a warp blocked on memory costs nothing until its
 response arrives — this is warp-level latency hiding, and it is what
 converts memory-system improvements into IPC (Fig. 16).
+
+The trace is compiled to plain Python ``(gap, addr, write)`` tuples at
+warp construction (see :attr:`~repro.workloads.synthetic.WarpTrace.ops`)
+so the two per-access callbacks below do no numpy scalar conversion and
+allocate nothing.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.sim.records import MemRequest, RequestKind
 from repro.workloads.synthetic import WarpTrace
 
 if TYPE_CHECKING:
@@ -20,6 +24,19 @@ if TYPE_CHECKING:
 
 class Warp:
     """Replays one WarpTrace through its SM and the memory system."""
+
+    __slots__ = (
+        "warp_id",
+        "sm",
+        "trace",
+        "on_done",
+        "_ops",
+        "_num_ops",
+        "_at",
+        "_cursor",
+        "instructions_retired",
+        "finished",
+    )
 
     def __init__(
         self,
@@ -32,6 +49,9 @@ class Warp:
         self.sm = sm
         self.trace = trace
         self.on_done = on_done
+        self._ops = trace.ops  # compiled (gap, addr, write) tuples
+        self._num_ops = len(self._ops)
+        self._at = sm.engine.at
         self._cursor = 0
         self.instructions_retired = 0
         self.finished = False
@@ -40,26 +60,19 @@ class Warp:
         self._next_burst()
 
     def _next_burst(self) -> None:
-        if self._cursor >= len(self.trace):
+        cursor = self._cursor
+        if cursor >= self._num_ops:
             self.finished = True
             self.on_done(self)
             return
-        gap = int(self.trace.gaps[self._cursor])
+        gap = self._ops[cursor][0]
         burst_end = self.sm.issue_burst(gap + 1)  # +1: the memory inst
         self.instructions_retired += gap + 1
-        self.sm.engine.at(burst_end, self._issue_memory)
+        self._at(burst_end, self._issue_memory)
 
     def _issue_memory(self) -> None:
-        i = self._cursor
-        req = MemRequest(
-            addr=int(self.trace.addrs[i]),
-            is_write=bool(self.trace.writes[i]),
-            size_bytes=self.sm.line_bytes,
-            sm_id=self.sm.sm_id,
-            warp_id=self.warp_id,
-            kind=RequestKind.DEMAND,
-            issue_ps=self.sm.engine.now,
-        )
-        complete = self.sm.submit_memory_request(req)
-        self._cursor += 1
-        self.sm.engine.at(complete, self._next_burst)
+        cursor = self._cursor
+        op = self._ops[cursor]
+        complete = self.sm.access_memory(op[1], op[2])
+        self._cursor = cursor + 1
+        self._at(complete, self._next_burst)

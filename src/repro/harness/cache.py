@@ -28,7 +28,9 @@ log = logging.getLogger("repro.cache")
 
 # Bump when the fingerprint payload or RunResult schema changes shape;
 # stale entries then simply miss instead of deserializing garbage.
-SCHEMA_VERSION = 1
+# v2: Stats.snapshot() grew latency ".min"/".max" counters (PR 2), so
+# pre-PR-2 cached results have a different counter shape.
+SCHEMA_VERSION = 2
 
 
 def job_fingerprint(job: SimulationJob) -> str:

@@ -89,7 +89,8 @@ _TRACE_MEMO: Dict[Tuple, List[WarpTrace]] = {}
 _TRACE_MEMO_MAX = 64
 
 
-def _traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
+def traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
+    """Materialize (memoized) the warp traces a job simulates over."""
     key = (
         job.workload,
         cfg.scale_down,
@@ -119,7 +120,7 @@ def execute_job(job: SimulationJob) -> RunResult:
     """Run one simulation from scratch.  Deterministic in ``job``."""
     cfg = job.resolved_config()
     spec = get_workload(job.workload)
-    traces = _traces_for(job, cfg)
+    traces = traces_for(job, cfg)
     return GpuModel(PLATFORMS[job.platform], cfg, spec, traces).run()
 
 

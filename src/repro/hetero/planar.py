@@ -15,9 +15,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class PlanarPlacement:
-    """Where a logical page currently lives."""
+    """Where a logical page currently lives.
+
+    A slotted (but not frozen) record: one is produced per memory
+    request by the mapping-table lookup, so construction stays
+    allocation-cheap — frozen dataclasses pay ``object.__setattr__``
+    per field.
+    """
 
     in_dram: bool
     device_page: int  # page index inside the owning device
@@ -52,14 +58,17 @@ class PlanarMapper:
         self._xp_page_of_slot: List[Dict[int, int]] = [dict() for _ in range(num_groups)]
         self.swaps_performed = 0
 
+    def _capacity_error(self, page: int) -> ValueError:
+        return ValueError(
+            f"logical page {page} exceeds capacity "
+            f"({self.num_groups} groups x {self.slots_per_group} slots)"
+        )
+
     def _group_slot(self, page: int) -> tuple[int, int]:
         group = page % self.num_groups
         slot = page // self.num_groups
         if slot >= self.slots_per_group:
-            raise ValueError(
-                f"logical page {page} exceeds capacity "
-                f"({self.num_groups} groups x {self.slots_per_group} slots)"
-            )
+            raise self._capacity_error(page)
         return group, slot
 
     def _xp_page(self, group: int, slot: int) -> int:
@@ -78,8 +87,15 @@ class PlanarMapper:
         return group * (self.slots_per_group - 1) + (slot - 1)
 
     def lookup(self, page: int) -> PlanarPlacement:
-        """Mapping-table lookup the memory controller does per request."""
-        group, slot = self._group_slot(page)
+        """Mapping-table lookup the memory controller does per request.
+
+        Per-request hot path: ``_group_slot``'s math is inlined (one
+        method call saved per demand access); keep the two in sync.
+        """
+        group = page % self.num_groups
+        slot = page // self.num_groups
+        if slot >= self.slots_per_group:
+            raise self._capacity_error(page)
         if self._dram_slot[group] == slot:
             return PlanarPlacement(True, group, group, slot)
         return PlanarPlacement(False, self._xp_page(group, slot), group, slot)

@@ -15,9 +15,14 @@ from typing import List
 from repro.xpoint.ecc import SecDedCodec
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class CacheLookup:
-    """Result of the tag-check access."""
+    """Result of the tag-check access.
+
+    One is produced per request in two-level mode, so this is a slotted
+    (but not frozen) record — frozen dataclasses pay an
+    ``object.__setattr__`` per field per lookup.
+    """
 
     hit: bool
     set_index: int
@@ -53,20 +58,16 @@ class DramCacheDirectory:
         return line_index % self.num_sets, line_index // self.num_sets
 
     def lookup(self, line_index: int) -> CacheLookup:
-        s, tag = self.decode_addr(line_index)
-        hit = self._valid[s] and self._tag[s] == tag
+        s = line_index % self.num_sets
+        tag = line_index // self.num_sets
+        valid = self._valid[s]
+        victim_tag = self._tag[s]
+        hit = valid and victim_tag == tag
         if hit:
             self.hits += 1
         else:
             self.misses += 1
-        return CacheLookup(
-            hit=hit,
-            set_index=s,
-            tag=tag,
-            victim_tag=self._tag[s],
-            victim_dirty=self._dirty[s],
-            victim_valid=self._valid[s],
-        )
+        return CacheLookup(hit, s, tag, victim_tag, self._dirty[s], valid)
 
     def fill(self, line_index: int, dirty: bool = False) -> None:
         """Install a line after a miss fill."""

@@ -11,13 +11,19 @@ Dual routes (Section IV-B/V-B): platforms with half-coupled MRRs (or WOM
 coding) get an independent *memory route* for device-to-device
 migration.  On Ohm-WOM, while a swap rides the data route via WOM
 coding, the route's effective width drops to 2/3.
+
+This is the single busiest component in a simulation (two-plus transfers
+per demand request), so :meth:`VirtualChannel.transfer_window` is
+written hot-path style: route state lives in plain attributes selected
+by enum identity (no enum-keyed dict hashing), every stat key is a
+pre-bound handle, and nothing is allocated per transfer.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.channel.base import ChannelPort, RouteKind, TransferResult
+from repro.channel.base import ChannelPort, RouteKind
 from repro.config import OpticalChannelConfig
 from repro.optical.mrr import FULL_TUNE_PS
 from repro.optical.wavelength import WavelengthAllocator
@@ -49,11 +55,21 @@ class VirtualChannel(ChannelPort):
         self._bits_per_ps = (
             self.width_bits * cfg.freq_ghz / 1000.0 / bandwidth_scale_down
         )
-        self._busy_until = {RouteKind.DATA: 0, RouteKind.MEMORY: 0}
-        self._enabled_device = {RouteKind.DATA: -1, RouteKind.MEMORY: -1}
+        # Per-route schedule and enabled demux target, kept as plain
+        # attributes: the route is selected by enum identity, never by
+        # hashing the enum into a dict.
+        self._busy_data = 0
+        self._busy_mem = 0
+        self._dev_data = -1
+        self._dev_mem = -1
         # While a WOM-coded swap occupies the light, demand transfers on
         # the data route run at 2/3 width until this timestamp.
         self._wom_active_until = 0
+        self._k_demux = f"{self.name}.demux_switches"
+        self._k_energy = f"{self.name}.energy_pj"
+        self._k_mrr = f"{self.name}.mrr_tuning_pj"
+        self._energy_pj_per_bit = cfg.energy_pj_per_bit
+        self._mrr_tuning_fj_per_bit = cfg.mrr_tuning_fj_per_bit
 
     @property
     def dual_routes(self) -> bool:
@@ -74,54 +90,67 @@ class VirtualChannel(ChannelPort):
         """
         if duration_ps < 0:
             raise ValueError("negative WOM window")
-        start = max(now_ps, self._busy_until[RouteKind.DATA], self._wom_active_until)
+        start = max(now_ps, self._busy_data, self._wom_active_until)
         self._wom_active_until = start + duration_ps
 
-    def _effective_bits_per_ps(self, route: RouteKind, start_ps: int) -> float:
-        rate = self._bits_per_ps
-        if (
-            self.wom_coded
-            and route is RouteKind.DATA
-            and start_ps < self._wom_active_until
-        ):
-            rate *= EFFECTIVE_BANDWIDTH_FRACTION
-        return rate
-
-    def transfer(
+    def transfer_window(
         self,
         now_ps: int,
         bits: int,
         kind: RequestKind,
         route: RouteKind = RouteKind.DATA,
         device: int = 0,
-    ) -> TransferResult:
+    ) -> tuple[int, int]:
         if bits <= 0:
             raise ValueError("transfer needs a positive bit count")
-        if route is RouteKind.MEMORY and not self._dual_routes:
-            # No independent route on this platform: migrations fall back
-            # onto the data route and steal demand bandwidth.
-            route = RouteKind.DATA
-        start = max(now_ps, self._busy_until[route])
-        # Photonic demux arbitration: switching the enabled detector to a
-        # different memory device costs one MRR retune.
-        if self._enabled_device[route] != device:
-            start += FULL_TUNE_PS
-            self._enabled_device[route] = device
-            self.stats.add(f"{self.name}.demux_switches")
-        duration = max(1, int(round(bits / self._effective_bits_per_ps(route, start))))
-        end = start + duration
-        self._busy_until[route] = end
-        self._account(kind, route, bits, duration)
-        self.stats.add(f"{self.name}.energy_pj", bits * self.cfg.energy_pj_per_bit)
-        self.stats.add(
-            f"{self.name}.mrr_tuning_pj", bits * self.cfg.mrr_tuning_fj_per_bit / 1000.0
-        )
-        return TransferResult(start_ps=start, end_ps=end)
+        counters = self._cdict
+        if route is RouteKind.MEMORY and self._dual_routes:
+            start = self._busy_mem
+            if now_ps > start:
+                start = now_ps
+            # Photonic demux arbitration: switching the enabled detector
+            # to a different memory device costs one MRR retune.
+            if self._dev_mem != device:
+                start += FULL_TUNE_PS
+                self._dev_mem = device
+                counters[self._k_demux] += 1
+            duration = int(round(bits / self._bits_per_ps))
+            if duration < 1:
+                duration = 1
+            end = start + duration
+            self._busy_mem = end
+            counters[self._k_route_mem] += duration
+        else:
+            # Without an independent route, migrations fall back onto
+            # the data route and steal demand bandwidth.
+            start = self._busy_data
+            if now_ps > start:
+                start = now_ps
+            if self._dev_data != device:
+                start += FULL_TUNE_PS
+                self._dev_data = device
+                counters[self._k_demux] += 1
+            rate = self._bits_per_ps
+            if self.wom_coded and start < self._wom_active_until:
+                rate *= EFFECTIVE_BANDWIDTH_FRACTION
+            duration = int(round(bits / rate))
+            if duration < 1:
+                duration = 1
+            end = start + duration
+            self._busy_data = end
+            counters[self._k_route_data] += duration
+        k_bits, k_busy = self._kind_keys[kind]
+        counters[k_bits] += bits
+        counters[k_busy] += duration
+        counters[self._k_transfers] += 1
+        counters[self._k_energy] += bits * self._energy_pj_per_bit
+        counters[self._k_mrr] += bits * self._mrr_tuning_fj_per_bit / 1000.0
+        return start, end
 
     def busy_until(self, route: RouteKind = RouteKind.DATA) -> int:
-        if route is RouteKind.MEMORY and not self._dual_routes:
-            route = RouteKind.DATA
-        return self._busy_until[route]
+        if route is RouteKind.MEMORY and self._dual_routes:
+            return self._busy_mem
+        return self._busy_data
 
 
 class OpticalChannel:

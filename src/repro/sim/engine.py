@@ -50,6 +50,8 @@ class Engine:
     ['a', 'b']
     """
 
+    __slots__ = ("_queue", "_seq", "now", "events_processed")
+
     def __init__(self) -> None:
         self._queue: list[tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
@@ -93,14 +95,34 @@ class Engine:
                 event at ``until_ps`` itself still runs).
             max_events: hard cap on processed events, a guard against
                 runaway feedback loops in misconfigured models.
+
+        The common drain-everything call is the simulator's innermost
+        loop, so it pops the heap directly with local bindings instead
+        of paying a :meth:`step` call per event.
         """
+        queue = self._queue
+        pop = heapq.heappop
+        if until_ps is None and max_events is None:
+            count = self.events_processed
+            try:
+                while queue:
+                    time_ps, _, fn = pop(queue)
+                    self.now = time_ps
+                    count += 1
+                    fn()
+            finally:
+                self.events_processed = count
+            return
         processed = 0
-        while self._queue:
-            if until_ps is not None and self._queue[0][0] > until_ps:
+        while queue:
+            if until_ps is not None and queue[0][0] > until_ps:
                 break
             if max_events is not None and processed >= max_events:
                 break
-            self.step()
+            time_ps, _, fn = pop(queue)
+            self.now = time_ps
+            self.events_processed += 1
+            fn()
             processed += 1
 
     def pending(self) -> int:

@@ -32,9 +32,16 @@ class Access:
     size_bytes: int = 128
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
-    """A demand request travelling from an SM to memory and back."""
+    """A demand request travelling from an SM to memory and back.
+
+    Slotted but *not* frozen (a frozen dataclass pays an
+    ``object.__setattr__`` per field per construction).  The simulator's
+    hottest path no longer allocates requests at all — warps hand bare
+    ``(addr, is_write)`` pairs to the SM — so only L2 writebacks and
+    harness-level callers build these.
+    """
 
     addr: int
     is_write: bool
@@ -46,6 +53,19 @@ class MemRequest:
     complete_ps: Optional[int] = None
     served_by: str = ""  # "dram" | "xpoint" | "host"
     req_id: int = field(default_factory=lambda: next(_req_ids))
+
+    @classmethod
+    def demand(
+        cls,
+        addr: int,
+        is_write: bool,
+        size_bytes: int,
+        sm_id: int,
+        warp_id: int,
+        issue_ps: int,
+    ) -> "MemRequest":
+        """Positional constructor for the common demand-read/write shape."""
+        return cls(addr, is_write, size_bytes, sm_id, warp_id, issue_ps=issue_ps)
 
     @property
     def latency_ps(self) -> int:

@@ -3,6 +3,13 @@
 Every component takes a shared :class:`Stats` so a single object holds
 the whole run's measurements; the experiment harness then reads named
 counters out of it.
+
+Hot components do not call :meth:`Stats.add` with an f-string name per
+event.  They resolve their keys **once at construction** into pre-bound
+handles — :meth:`Stats.counter` returns a :class:`Counter` accumulator
+and :meth:`Stats.latency_handle` returns the named
+:class:`LatencyStat` itself — and the per-event work collapses to one
+dict update on an already-hashed key (see DESIGN.md, "Performance").
 """
 
 from __future__ import annotations
@@ -26,8 +33,10 @@ class LatencyStat:
             self.min_value = value
             self.max_value = value
         else:
-            self.min_value = min(self.min_value, value)
-            self.max_value = max(self.max_value, value)
+            if value < self.min_value:
+                self.min_value = value
+            elif value > self.max_value:
+                self.max_value = value
         self.count += 1
         self.total += value
 
@@ -47,17 +56,48 @@ class LatencyStat:
         self.total += other.total
 
 
+class Counter:
+    """A pre-bound accumulator for one named counter.
+
+    Holds the shared counter dict and its own key, so the per-event cost
+    is a single ``dict[key] += value`` with a cached string hash — no
+    name formatting, no :class:`Stats` dispatch.  Entries appear in the
+    shared dict on first :meth:`add`, exactly as with ``Stats.add``, so
+    binding a handle never changes a snapshot.
+    """
+
+    __slots__ = ("_counters", "name")
+
+    def __init__(self, counters: Dict[str, float], name: str) -> None:
+        self._counters = counters
+        self.name = name
+
+    def add(self, value: float = 1.0) -> None:
+        self._counters[self.name] += value
+
+    @property
+    def value(self) -> float:
+        return self._counters.get(self.name, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
 class Histogram:
     """Fixed-width-bin histogram for latency distributions."""
+
+    __slots__ = ("bin_width", "bins", "_count")
 
     def __init__(self, bin_width: int) -> None:
         if bin_width <= 0:
             raise ValueError("bin_width must be positive")
         self.bin_width = bin_width
         self.bins: Dict[int, int] = defaultdict(int)
+        self._count = 0
 
     def record(self, value: int) -> None:
         self.bins[value // self.bin_width] += 1
+        self._count += 1
 
     def items(self) -> List[tuple[int, int]]:
         """``(bin_start, count)`` pairs sorted by bin."""
@@ -65,7 +105,8 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return sum(self.bins.values())
+        """Total samples recorded (maintained incrementally)."""
+        return self._count
 
 
 @dataclass
@@ -74,12 +115,22 @@ class Stats:
 
     counters: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
     latencies: Dict[str, LatencyStat] = field(default_factory=dict)
+    _counter_handles: Dict[str, Counter] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def add(self, name: str, value: float = 1.0) -> None:
         self.counters[name] += value
 
     def get(self, name: str, default: float = 0.0) -> float:
         return self.counters.get(name, default)
+
+    def counter(self, name: str) -> Counter:
+        """Pre-bound handle for ``name``; resolve once, add many times."""
+        handle = self._counter_handles.get(name)
+        if handle is None:
+            handle = self._counter_handles[name] = Counter(self.counters, name)
+        return handle
 
     def record_latency(self, name: str, value: int) -> None:
         stat = self.latencies.get(name)
@@ -90,10 +141,32 @@ class Stats:
     def latency(self, name: str) -> LatencyStat:
         return self.latencies.get(name, LatencyStat())
 
+    def latency_handle(self, name: str) -> LatencyStat:
+        """Pre-bound :class:`LatencyStat` for ``name`` (created if new).
+
+        Hot paths call ``handle.record(v)`` directly instead of
+        :meth:`record_latency`'s per-event dict lookup.  An unused
+        handle never shows up in :meth:`snapshot` (zero-count stats are
+        skipped there).
+        """
+        stat = self.latencies.get(name)
+        if stat is None:
+            stat = self.latencies[name] = LatencyStat()
+        return stat
+
     def snapshot(self) -> Dict[str, float]:
-        """Plain-dict copy of all counters plus latency means."""
+        """Plain-dict copy of all counters plus latency summaries.
+
+        Each recorded latency contributes ``.mean``/``.count`` and its
+        tracked extremes ``.min``/``.max``; never-recorded stats (e.g. a
+        bound handle that saw no samples) are omitted.
+        """
         out = dict(self.counters)
         for name, stat in self.latencies.items():
+            if stat.count == 0:
+                continue
             out[f"{name}.mean"] = stat.mean
             out[f"{name}.count"] = stat.count
+            out[f"{name}.min"] = stat.min_value
+            out[f"{name}.max"] = stat.max_value
         return out

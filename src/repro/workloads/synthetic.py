@@ -10,6 +10,7 @@ read ratio).  Generation is deterministic per (workload, warp, seed).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator, List
 
 import numpy as np
@@ -28,10 +29,21 @@ class WarpTrace:
     def __len__(self) -> int:
         return len(self.addrs)
 
-    def __iter__(self) -> Iterator[tuple[int, int, bool]]:
-        return zip(
-            self.gaps.tolist(), self.addrs.tolist(), self.writes.tolist()
+    @cached_property
+    def ops(self) -> tuple[tuple[int, int, bool], ...]:
+        """The trace compiled to plain ``(gap, addr, write)`` tuples.
+
+        ``tolist()`` converts every numpy scalar to a native int/bool up
+        front, so replaying the trace (the simulator's inner loop) never
+        touches numpy.  Computed once per trace and cached; traces are
+        shared across platforms by the executor's trace memo.
+        """
+        return tuple(
+            zip(self.gaps.tolist(), self.addrs.tolist(), self.writes.tolist())
         )
+
+    def __iter__(self) -> Iterator[tuple[int, int, bool]]:
+        return iter(self.ops)
 
     @property
     def total_instructions(self) -> int:

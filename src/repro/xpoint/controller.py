@@ -59,31 +59,45 @@ class XPointController:
         self.read_buffer_entries = read_buffer_entries
         self.write_buffer_entries = write_buffer_entries
         self._write_buffer: Deque[BufferedOp] = deque()
+        # Multiset of buffered addresses so the per-read write-buffer
+        # membership probe is O(1) instead of scanning the deque.
+        self._wbuf_addr_counts: Dict[int, int] = {}
         self._ctrl_latency_ps = ns(CONTROLLER_LATENCY_NS)
         self._busy_until_ps = 0
+        counter = self.stats.counter
+        self._c_gap_rotations = counter(f"{name}.gap_rotations")
+        self._c_wbuf_hits = counter(f"{name}.wbuf_hits")
+        self._c_ecc_decodes = counter(f"{name}.ecc_decodes")
+        self._c_ecc_encodes = counter(f"{name}.ecc_encodes")
+        self._c_wbuf_stalls = counter(f"{name}.wbuf_stalls")
+        self._c_snarfs = counter(f"{name}.snarfs")
 
     def _drain_one_write(self, now_ps: int) -> None:
         """Retire the oldest buffered write to the media."""
         op = self._write_buffer.popleft()
+        remaining = self._wbuf_addr_counts[op.addr] - 1
+        if remaining:
+            self._wbuf_addr_counts[op.addr] = remaining
+        else:
+            del self._wbuf_addr_counts[op.addr]
         media_addr = self.translator.translate(op.addr)
         finish = self.device.access(media_addr, True, max(now_ps, op.ready_ps))
         if self.translator.record_write(op.addr):
             # Start-Gap rotation: one extra read+write of a media row.
             gap_finish = self.device.access(media_addr, False, finish)
             self.device.access(media_addr, True, gap_finish)
-            self.stats.add(f"{self.name}.gap_rotations")
+            self._c_gap_rotations.add(1)
 
     def read(self, addr: int, now_ps: int) -> int:
         """Asynchronous (DDR-T) read; returns data-ready time (ps)."""
         start = max(now_ps, self._busy_until_ps) + self._ctrl_latency_ps
         # Write buffer hit: serve from the persistent write buffer.
-        for op in self._write_buffer:
-            if op.addr == addr:
-                self.stats.add(f"{self.name}.wbuf_hits")
-                return start
+        if addr in self._wbuf_addr_counts:
+            self._c_wbuf_hits.add(1)
+            return start
         media_addr = self.translator.translate(addr)
         finish = self.device.access(media_addr, False, start)
-        self.stats.add(f"{self.name}.ecc_decodes")
+        self._c_ecc_decodes.add(1)
         self._busy_until_ps = start
         return finish
 
@@ -95,13 +109,15 @@ class XPointController:
         full, in which case the caller stalls for one drain.
         """
         start = max(now_ps, self._busy_until_ps) + self._ctrl_latency_ps
-        self.stats.add(f"{self.name}.ecc_encodes")
+        self._c_ecc_encodes.add(1)
         if len(self._write_buffer) >= self.write_buffer_entries:
             self._drain_one_write(start)
-            self.stats.add(f"{self.name}.wbuf_stalls")
+            self._c_wbuf_stalls.add(1)
             # Stall the channel until the drained write's slot frees.
             start = max(start, self.device.bank_busy_until(self.translator.translate(addr)))
         self._write_buffer.append(BufferedOp(addr=addr, is_write=True, ready_ps=start))
+        counts = self._wbuf_addr_counts
+        counts[addr] = counts.get(addr, 0) + 1
         self._busy_until_ps = start
         return start
 
@@ -122,7 +138,7 @@ class XPointController:
         route, so no second channel transfer is needed; only the media
         write (buffered) happens here.
         """
-        self.stats.add(f"{self.name}.snarfs")
+        self._c_snarfs.add(1)
         return self.write(addr, now_ps)
 
     @property

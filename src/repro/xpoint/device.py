@@ -36,6 +36,9 @@ class XPointDevice:
         self.name = name
         self._bank_busy_until = [0] * cfg.banks_per_device
         self.write_counts: Dict[int, int] = defaultdict(int)
+        self._c_accesses = self.stats.counter(f"{name}.accesses")
+        self._c_writes = self.stats.counter(f"{name}.writes")
+        self._c_reads = self.stats.counter(f"{name}.reads")
 
     def _bank_of(self, addr: int) -> int:
         row = (addr % self.capacity_bytes) // self.cfg.row_bytes
@@ -48,12 +51,12 @@ class XPointDevice:
         latency = self.write_ps if is_write else self.read_ps
         finish = start + latency
         self._bank_busy_until[bank] = finish
-        self.stats.add(f"{self.name}.accesses")
+        self._c_accesses.add(1)
         if is_write:
-            self.stats.add(f"{self.name}.writes")
+            self._c_writes.add(1)
             self.write_counts[addr % self.capacity_bytes // self.cfg.row_bytes] += 1
         else:
-            self.stats.add(f"{self.name}.reads")
+            self._c_reads.add(1)
         return finish
 
     def bank_busy_until(self, addr: int) -> int:

@@ -1,0 +1,109 @@
+"""Golden-fingerprint regression: simulation results are bit-identical.
+
+One small job per platform (plus one two-level case) is simulated from
+scratch and the SHA-256 of its canonical ``RunResult.to_dict()`` JSON is
+compared against checked-in values.  Any change to the simulated
+timeline, stat accounting or result serialization — however small —
+shows up here, which is what lets hot-path optimization PRs prove they
+changed *nothing* about the modelled system.
+
+The checked-in hashes were captured together with a pre-optimization
+capture (``tests/data/pre_opt_baseline.json``, taken at the PR-1 code
+state): the optimized simulator was verified field-for-field identical
+to that baseline (modulo the deliberately added ``.min``/``.max``
+latency keys) before these fingerprints were frozen.
+
+If you change simulation *behavior on purpose*, regenerate with::
+
+    PYTHONPATH=src python tests/test_golden_fingerprints.py --regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.config import MemoryMode
+from repro.harness.executor import RunConfig, SimulationJob, execute_job
+
+DATA = pathlib.Path(__file__).parent / "data" / "golden_fingerprints.json"
+PRE_OPT_BASELINE = pathlib.Path(__file__).parent / "data" / "pre_opt_baseline.json"
+
+#: Small but platform-exercising sizing: big enough that every slice
+#: type migrates/faults, small enough that the whole matrix runs in a
+#: few seconds.
+GOLDEN_RUN = RunConfig(num_warps=24, accesses_per_warp=24)
+
+GOLDEN_JOBS = [
+    ("Origin", "pagerank", "planar"),
+    ("Hetero", "pagerank", "planar"),
+    ("Ohm-base", "pagerank", "planar"),
+    ("Auto-rw", "pagerank", "planar"),
+    ("Ohm-WOM", "pagerank", "planar"),
+    ("Ohm-BW", "pagerank", "planar"),
+    ("Oracle", "pagerank", "planar"),
+    ("Ohm-BW", "backp", "two_level"),
+]
+
+
+def fingerprint(platform: str, workload: str, mode: str) -> str:
+    result = execute_job(
+        SimulationJob(platform, workload, MemoryMode(mode), GOLDEN_RUN)
+    )
+    canon = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("platform,workload,mode", GOLDEN_JOBS)
+def test_results_match_pre_optimization_baseline(platform, workload, mode):
+    """The optimized simulator equals the PR-1 code state field-for-field.
+
+    ``pre_opt_baseline.json`` stores full ``RunResult.to_dict()``
+    payloads captured *before* the hot-path overhaul; the only permitted
+    delta is the deliberately added ``.min``/``.max`` latency snapshot
+    keys.  Unlike the golden hashes (which ``--regen`` can refresh),
+    this baseline is frozen — it is the actual bit-identity proof.
+    """
+    baseline = json.loads(PRE_OPT_BASELINE.read_text())
+    expected = baseline[f"{platform}/{workload}/{mode}"]["dict"]
+    result = execute_job(
+        SimulationJob(platform, workload, MemoryMode(mode), GOLDEN_RUN)
+    )
+    got = result.to_dict()
+    got["counters"] = {
+        k: v
+        for k, v in got["counters"].items()
+        if not (k.endswith(".min") or k.endswith(".max"))
+    }
+    assert got == expected
+
+
+@pytest.mark.parametrize("platform,workload,mode", GOLDEN_JOBS)
+def test_run_result_fingerprint_matches_golden(platform, workload, mode):
+    golden = json.loads(DATA.read_text())
+    key = f"{platform}/{workload}/{mode}"
+    assert key in golden, f"no golden fingerprint for {key}; run --regen"
+    assert fingerprint(platform, workload, mode) == golden[key], (
+        f"simulation results changed for {key} — if intentional, "
+        "regenerate tests/data/golden_fingerprints.json (see module docstring)"
+    )
+
+
+def _regen() -> None:
+    out = {
+        f"{p}/{w}/{m}": fingerprint(p, w, m) for p, w, m in GOLDEN_JOBS
+    }
+    DATA.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {DATA}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

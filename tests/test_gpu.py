@@ -11,6 +11,7 @@ from repro.core.platforms import PLATFORMS
 from repro.gpu.cache import SetAssocCache
 from repro.gpu.gpu import GpuModel
 from repro.gpu.interconnect import Interconnect
+from repro.sim.records import MemRequest
 from repro.workloads.registry import get_workload
 from repro.workloads.synthetic import WarpTrace
 
@@ -154,3 +155,20 @@ class TestGpuModel:
         model = GpuModel(PLATFORMS["Ohm-base"], cfg, get_workload("backp"), tiny_traces())
         result = model.run()
         assert 0.0 <= result.migration_bandwidth_fraction <= 1.0
+
+
+class TestStreamingMultiprocessor:
+    def test_submit_memory_request_wrapper(self):
+        # The request-object API must agree with the bare-pair fast path
+        # and record the completion on the request.
+        cfg = default_config(MemoryMode.PLANAR)
+        model = GpuModel(PLATFORMS["Oracle"], cfg, get_workload("backp"), tiny_traces())
+        sm = model.sms[0]
+        req = MemRequest(addr=0, is_write=False, size_bytes=128, sm_id=0, warp_id=0)
+        complete = sm.submit_memory_request(req)
+        assert req.complete_ps == complete
+        assert complete > 0
+        twin = GpuModel(
+            PLATFORMS["Oracle"], cfg, get_workload("backp"), tiny_traces()
+        )
+        assert twin.sms[0].access_memory(0, False) == complete

@@ -1,8 +1,8 @@
-"""Tests for counters, latency stats and histograms."""
+"""Tests for counters, latency stats, histograms and bound handles."""
 
 import pytest
 
-from repro.sim.stats import Histogram, LatencyStat, Stats
+from repro.sim.stats import Counter, Histogram, LatencyStat, Stats
 
 
 class TestLatencyStat:
@@ -57,6 +57,15 @@ class TestHistogram:
             h.record(v)
         assert h.count == 12
 
+    def test_count_is_running_total(self):
+        # The running total must agree with summing the bins at every
+        # step (it used to be recomputed from the bins on each call).
+        h = Histogram(3)
+        assert h.count == 0
+        for i, v in enumerate((0, 1, 100, 2, 50), start=1):
+            h.record(v)
+            assert h.count == i == sum(h.bins.values())
+
     def test_invalid_bin_width(self):
         with pytest.raises(ValueError):
             Histogram(0)
@@ -89,3 +98,63 @@ class TestStats:
         assert snap["c"] == 2
         assert snap["lat.mean"] == 10
         assert snap["lat.count"] == 1
+
+    def test_snapshot_includes_latency_extremes(self):
+        s = Stats()
+        for v in (40, 10, 90):
+            s.record_latency("lat", v)
+        snap = s.snapshot()
+        assert snap["lat.min"] == 10
+        assert snap["lat.max"] == 90
+        assert snap["lat.mean"] == pytest.approx(140 / 3)
+
+    def test_snapshot_single_sample_extremes(self):
+        s = Stats()
+        s.record_latency("lat", 7)
+        snap = s.snapshot()
+        assert snap["lat.min"] == 7
+        assert snap["lat.max"] == 7
+
+    def test_snapshot_skips_empty_latency_stats(self):
+        s = Stats()
+        s.latency_handle("bound.but.unused")
+        assert "bound.but.unused.mean" not in s.snapshot()
+        assert "bound.but.unused.count" not in s.snapshot()
+
+
+class TestCounterHandles:
+    def test_counter_adds_into_shared_dict(self):
+        s = Stats()
+        h = s.counter("x")
+        h.add()
+        h.add(2.5)
+        assert s.get("x") == pytest.approx(3.5)
+        assert h.value == pytest.approx(3.5)
+
+    def test_counter_handle_is_cached(self):
+        s = Stats()
+        assert s.counter("x") is s.counter("x")
+
+    def test_handle_and_add_share_the_same_counter(self):
+        s = Stats()
+        h = s.counter("x")
+        s.add("x", 1.0)
+        h.add(1.0)
+        assert s.get("x") == pytest.approx(2.0)
+
+    def test_binding_does_not_create_an_entry(self):
+        s = Stats()
+        s.counter("never.touched")
+        assert "never.touched" not in s.snapshot()
+
+    def test_counter_is_slotted(self):
+        with pytest.raises(AttributeError):
+            Counter({}, "x").surprise = 1
+
+    def test_latency_handle_records(self):
+        s = Stats()
+        h = s.latency_handle("lat")
+        h.record(5)
+        h.record(15)
+        assert s.latency("lat").mean == pytest.approx(10.0)
+        assert s.latency_handle("lat") is h
