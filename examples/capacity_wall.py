@@ -9,11 +9,19 @@ Reproduces the motivation of Sections I-II end to end:
    cold tail from XPoint ever does.
 
 Run:  python examples/capacity_wall.py
+(set REPRO_SMOKE=1 for a fast CI-sized run)
 """
+
+import os
 
 from repro import MemoryMode, RunConfig, Runner, default_config
 from repro.hoststorage.gpudirect import GpuSsdSystem
 from repro.workloads.registry import WORKLOADS, get_workload
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+SIZING = RunConfig(num_warps=16, accesses_per_warp=12) if SMOKE else RunConfig(
+    num_warps=192, accesses_per_warp=96
+)
 
 
 def fig3_motivation() -> None:
@@ -31,7 +39,7 @@ def fig3_motivation() -> None:
 
 def origin_vs_hetero() -> None:
     print("== Origin (DRAM-only + host paging) vs Ohm-GPU ==")
-    runner = Runner(RunConfig(num_warps=192, accesses_per_warp=96))
+    runner = Runner(SIZING)
     print(f"  {'workload':9s} {'Origin':>10s} {'Ohm-BW':>10s} {'speedup':>8s} {'faults':>7s}")
     for name in ("backp", "GRAMS", "pagerank", "sssp"):
         origin = runner.run("Origin", name, MemoryMode.PLANAR)

@@ -6,16 +6,24 @@ memory modes (planar vs two-level) across all six GraphBIG workloads on
 the full Ohm-GPU design, and shows where each mode wins.
 
 Run:  python examples/graph_analytics.py
+(set REPRO_SMOKE=1 for a fast CI-sized run)
 """
+
+import os
 
 from repro import MemoryMode, RunConfig, Runner
 from repro.workloads.registry import WORKLOADS, get_workload
 
 GRAPH_APPS = [name for name, spec in WORKLOADS.items() if spec.is_graph]
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+SIZING = RunConfig(num_warps=16, accesses_per_warp=12) if SMOKE else RunConfig(
+    num_warps=96, accesses_per_warp=64
+)
+
 
 def main() -> None:
-    runner = Runner(RunConfig(num_warps=96, accesses_per_warp=64))
+    runner = Runner(SIZING)
 
     print("Ohm-BW on GraphBIG workloads — planar vs two-level memory mode\n")
     print(f"{'workload':9s} {'APKI':>5s} {'planar_lat':>11s} {'2lvl_lat':>9s} "

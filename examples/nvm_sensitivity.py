@@ -7,12 +7,18 @@ from an optimistic next-generation device (95 ns) to a pessimistic one
 i.e. whether the paper's conclusion is robust to the NVM substrate.
 
 Run:  python examples/nvm_sensitivity.py
+(set REPRO_SMOKE=1 for a fast CI-sized run)
 """
+
+import os
 
 from repro.harness.runner import RunConfig
 from repro.harness.sweeps import sweep_xpoint_read_latency
 
-SIZING = RunConfig(num_warps=96, accesses_per_warp=64)
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+SIZING = RunConfig(num_warps=16, accesses_per_warp=12) if SMOKE else RunConfig(
+    num_warps=96, accesses_per_warp=64
+)
 LATENCIES = (95.0, 190.0, 380.0, 760.0)
 
 

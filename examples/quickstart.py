@@ -1,23 +1,41 @@
-"""Quickstart: simulate one workload on two GPU platforms.
+"""Quickstart: the public workload-registry API end to end.
 
-Runs the `pagerank` GraphBIG workload on the baseline optical
-heterogeneous memory (Ohm-base) and on the full Ohm-GPU design (Ohm-BW)
-in planar mode, then prints IPC, memory latency and how much channel
-bandwidth migrations consumed.
+Everything goes through the registry — the same path the CLI and the
+experiment service use — so this tutorial cannot drift from the code:
+
+1. resolve a workload by name (`get_workload_def`) and read its spec;
+2. simulate it on several GPU platforms with a `Runner`;
+3. declare a *new* scenario (a two-tenant mix) with `make_multi_tenant`
+   + `register_workload`, and read its per-tenant attribution.
 
 Run:  python examples/quickstart.py
+(set REPRO_SMOKE=1 for a fast CI-sized run)
 """
 
+import os
+
 from repro import MemoryMode, RunConfig, Runner
+from repro.workloads import (
+    get_workload_def,
+    make_multi_tenant,
+    register_workload,
+)
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+SIZING = RunConfig(num_warps=16, accesses_per_warp=12) if SMOKE else RunConfig(
+    num_warps=96, accesses_per_warp=64
+)
 
 
-def main() -> None:
-    runner = Runner(RunConfig(num_warps=96, accesses_per_warp=64))
+def solo_run(runner: Runner) -> None:
+    defn = get_workload_def("pagerank")
+    print(f"workload: {defn.name} [{defn.family}] — {defn.summary}")
+    print(f"  APKI {defn.spec.apki:.0f}, {defn.spec.read_ratio:.0%} reads\n")
 
-    print(f"{'platform':10s} {'IPC(rel)':>9s} {'mem latency':>12s} {'migration bw':>13s}")
+    print(f"{'platform':10s} {'perf(rel)':>9s} {'mem latency':>12s} {'migration bw':>13s}")
     base = None
     for platform in ("Ohm-base", "Auto-rw", "Ohm-WOM", "Ohm-BW", "Oracle"):
-        result = runner.run(platform, "pagerank", MemoryMode.PLANAR)
+        result = runner.run(platform, defn.name, MemoryMode.PLANAR)
         if base is None:
             base = result.performance
         print(
@@ -29,8 +47,43 @@ def main() -> None:
     print(
         "\nThe dual-route platforms (Ohm-WOM / Ohm-BW) serve migrations on "
         "the memory route,\nso their migration share of the data route "
-        "collapses — that is the paper's key result."
+        "collapses — that is the paper's key result.\n"
     )
+
+
+def declare_and_mix(runner: Runner) -> None:
+    # A new scenario is a registration, not new simulation code.
+    mix = register_workload(
+        make_multi_tenant(
+            "quickstart_mix",
+            [
+                ("ml", get_workload_def("gemm_reuse"), 0.5),
+                ("graph", get_workload_def("pagerank"), 0.5),
+            ],
+            summary="a dense ML kernel co-located with a graph kernel",
+        ),
+        replace=True,  # idempotent across repeated runs
+    )
+    result = runner.run("Ohm-BW", mix.name, MemoryMode.PLANAR)
+    print(f"multi-tenant mix '{mix.name}' on Ohm-BW:")
+    for tenant in ("ml", "graph"):
+        c = result.counters
+        print(
+            f"  tenant {tenant:6s}: {c[f'tenant.{tenant}.warps']:.0f} warps, "
+            f"{c[f'tenant.{tenant}.instructions']:.0f} instructions, "
+            f"finished at {c[f'tenant.{tenant}.finish_ps'] / 1e6:.2f} us"
+        )
+    print(
+        "\nPer-tenant counters come from the warps' tenant labels — "
+        "see docs/WORKLOADS.md\nfor the full authoring tutorial "
+        "(families, composition, trace record/replay)."
+    )
+
+
+def main() -> None:
+    runner = Runner(SIZING)
+    solo_run(runner)
+    declare_and_mix(runner)
 
 
 if __name__ == "__main__":

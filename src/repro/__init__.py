@@ -32,10 +32,19 @@ from repro.harness.executor import (
     execute_job,
 )
 from repro.harness.runner import Runner
-from repro.workloads.registry import WORKLOADS, generate_traces, get_workload
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.registry import (
+    REGISTRY,
+    WORKLOADS,
+    build_traces,
+    generate_traces,
+    get_workload,
+    get_workload_def,
+    register_workload,
+    workload_names,
+)
+from repro.workloads.spec import WorkloadDef, WorkloadSpec, make_def
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MemoryMode",
@@ -54,9 +63,16 @@ __all__ = [
     "execute_job",
     "ResultCache",
     "WORKLOADS",
+    "REGISTRY",
     "WorkloadSpec",
+    "WorkloadDef",
+    "make_def",
     "get_workload",
+    "get_workload_def",
+    "register_workload",
+    "workload_names",
     "generate_traces",
+    "build_traces",
     "KB",
     "MB",
     "GB",

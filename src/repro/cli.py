@@ -3,10 +3,16 @@
 Usage examples::
 
     python -m repro.cli run --platform Ohm-BW --workload pagerank --mode planar
+    python -m repro.cli run --platform Ohm-BW --workload gemm_reuse --quick
     python -m repro.cli run --platform Ohm-BW --workload pagerank --profile
     python -m repro.cli compare --workload backp --mode two_level
     python -m repro.cli experiment fig16 --jobs 4 --cache-dir .repro-cache
+    python -m repro.cli experiment families --quick
     python -m repro.cli export fig16 --format csv -o fig16.csv
+    python -m repro.cli workloads list
+    python -m repro.cli workloads describe mix_gemm_chase
+    python -m repro.cli workloads record --platform Ohm-BW --workload pagerank -o pr.jsonl.gz
+    python -m repro.cli workloads replay --trace pr.jsonl.gz --platform Ohm-BW
     python -m repro.cli perf -o BENCH_perf.json
     python -m repro.cli list
 
@@ -17,6 +23,13 @@ an experiment's rows as json or csv via the structured emitters.
 ``perf`` benchmarks the simulator itself (events/sec per calibrated
 case, written to ``BENCH_perf.json``); ``run --profile`` wraps one
 simulation in cProfile for hot-path hunts.
+
+The ``workloads`` group fronts the workload subsystem (see
+docs/WORKLOADS.md): ``list``/``describe`` introspect the registry,
+``record`` dumps a run's per-warp access stream to a compact JSONL
+trace, and ``replay`` (or any ``--workload trace:<path>``) re-simulates
+it — bit-identically when configuration matches, as the printed result
+fingerprints show.
 """
 
 from __future__ import annotations
@@ -37,11 +50,39 @@ from repro.harness.registry import (
     run_spec,
 )
 from repro.harness.report import EMITTERS, format_table
-from repro.workloads.registry import WORKLOADS
+from repro.workloads.registry import FAMILIES, REGISTRY, get_workload_def
+from repro.workloads.trace import TraceFormatError
 
 
 def _mode(name: str) -> MemoryMode:
     return MemoryMode(name)
+
+
+def _resolve_workload(name: str):
+    """Resolve a workload name to its def, exiting cleanly on failure.
+
+    Accepts any registered name plus ``trace:<path>`` replays, which is
+    why ``--workload`` is validated here instead of with a static
+    argparse ``choices`` list.
+    """
+    try:
+        return get_workload_def(name)
+    except KeyError as exc:
+        raise SystemExit(f"repro: {exc.args[0]}")
+    except FileNotFoundError as exc:
+        raise SystemExit(f"repro: trace file not found: {exc.filename or exc}")
+    except TraceFormatError as exc:
+        raise SystemExit(f"repro: {exc}")
+    except OSError as exc:
+        # gzip.BadGzipFile, permission errors, ... — anything the trace
+        # reader hits below the format layer.
+        raise SystemExit(f"repro: cannot read trace: {exc}")
+
+
+def _workload(name: str) -> str:
+    """argparse ``type=`` wrapper: validate, return the name unchanged."""
+    _resolve_workload(name)
+    return name
 
 
 def _print_rows(result: ExperimentResult) -> None:
@@ -151,7 +192,55 @@ def _finish(runner: Runner) -> None:
         print(runner.cache.summary(), file=sys.stderr)
 
 
+def _print_result(result) -> None:
+    """The standard one-run report (also used by record/replay)."""
+    print(f"platform        : {result.platform}")
+    print(f"workload        : {result.workload} ({result.mode})")
+    print(f"instructions    : {result.instructions}")
+    print(f"exec time       : {result.exec_time_ps / 1e6:.2f} us")
+    print(f"mean mem latency: {result.mean_mem_latency_ps / 1e3:.1f} ns")
+    print(f"migration bw    : {result.migration_bandwidth_fraction:.1%}")
+    tenants = sorted(
+        {k.split(".")[1] for k in result.counters if k.startswith("tenant.")}
+    )
+    for t in tenants:
+        c = result.counters
+        print(
+            f"tenant {t:9s} : {c.get(f'tenant.{t}.warps', 0):.0f} warps, "
+            f"{c.get(f'tenant.{t}.instructions', 0):.0f} instructions, "
+            f"finished at {c.get(f'tenant.{t}.finish_ps', 0) / 1e6:.2f} us"
+        )
+
+
+def _record_to(path: str, args: argparse.Namespace) -> int:
+    """Run one simulation with the trace recorder and save the stream."""
+    from repro.harness.executor import SimulationJob, execute_job_recorded
+    from repro.workloads.trace import TraceMeta, save_traces
+
+    job = SimulationJob(
+        args.platform, args.workload, _mode(args.mode), _run_config(args)
+    )
+    result, recorded = execute_job_recorded(job)
+    defn = get_workload_def(args.workload)
+    meta = TraceMeta(
+        workload=defn.spec.name,
+        platform=args.platform,
+        mode=args.mode,
+        line_bytes=job.resolved_config().gpu.line_bytes,
+        num_warps=len(recorded),
+        spec=defn.spec,
+    )
+    save_traces(path, meta, recorded)
+    _print_result(result)
+    print(f"fingerprint     : {result.fingerprint()}")
+    print(f"wrote trace     : {path} ({len(recorded)} warps)", file=sys.stderr)
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    """`repro run`: one simulation (optionally profiled/recorded)."""
+    if args.record_trace:
+        return _record_to(args.record_trace, args)
     runner = _make_runner(args)
     if args.profile:
         import cProfile
@@ -164,17 +253,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
     else:
         result = runner.run(args.platform, args.workload, _mode(args.mode))
-    print(f"platform        : {result.platform}")
-    print(f"workload        : {result.workload} ({result.mode})")
-    print(f"instructions    : {result.instructions}")
-    print(f"exec time       : {result.exec_time_ps / 1e6:.2f} us")
-    print(f"mean mem latency: {result.mean_mem_latency_ps / 1e3:.1f} ns")
-    print(f"migration bw    : {result.migration_bandwidth_fraction:.1%}")
+    _print_result(result)
     _finish(runner)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    """`repro compare`: every platform on one workload, one table."""
     runner = _make_runner(args)
     mode = _mode(args.mode)
     results = runner.matrix(tuple(PLATFORMS), (args.workload,), mode)
@@ -202,6 +287,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    """`repro experiment`: regenerate a registered figure/table."""
     runner = _make_runner(args)
     result = run_spec(EXPERIMENTS[args.name], runner)
     PRINTERS.get(args.name, _print_rows)(result)
@@ -210,6 +296,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
+    """`repro export`: emit an experiment's rows as json/csv."""
     runner = _make_runner(args)
     result = run_spec(EXPERIMENTS[args.name], runner)
     text = EMITTERS[args.format](result.rows, columns=result.spec.columns)
@@ -224,6 +311,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
+    """`repro perf`: benchmark the simulator core (events/sec)."""
     from repro.harness.perf import PERF_CASES, SMOKE_CASES, run_suite, write_bench
 
     cases = SMOKE_CASES if args.smoke else PERF_CASES
@@ -256,14 +344,63 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
+    """`repro list`: one-line inventory of every registered name."""
     print("platforms :", ", ".join(PLATFORMS))
-    print("workloads :", ", ".join(WORKLOADS))
+    print("workloads :", ", ".join(REGISTRY))
     print("modes     :", ", ".join(m.value for m in MemoryMode))
     print("experiments:", ", ".join(EXPERIMENTS))
     return 0
 
 
+def cmd_workloads_list(_args: argparse.Namespace) -> int:
+    """`repro workloads list`: the registry as a table."""
+    rows = [
+        (defn.name, defn.family, defn.summary) for defn in REGISTRY.values()
+    ]
+    print(format_table(["name", "family", "summary"], rows, title="workloads"))
+    return 0
+
+
+def cmd_workloads_describe(args: argparse.Namespace) -> int:
+    """`repro workloads describe`: spec, params and family docs."""
+    defn = _resolve_workload(args.name)
+    family = FAMILIES[defn.family]
+    print(f"{defn.name}  [family: {defn.family}]")
+    if defn.summary:
+        print(f"  {defn.summary}\n")
+    spec = defn.spec
+    print(
+        f"  characteristics: APKI {spec.apki:.0f}, {spec.read_ratio:.0%} reads, "
+        f"suite {spec.suite}, footprint {spec.footprint_bytes / 2**30:.1f} GiB"
+    )
+    if defn.params:
+        print("  parameters:")
+        for key, value in defn.params:
+            print(f"    {key} = {value}")
+    print("\n  family documentation:")
+    for line in family.doc.splitlines():
+        print(f"    {line}")
+    return 0
+
+
+def cmd_workloads_record(args: argparse.Namespace) -> int:
+    """`repro workloads record`: simulate once, dump the trace."""
+    return _record_to(args.output, args)
+
+
+def cmd_workloads_replay(args: argparse.Namespace) -> int:
+    """`repro workloads replay`: re-simulate a recorded trace."""
+    args.workload = _workload(f"trace:{args.trace}")
+    runner = _make_runner(args)
+    result = runner.run(args.platform, args.workload, _mode(args.mode))
+    _print_result(result)
+    print(f"fingerprint     : {result.fingerprint()}")
+    _finish(runner)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -282,21 +419,70 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one platform/workload")
     p_run.add_argument("--platform", choices=list(PLATFORMS), required=True)
-    p_run.add_argument("--workload", choices=list(WORKLOADS), required=True)
+    p_run.add_argument(
+        "--workload", type=_workload, required=True,
+        help="a registered workload name (see `repro workloads list`) "
+        "or trace:<path> to replay a recorded trace",
+    )
     p_run.add_argument("--mode", choices=[m.value for m in MemoryMode], default="planar")
     p_run.add_argument(
         "--profile", action="store_true",
         help="wrap the simulation in cProfile and print the top-25 "
         "cumulative entries",
     )
+    p_run.add_argument(
+        "--record-trace", default=None, metavar="PATH",
+        help="record the executed per-warp access stream to PATH "
+        "(.jsonl or .jsonl.gz) for later replay",
+    )
     add_sizing(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all platforms on one workload")
-    p_cmp.add_argument("--workload", choices=list(WORKLOADS), required=True)
+    p_cmp.add_argument("--workload", type=_workload, required=True)
     p_cmp.add_argument("--mode", choices=[m.value for m in MemoryMode], default="planar")
     add_sizing(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_wl = sub.add_parser(
+        "workloads", help="inspect, record and replay workloads"
+    )
+    wl_sub = p_wl.add_subparsers(dest="wl_command", required=True)
+
+    p_wl_list = wl_sub.add_parser("list", help="every registered workload")
+    p_wl_list.set_defaults(fn=cmd_workloads_list)
+
+    p_wl_desc = wl_sub.add_parser(
+        "describe", help="a workload's spec, parameters and family docs"
+    )
+    p_wl_desc.add_argument("name")
+    p_wl_desc.set_defaults(fn=cmd_workloads_describe)
+
+    p_wl_rec = wl_sub.add_parser(
+        "record", help="simulate once and dump the per-warp access trace"
+    )
+    p_wl_rec.add_argument("--platform", choices=list(PLATFORMS), required=True)
+    p_wl_rec.add_argument("--workload", type=_workload, required=True)
+    p_wl_rec.add_argument(
+        "--mode", choices=[m.value for m in MemoryMode], default="planar"
+    )
+    p_wl_rec.add_argument(
+        "-o", "--output", required=True,
+        help="trace path (.jsonl, or .jsonl.gz for compression)",
+    )
+    add_sizing(p_wl_rec)
+    p_wl_rec.set_defaults(fn=cmd_workloads_record)
+
+    p_wl_rep = wl_sub.add_parser(
+        "replay", help="re-simulate a recorded trace as the workload"
+    )
+    p_wl_rep.add_argument("--trace", required=True, help="recorded trace path")
+    p_wl_rep.add_argument("--platform", choices=list(PLATFORMS), required=True)
+    p_wl_rep.add_argument(
+        "--mode", choices=[m.value for m in MemoryMode], default="planar"
+    )
+    add_sizing(p_wl_rep)
+    p_wl_rep.set_defaults(fn=cmd_workloads_replay)
 
     p_exp = sub.add_parser("experiment", help="regenerate a figure/table")
     p_exp.add_argument("name", choices=list(EXPERIMENTS))
@@ -341,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (console script ``repro``)."""
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -22,6 +22,7 @@ from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.synthetic import WarpTrace
+from repro.workloads.trace import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,19 @@ class RunResult:
             "counters": dict(self.counters),
         }
 
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical :meth:`to_dict` JSON.
+
+        ``repro workloads record``/``replay`` print this so a replay
+        can be checked bit-identical against its recorded run; the
+        golden-fingerprint regression tests freeze the same quantity.
+        """
+        import hashlib
+        import json
+
+        canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
     @classmethod
     def from_dict(cls, data: dict) -> "RunResult":
         """Inverse of :meth:`to_dict` (stable round-trip)."""
@@ -113,6 +127,7 @@ class GpuModel:
         spec: WorkloadSpec,
         traces: List[WarpTrace],
         model_caches: bool = False,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         if not traces:
             raise ValueError("need at least one warp trace")
@@ -150,11 +165,15 @@ class GpuModel:
         self._remaining = 0
         for w, trace in enumerate(traces):
             sm = self.sms[w % len(self.sms)]
-            self._warps.append(Warp(w, sm, trace, self._warp_done))
+            self._warps.append(Warp(w, sm, trace, self._warp_done, recorder))
         self._remaining = len(self._warps)
+        self._tenant_finish_ps: Dict[str, int] = {}
 
     def _warp_done(self, warp: Warp) -> None:
         self._remaining -= 1
+        tenant = warp.trace.tenant
+        if tenant is not None:
+            self._tenant_finish_ps[tenant] = self.engine.now
 
     def run(self, max_events: Optional[int] = None) -> RunResult:
         for warp in self._warps:
@@ -166,6 +185,8 @@ class GpuModel:
             )
         instructions = sum(w.instructions_retired for w in self._warps)
         lat = self.stats.latency("mem.latency_ps")
+        counters = self.stats.snapshot()
+        self._attribute_tenants(counters)
         return RunResult(
             platform=self.platform.name,
             workload=self.spec.name,
@@ -174,5 +195,29 @@ class GpuModel:
             exec_time_ps=self.engine.now,
             demand_requests=lat.count,
             mean_mem_latency_ps=lat.mean,
-            counters=self.stats.snapshot(),
+            counters=counters,
         )
+
+    def _attribute_tenants(self, counters: Dict[str, float]) -> None:
+        """Fold per-tenant aggregates into the result counters.
+
+        Multi-tenant compositions label each warp's trace with its
+        tenant; here the per-warp retirement counts become
+        ``tenant.<name>.{warps,instructions,accesses,finish_ps}``
+        counters so a mix reports who consumed what and when each
+        tenant's last warp drained.  Unlabelled runs add nothing.
+        """
+        for warp in self._warps:
+            tenant = warp.trace.tenant
+            if tenant is None:
+                continue
+            prefix = f"tenant.{tenant}."
+            counters[prefix + "warps"] = counters.get(prefix + "warps", 0.0) + 1
+            counters[prefix + "instructions"] = (
+                counters.get(prefix + "instructions", 0.0) + warp.instructions_retired
+            )
+            counters[prefix + "accesses"] = (
+                counters.get(prefix + "accesses", 0.0) + len(warp.trace)
+            )
+        for tenant, finish in self._tenant_finish_ps.items():
+            counters[f"tenant.{tenant}.finish_ps"] = finish

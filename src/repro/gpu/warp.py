@@ -14,16 +14,23 @@ allocate nothing.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.workloads.synthetic import WarpTrace
 
 if TYPE_CHECKING:
     from repro.gpu.sm import StreamingMultiprocessor
+    from repro.workloads.trace import TraceRecorder
 
 
 class Warp:
-    """Replays one WarpTrace through its SM and the memory system."""
+    """Replays one WarpTrace through its SM and the memory system.
+
+    An optional :class:`~repro.workloads.trace.TraceRecorder` captures
+    every executed ``(gap, addr, write)`` at memory-issue time — the
+    record side of trace record/replay.  The hot path pays one
+    attribute check per access when no recorder is attached.
+    """
 
     __slots__ = (
         "warp_id",
@@ -34,6 +41,7 @@ class Warp:
         "_num_ops",
         "_at",
         "_cursor",
+        "_recorder",
         "instructions_retired",
         "finished",
     )
@@ -44,6 +52,7 @@ class Warp:
         sm: "StreamingMultiprocessor",
         trace: WarpTrace,
         on_done: Callable[["Warp"], None],
+        recorder: Optional["TraceRecorder"] = None,
     ) -> None:
         self.warp_id = warp_id
         self.sm = sm
@@ -53,6 +62,7 @@ class Warp:
         self._num_ops = len(self._ops)
         self._at = sm.engine.at
         self._cursor = 0
+        self._recorder = recorder
         self.instructions_retired = 0
         self.finished = False
 
@@ -73,6 +83,8 @@ class Warp:
     def _issue_memory(self) -> None:
         cursor = self._cursor
         op = self._ops[cursor]
+        if self._recorder is not None:
+            self._recorder.record(self.warp_id, op[0], op[1], op[2])
         complete = self.sm.access_memory(op[1], op[2])
         self._cursor = cursor + 1
         self._at(complete, self._next_burst)

@@ -30,15 +30,22 @@ log = logging.getLogger("repro.cache")
 # stale entries then simply miss instead of deserializing garbage.
 # v2: Stats.snapshot() grew latency ".min"/".max" counters (PR 2), so
 # pre-PR-2 cached results have a different counter shape.
-SCHEMA_VERSION = 2
+# v3: the workload subsystem became declarative (PR 3) — the fingerprint
+# now folds in the resolved WorkloadDef (family, params, spec, and for
+# trace replays the file digest), so same-named workloads with
+# different parameters can never alias a cached result.
+SCHEMA_VERSION = 3
 
 
 def job_fingerprint(job: SimulationJob) -> str:
     """Stable hex digest of everything that determines a job's result."""
+    from repro.workloads.registry import get_workload_def
+
     payload = {
         "schema": SCHEMA_VERSION,
         "platform": job.platform,
         "workload": job.workload,
+        "workload_def": get_workload_def(job.workload).fingerprint_payload(),
         "mode": job.mode.value,
         "run_cfg": job.run_cfg.to_dict(),
         "system": job.resolved_config().to_dict(),

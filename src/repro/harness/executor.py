@@ -23,8 +23,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import MemoryMode, SystemConfig, default_config
 from repro.core.platforms import PLATFORMS
 from repro.gpu.gpu import GpuModel, RunResult
-from repro.workloads.registry import generate_traces, get_workload
+from repro.workloads.registry import build_traces, get_workload_def
 from repro.workloads.synthetic import WarpTrace
+from repro.workloads.trace import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -90,9 +91,21 @@ _TRACE_MEMO_MAX = 64
 
 
 def traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
-    """Materialize (memoized) the warp traces a job simulates over."""
+    """Materialize (memoized) the warp traces a job simulates over.
+
+    Resolution goes through the workload registry, so every family —
+    Table II, the parametric families, composed scenarios and
+    ``trace:<path>`` replays — shares this one path and its memo.
+
+    The resolved :class:`WorkloadDef` itself is part of the memo key:
+    re-registering a name with different parameters (``replace=True``)
+    or re-recording a trace file (its digest is a def param) can never
+    serve stale traces — mirroring the result cache, which fingerprints
+    the resolved def for the same reason.
+    """
+    defn = get_workload_def(job.workload)
     key = (
-        job.workload,
+        defn,
         cfg.scale_down,
         job.run_cfg.num_warps,
         job.run_cfg.accesses_per_warp,
@@ -103,10 +116,9 @@ def traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
     if key not in _TRACE_MEMO:
         while len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
             _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
-        spec = get_workload(job.workload)
-        _TRACE_MEMO[key] = generate_traces(
-            spec,
-            spec.scaled_footprint(cfg.scale_down),
+        _TRACE_MEMO[key] = build_traces(
+            defn,
+            defn.spec.scaled_footprint(cfg.scale_down),
             num_warps=job.run_cfg.num_warps,
             accesses_per_warp=job.run_cfg.accesses_per_warp,
             line_bytes=cfg.gpu.line_bytes,
@@ -119,9 +131,32 @@ def traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
 def execute_job(job: SimulationJob) -> RunResult:
     """Run one simulation from scratch.  Deterministic in ``job``."""
     cfg = job.resolved_config()
-    spec = get_workload(job.workload)
+    defn = get_workload_def(job.workload)
     traces = traces_for(job, cfg)
-    return GpuModel(PLATFORMS[job.platform], cfg, spec, traces).run()
+    return GpuModel(PLATFORMS[job.platform], cfg, defn.spec, traces).run()
+
+
+def execute_job_recorded(
+    job: SimulationJob,
+) -> Tuple[RunResult, List[WarpTrace]]:
+    """Run one simulation while recording its executed access streams.
+
+    Returns the normal :class:`RunResult` plus the per-warp traces the
+    run actually issued (tenant labels preserved).  Saving those with
+    :func:`repro.workloads.trace.save_traces` and replaying them as the
+    ``trace:<path>`` workload under the same configuration reproduces
+    the result fingerprint bit-identically.
+    """
+    cfg = job.resolved_config()
+    defn = get_workload_def(job.workload)
+    traces = traces_for(job, cfg)
+    recorder = TraceRecorder(len(traces))
+    model = GpuModel(
+        PLATFORMS[job.platform], cfg, defn.spec, traces, recorder=recorder
+    )
+    result = model.run()
+    recorded = recorder.to_traces(tenants=[t.tenant for t in traces])
+    return result, recorded
 
 
 class SerialExecutor:

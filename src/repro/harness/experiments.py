@@ -608,6 +608,82 @@ def figure21(
 
 
 # --------------------------------------------------------------------
+# Families — beyond-Table-II workload sensitivity (workload subsystem v2)
+# --------------------------------------------------------------------
+
+FAMILY_WORKLOADS = ("gemm_reuse", "pointer_chase", "stream_scan", "mix_gemm_chase")
+FAMILY_PLATFORMS = ("Origin", "Hetero", "Ohm-base", "Ohm-BW", "Oracle")
+STREAM_MIX_WORKLOADS = (
+    "stream_scan_r25", "stream_scan_r50", "stream_scan_r75", "stream_scan_r100",
+)
+
+
+def _families_jobs(run_cfg: RunConfig) -> Tuple[SimulationJob, ...]:
+    jobs = [
+        SimulationJob(p, w, MemoryMode.PLANAR, run_cfg)
+        for w in FAMILY_WORKLOADS
+        for p in FAMILY_PLATFORMS
+    ]
+    jobs.extend(
+        SimulationJob(p, w, MemoryMode.PLANAR, run_cfg)
+        for w in STREAM_MIX_WORKLOADS
+        for p in ("Ohm-base", "Ohm-BW")
+    )
+    return tuple(jobs)
+
+
+def _families_reduce(results: JobResults) -> List[dict]:
+    rows = []
+    for w in FAMILY_WORKLOADS + STREAM_MIX_WORKLOADS:
+        platforms = (
+            FAMILY_PLATFORMS if w in FAMILY_WORKLOADS else ("Ohm-base", "Ohm-BW")
+        )
+        base = results.get("Ohm-base", w, MemoryMode.PLANAR)
+        for p in platforms:
+            res = results.get(p, w, MemoryMode.PLANAR)
+            rows.append(
+                {
+                    "workload": w,
+                    "platform": p,
+                    "perf_vs_base": (
+                        res.performance / base.performance
+                        if base.performance
+                        else 0.0
+                    ),
+                    "mem_latency_ns": res.mean_mem_latency_ps / 1e3,
+                    "migration_bw_frac": res.migration_bandwidth_fraction,
+                }
+            )
+    return rows
+
+
+def make_families_spec() -> ExperimentSpec:
+    """Sensitivity sweep over the PR-3 workload families.
+
+    Planar mode, every platform on the three parametric families plus
+    the co-located multi-tenant mix, and Ohm-base/Ohm-BW across the
+    streaming read:write-mix variants — does the dual-route win survive
+    access regimes Table II never exercises?
+    """
+    return ExperimentSpec(
+        name="families",
+        title="Families — platform sensitivity on the parametric workload families",
+        columns=(
+            "workload", "platform", "perf_vs_base", "mem_latency_ns",
+            "migration_bw_frac",
+        ),
+        jobs=_families_jobs,
+        reduce=_families_reduce,
+        tabulate=lambda rows: rows,
+    )
+
+
+def families(runner: Runner) -> List[dict]:
+    """Evaluate the families sensitivity sweep under ``runner``."""
+    return run_spec(make_families_spec(), runner).payload
+
+
+# --------------------------------------------------------------------
 # Headline — abstract claims
 # --------------------------------------------------------------------
 
@@ -660,6 +736,7 @@ def headline(runner: Runner, workloads: Tuple[str, ...] = ALL_WORKLOADS) -> dict
 for _spec_factory in (
     make_fig3_spec,
     make_fig8_spec,
+    make_families_spec,
     make_fig15_spec,
     make_fig16_spec,
     make_fig17_spec,

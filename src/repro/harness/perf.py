@@ -51,12 +51,18 @@ PERF_CASES: tuple[PerfCase, ...] = (
     PerfCase("headline", "Ohm-BW", "pagerank", MemoryMode.PLANAR, _FULL_SIZING),
     PerfCase("two_level", "Ohm-base", "backp", MemoryMode.TWO_LEVEL, _FULL_SIZING),
     PerfCase("origin", "Origin", "bfsdata", MemoryMode.PLANAR, _FULL_SIZING),
+    # Workload-subsystem-v2 families: a reuse-heavy dense kernel and a
+    # composed multi-tenant mix (tenant attribution on the result path).
+    PerfCase("gemm", "Ohm-BW", "gemm_reuse", MemoryMode.PLANAR, _FULL_SIZING),
+    PerfCase("mix", "Ohm-base", "mix_gemm_chase", MemoryMode.PLANAR, _FULL_SIZING),
 )
 
 SMOKE_CASES: tuple[PerfCase, ...] = (
     PerfCase("headline_smoke", "Ohm-BW", "pagerank", MemoryMode.PLANAR, _SMOKE_SIZING),
     PerfCase("two_level_smoke", "Ohm-base", "backp", MemoryMode.TWO_LEVEL, _SMOKE_SIZING),
     PerfCase("origin_smoke", "Origin", "bfsdata", MemoryMode.PLANAR, _SMOKE_SIZING),
+    PerfCase("gemm_smoke", "Ohm-BW", "gemm_reuse", MemoryMode.PLANAR, _SMOKE_SIZING),
+    PerfCase("mix_smoke", "Ohm-base", "mix_gemm_chase", MemoryMode.PLANAR, _SMOKE_SIZING),
 )
 
 #: Events/sec of the event loop *before* the PR-2 hot-path overhaul

@@ -1,16 +1,69 @@
-"""Workload substrate: Table II specs, synthetic trace generation and
-graph-derived traces for the GraphBIG applications."""
+"""Workload substrate: declarative workload defs, trace families and
+record/replay.
 
-from repro.workloads.registry import WORKLOADS, get_workload
-from repro.workloads.spec import WorkloadSpec
-from repro.workloads.synthetic import SyntheticTraceGenerator, WarpTrace
+Layers (see docs/WORKLOADS.md for the authoring tutorial):
+
+* ``spec``      — :class:`WorkloadSpec` characteristics and
+                  :class:`WorkloadDef` declarative scenario specs.
+* ``synthetic`` / ``graphs`` — the Table II statistical and
+                  graph-replay generators.
+* ``families``  — parametric families (tiled GEMM, pointer chase,
+                  streaming scan).
+* ``compose``   — sequential phases and multi-tenant mixes.
+* ``trace``     — record-and-replay memory-trace format.
+* ``registry``  — name -> def resolution and family dispatch
+                  (:func:`build_traces` is the one entry point the
+                  execution backend uses).
+"""
+
+from repro.workloads.compose import make_multi_tenant, make_phased
+from repro.workloads.families import (
+    PointerChaseGenerator,
+    StreamingScanGenerator,
+    TiledGemmGenerator,
+)
 from repro.workloads.graphs import GraphTraceGenerator
+from repro.workloads.registry import (
+    FAMILIES,
+    REGISTRY,
+    WORKLOADS,
+    build_traces,
+    get_workload,
+    get_workload_def,
+    register_workload,
+    workload_names,
+)
+from repro.workloads.spec import WorkloadDef, WorkloadSpec, make_def
+from repro.workloads.synthetic import SyntheticTraceGenerator, WarpTrace
+from repro.workloads.trace import (
+    TraceMeta,
+    TraceRecorder,
+    load_traces,
+    save_traces,
+)
 
 __all__ = [
     "WorkloadSpec",
+    "WorkloadDef",
+    "make_def",
     "WORKLOADS",
+    "REGISTRY",
+    "FAMILIES",
     "get_workload",
+    "get_workload_def",
+    "register_workload",
+    "workload_names",
+    "build_traces",
     "SyntheticTraceGenerator",
     "GraphTraceGenerator",
+    "TiledGemmGenerator",
+    "PointerChaseGenerator",
+    "StreamingScanGenerator",
+    "make_phased",
+    "make_multi_tenant",
     "WarpTrace",
+    "TraceMeta",
+    "TraceRecorder",
+    "load_traces",
+    "save_traces",
 ]

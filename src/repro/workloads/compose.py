@@ -1,0 +1,250 @@
+"""Workload composition: sequential phases and multi-tenant mixes.
+
+Two combinators turn registered workloads into new declarative
+scenarios without any new trace-generation code:
+
+* :func:`make_phased` — **sequential phases**: each warp's trace is the
+  concatenation of per-phase sub-traces (e.g. a streaming load phase
+  followed by a compute-heavy GEMM phase).  This models program phase
+  behaviour, the thing that keeps migration policies honest after
+  warmup.
+* :func:`make_multi_tenant` — **interleaved tenants**: warps are
+  partitioned among named tenants by share (deterministic weighted
+  round-robin, so tenants interleave across SMs exactly like co-located
+  kernels), and each warp's trace carries its tenant label.  The GPU
+  model attributes per-tenant instruction/access/finish-time counters
+  from those labels (``tenant.<name>.*`` in ``RunResult.counters``),
+  so a mix answers "who got hurt?" and not just "was it slower?".
+
+Both produce ordinary :class:`~repro.workloads.spec.WorkloadDef`
+entries whose params store member *names*; the registry resolves the
+members at build time, which keeps composed defs hashable and
+fingerprintable by the result cache.  Composed members may themselves
+be composed (the registry guards against cycles).
+
+Note on parallel execution: a ``SimulationJob`` ships only the
+workload *name*, and executor worker processes re-import the registry
+fresh — so a composition registered at runtime resolves only in the
+registering process.  Register in a module the workers import (as
+``registry._register_defaults`` does) before fanning out with
+``--jobs N``; serial runners have no such restriction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.spec import WorkloadDef, WorkloadSpec, make_def
+from repro.workloads.synthetic import WarpTrace
+
+#: build(name, footprint, num_warps, accesses, line, page, seed) -> traces
+TraceBuilder = Callable[..., List[WarpTrace]]
+
+
+def _blend_spec(
+    name: str, suite: str, members: Sequence[Tuple[WorkloadSpec, float]]
+) -> WorkloadSpec:
+    """Share-weighted characteristics of a composition's members."""
+    total = sum(w for _, w in members)
+    if total <= 0:
+        raise ValueError(f"{name}: member shares must sum to a positive value")
+    norm = [(spec, w / total) for spec, w in members]
+    return WorkloadSpec(
+        name=name,
+        apki=sum(s.apki * w for s, w in norm),
+        read_ratio=sum(s.read_ratio * w for s, w in norm),
+        suite=suite,
+        zipf_alpha=sum(s.zipf_alpha * w for s, w in norm),
+        seq_run_mean=sum(s.seq_run_mean * w for s, w in norm),
+        temporal_reuse=sum(s.temporal_reuse * w for s, w in norm),
+        stream_fraction=sum(s.stream_fraction * w for s, w in norm),
+        compute_reuse=sum(s.compute_reuse * w for s, w in norm),
+        footprint_bytes=max(s.footprint_bytes for s, _ in members),
+    )
+
+
+def make_phased(
+    name: str,
+    phases: Sequence[Tuple[WorkloadDef, float]],
+    summary: str = "",
+) -> WorkloadDef:
+    """Declare a sequential-phase composition.
+
+    ``phases`` is ``[(member_def, fraction), ...]``; fractions are
+    normalized and set each phase's share of every warp's accesses.
+    """
+    if not phases:
+        raise ValueError(f"{name}: need at least one phase")
+    for member, frac in phases:
+        if frac <= 0:
+            raise ValueError(f"{name}: phase {member.name!r} needs a positive fraction")
+    spec = _blend_spec(name, "composed", [(d.spec, f) for d, f in phases])
+    return make_def(
+        name,
+        "compose",
+        spec,
+        params={
+            "kind": "phased",
+            "members": tuple((d.name, float(f)) for d, f in phases),
+        },
+        summary=summary or "phases: " + " -> ".join(d.name for d, _ in phases),
+    )
+
+
+def make_multi_tenant(
+    name: str,
+    tenants: Sequence[Tuple[str, WorkloadDef, float]],
+    summary: str = "",
+) -> WorkloadDef:
+    """Declare an interleaved multi-tenant mix.
+
+    ``tenants`` is ``[(tenant_label, member_def, warp_share), ...]``;
+    shares are normalized and set each tenant's slice of the warp pool.
+    """
+    if not tenants:
+        raise ValueError(f"{name}: need at least one tenant")
+    labels = [label for label, _, _ in tenants]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"{name}: tenant labels must be unique")
+    for label, member, share in tenants:
+        if share <= 0:
+            raise ValueError(f"{name}: tenant {label!r} needs a positive share")
+    spec = _blend_spec(name, "composed", [(d.spec, s) for _, d, s in tenants])
+    return make_def(
+        name,
+        "compose",
+        spec,
+        params={
+            "kind": "multi_tenant",
+            "tenants": tuple(
+                (label, d.name, float(s)) for label, d, s in tenants
+            ),
+        },
+        summary=summary
+        or "tenants: " + ", ".join(f"{l}={d.name}" for l, d, _ in tenants),
+    )
+
+
+def _split_accesses(fractions: Sequence[float], total: int) -> List[int]:
+    """Largest-remainder split of ``total`` accesses over phases."""
+    norm = sum(fractions)
+    raw = [f / norm * total for f in fractions]
+    counts = [int(r) for r in raw]
+    remainders = sorted(
+        range(len(raw)), key=lambda i: (raw[i] - counts[i], -i), reverse=True
+    )
+    for i in remainders[: total - sum(counts)]:
+        counts[i] += 1
+    # Every phase needs at least one access if the budget allows it.
+    # (A zero with total >= len(counts) implies some donor holds >= 2.)
+    while total >= len(counts) and 0 in counts:
+        donor = max(range(len(counts)), key=lambda j: counts[j])
+        counts[donor] -= 1
+        counts[counts.index(0)] += 1
+    return counts
+
+
+def tenant_assignment(
+    shares: Sequence[float], num_warps: int
+) -> List[int]:
+    """Deterministic weighted round-robin: warp index -> tenant index.
+
+    Interleaves tenants in share proportion (rather than blocking them),
+    so every SM serves every tenant — the co-located-kernel layout.
+    """
+    total = sum(shares)
+    credits = [0.0] * len(shares)
+    out = []
+    for _ in range(num_warps):
+        for i, share in enumerate(shares):
+            credits[i] += share / total
+        winner = max(range(len(shares)), key=lambda i: (credits[i], -i))
+        credits[winner] -= 1.0
+        out.append(winner)
+    return out
+
+
+def phased_traces(
+    members: Sequence[Tuple[str, float]],
+    build: TraceBuilder,
+    footprint_bytes: int,
+    num_warps: int,
+    accesses_per_warp: int,
+    line_bytes: int,
+    page_bytes: int,
+    seed: int,
+) -> List[WarpTrace]:
+    """Concatenate per-phase sub-traces for every warp."""
+    counts = _split_accesses([f for _, f in members], accesses_per_warp)
+    phase_traces = [
+        build(name, footprint_bytes, num_warps, count, line_bytes, page_bytes, seed)
+        if count
+        else None
+        for (name, _), count in zip(members, counts)
+    ]
+    out = []
+    for w in range(num_warps):
+        parts = [pt[w] for pt in phase_traces if pt is not None]
+        out.append(
+            WarpTrace(
+                gaps=np.concatenate([p.gaps for p in parts]),
+                addrs=np.concatenate([p.addrs for p in parts]),
+                writes=np.concatenate([p.writes for p in parts]),
+            )
+        )
+    return out
+
+
+def multi_tenant_traces(
+    tenants: Sequence[Tuple[str, str, float]],
+    build: TraceBuilder,
+    footprint_bytes: int,
+    num_warps: int,
+    accesses_per_warp: int,
+    line_bytes: int,
+    page_bytes: int,
+    seed: int,
+) -> List[WarpTrace]:
+    """Interleave tenant warps; each trace carries its tenant label.
+
+    A tenant's warps replay exactly the streams it would generate
+    running alone with that many warps (local warp ids), so per-tenant
+    behaviour is comparable against solo runs.
+    """
+    if num_warps < len(tenants):
+        raise ValueError(
+            f"need at least {len(tenants)} warps for {len(tenants)} tenants"
+        )
+    assignment = tenant_assignment([s for _, _, s in tenants], num_warps)
+    warps_per_tenant = [assignment.count(i) for i in range(len(tenants))]
+    for (label, _, share), count in zip(tenants, warps_per_tenant):
+        if count == 0:
+            # A silently absent tenant would just vanish from the
+            # per-tenant counters; fail loudly instead.
+            raise ValueError(
+                f"tenant {label!r} (share {share}) received 0 of "
+                f"{num_warps} warps — increase num_warps or its share"
+            )
+    tenant_traces = [
+        build(member, footprint_bytes, count, accesses_per_warp,
+              line_bytes, page_bytes, seed)
+        for (_, member, _), count in zip(tenants, warps_per_tenant)
+    ]
+    cursors = [0] * len(tenants)
+    out = []
+    for w in range(num_warps):
+        t = assignment[w]
+        label = tenants[t][0]
+        local = tenant_traces[t][cursors[t]]
+        cursors[t] += 1
+        out.append(
+            WarpTrace(
+                gaps=local.gaps,
+                addrs=local.addrs,
+                writes=local.writes,
+                tenant=label,
+            )
+        )
+    return out

@@ -1,26 +1,267 @@
-"""Workload registry: name -> spec, plus the right trace generator."""
+"""Workload registry: declarative names -> trace families -> WarpTraces.
+
+The registry is the single resolution point of the workload subsystem:
+
+* ``REGISTRY`` maps every registered **name** to its
+  :class:`~repro.workloads.spec.WorkloadDef` (Table II rows, the
+  parametric families, composed scenarios, user registrations).
+* ``FAMILIES`` maps every **family** string to its trace builder; a
+  def's family selects how its traces are generated.
+* :func:`build_traces` resolves a name and dispatches to the family —
+  this is what the execution backend calls, so every workload (old or
+  new, registered or ``trace:<path>`` replay) flows through one path.
+
+Names of the form ``trace:<path>`` are resolved on demand from the
+trace file itself (no registration needed), which keeps them usable
+from parallel executor workers that never saw the parent process's
+registrations.
+
+Back-compat surface: ``WORKLOADS`` remains the Table II name -> spec
+dict (the experiment matrices iterate it), :func:`get_workload` still
+returns a :class:`WorkloadSpec`, and :func:`generate_traces` keeps its
+original signature for callers that hold a spec.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Union
 
+from repro.workloads import compose as _compose
+from repro.workloads.families import (
+    PointerChaseGenerator,
+    StreamingScanGenerator,
+    TiledGemmGenerator,
+)
 from repro.workloads.graphs import GraphTraceGenerator
-from repro.workloads.spec import TABLE2, WorkloadSpec
+from repro.workloads.spec import TABLE2, WorkloadDef, WorkloadSpec, make_def
 from repro.workloads.synthetic import SyntheticTraceGenerator, WarpTrace
-
-WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in TABLE2}
+from repro.workloads.trace import (
+    TRACE_PREFIX,
+    load_traces,
+    read_trace_meta,
+    trace_file_digest,
+    trace_path_of,
+)
 
 TraceGenerator = Union[SyntheticTraceGenerator, GraphTraceGenerator]
 
+#: Table II name -> spec (back-compat; the figure matrices iterate this).
+WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in TABLE2}
 
-def get_workload(name: str) -> WorkloadSpec:
+
+# --------------------------------------------------------------------
+# Family table
+# --------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Family:
+    """One trace family: a name, its docs, and a trace builder."""
+
+    name: str
+    doc: str
+    build: Callable[..., List[WarpTrace]]
+
+
+def _build_table2(
+    defn: WorkloadDef, footprint_bytes, num_warps, accesses_per_warp,
+    line_bytes, page_bytes, seed,
+) -> List[WarpTrace]:
+    gen = make_generator(defn.spec, footprint_bytes, line_bytes, page_bytes, seed)
+    return gen.traces(num_warps, accesses_per_warp)
+
+
+def _generator_family(cls) -> Callable[..., List[WarpTrace]]:
+    def build(
+        defn: WorkloadDef, footprint_bytes, num_warps, accesses_per_warp,
+        line_bytes, page_bytes, seed,
+    ) -> List[WarpTrace]:
+        gen = cls(
+            defn.spec, footprint_bytes, line_bytes, page_bytes, seed,
+            **defn.param_dict,
+        )
+        return gen.traces(num_warps, accesses_per_warp)
+
+    return build
+
+
+_MAX_COMPOSE_DEPTH = 4
+
+
+def _build_compose(
+    defn: WorkloadDef, footprint_bytes, num_warps, accesses_per_warp,
+    line_bytes, page_bytes, seed, _depth: int = 0,
+) -> List[WarpTrace]:
+    if _depth >= _MAX_COMPOSE_DEPTH:
+        raise ValueError(
+            f"{defn.name}: composition nested deeper than {_MAX_COMPOSE_DEPTH} "
+            "(cycle?)"
+        )
+
+    def build_member(name, *args):
+        member = get_workload_def(name)
+        if member.family == "compose":
+            return _build_compose(member, *args, _depth=_depth + 1)
+        return FAMILIES[member.family].build(member, *args)
+
+    params = defn.param_dict
+    args = (footprint_bytes, num_warps, accesses_per_warp,
+            line_bytes, page_bytes, seed)
+    if params["kind"] == "phased":
+        return _compose.phased_traces(params["members"], build_member, *args)
+    if params["kind"] == "multi_tenant":
+        return _compose.multi_tenant_traces(params["tenants"], build_member, *args)
+    raise ValueError(f"{defn.name}: unknown composition kind {params['kind']!r}")
+
+
+def _build_trace_replay(
+    defn: WorkloadDef, footprint_bytes, num_warps, accesses_per_warp,
+    line_bytes, page_bytes, seed,
+) -> List[WarpTrace]:
+    # A replay IS the recorded stream: sizing parameters are ignored by
+    # design — the file fixes warp count and per-warp access counts.
+    path = dict(defn.params)["path"]
+    _meta, traces = load_traces(path)
+    return traces
+
+
+FAMILIES: Dict[str, Family] = {
+    "synthetic": Family(
+        "synthetic",
+        (SyntheticTraceGenerator.__doc__ or "").strip(),
+        _build_table2,
+    ),
+    "graph": Family(
+        "graph",
+        (GraphTraceGenerator.__doc__ or "").strip(),
+        _build_table2,
+    ),
+    "gemm": Family(
+        "gemm",
+        (TiledGemmGenerator.__doc__ or "").strip(),
+        _generator_family(TiledGemmGenerator),
+    ),
+    "pointer": Family(
+        "pointer",
+        (PointerChaseGenerator.__doc__ or "").strip(),
+        _generator_family(PointerChaseGenerator),
+    ),
+    "stream": Family(
+        "stream",
+        (StreamingScanGenerator.__doc__ or "").strip(),
+        _generator_family(StreamingScanGenerator),
+    ),
+    "compose": Family(
+        "compose",
+        (_compose.__doc__ or "").strip(),
+        _build_compose,
+    ),
+    "trace": Family(
+        "trace",
+        "Replay of a recorded memory trace (see workloads/trace.py). "
+        "Sizing flags are ignored: the file fixes the warp count and "
+        "each warp's access stream.",
+        _build_trace_replay,
+    ),
+}
+
+
+# --------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------
+
+REGISTRY: Dict[str, WorkloadDef] = {}
+
+
+def register_workload(defn: WorkloadDef, replace: bool = False) -> WorkloadDef:
+    """Register a workload def under its name.
+
+    Raises ``ValueError`` on duplicate names (unless ``replace=True``)
+    and on unknown families, so registration mistakes fail loudly at
+    definition time rather than mid-experiment.
+    """
+    if defn.family not in FAMILIES:
+        raise ValueError(
+            f"{defn.name}: unknown family {defn.family!r}; "
+            f"choose from {sorted(FAMILIES)}"
+        )
+    if not replace and defn.name in REGISTRY:
+        raise ValueError(f"workload {defn.name!r} already registered")
+    REGISTRY[defn.name] = defn
+    return defn
+
+
+def _trace_replay_def(name: str, path: str) -> WorkloadDef:
+    """Resolve a ``trace:<path>`` name from the file on disk.
+
+    The replayed def inherits the *recorded* spec — including the
+    original workload name — so a replayed ``RunResult`` is
+    bit-identical to the recorded run.  The file digest goes into the
+    params, keying the persistent result cache to the exact bytes.
+    Only the header (plus a raw byte digest) is read here; the warp
+    records are parsed once, at trace build time.
+    """
+    meta = read_trace_meta(path)
+    return make_def(
+        name,
+        "trace",
+        meta.spec,
+        params={"path": path, "digest": trace_file_digest(path)},
+        summary=(
+            f"replay of {meta.workload} recorded on {meta.platform} "
+            f"({meta.mode}), {meta.num_warps} warps"
+        ),
+    )
+
+
+def get_workload_def(name: str) -> WorkloadDef:
+    """Resolve a workload name (registered, or ``trace:<path>``)."""
+    path = trace_path_of(name)
+    if path is not None:
+        return _trace_replay_def(name, path)
     try:
-        return WORKLOADS[name]
+        return REGISTRY[name]
     except KeyError:
         raise KeyError(
-            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+            f"unknown workload {name!r}; choose from {sorted(REGISTRY)} "
+            f"or a {TRACE_PREFIX}<path> replay"
         ) from None
 
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Resolve a workload name to its characteristics (back-compat)."""
+    return get_workload_def(name).spec
+
+
+def workload_names() -> List[str]:
+    """All registered workload names, Table II first."""
+    return list(REGISTRY)
+
+
+def build_traces(
+    name_or_def: Union[str, WorkloadDef],
+    footprint_bytes: int,
+    num_warps: int,
+    accesses_per_warp: int,
+    line_bytes: int = 128,
+    page_bytes: int = 4096,
+    seed: int = 7,
+) -> List[WarpTrace]:
+    """Materialize a workload's warp traces via its family builder."""
+    defn = (
+        name_or_def
+        if isinstance(name_or_def, WorkloadDef)
+        else get_workload_def(name_or_def)
+    )
+    return FAMILIES[defn.family].build(
+        defn, footprint_bytes, num_warps, accesses_per_warp,
+        line_bytes, page_bytes, seed,
+    )
+
+
+# --------------------------------------------------------------------
+# Back-compat trace generation for callers that hold a WorkloadSpec
+# --------------------------------------------------------------------
 
 def make_generator(
     spec: WorkloadSpec,
@@ -30,8 +271,8 @@ def make_generator(
     seed: int = 7,
     use_graph_traces: bool = True,
 ) -> TraceGenerator:
-    """Trace generator for a workload: graph replay for GraphBIG apps,
-    statistical traces otherwise."""
+    """Trace generator for a Table II workload: graph replay for
+    GraphBIG apps, statistical traces otherwise."""
     if spec.is_graph and use_graph_traces:
         # Size the graph so the CSR + two property arrays cover roughly
         # half of the footprint (the rest models per-algorithm scratch).
@@ -54,7 +295,103 @@ def generate_traces(
     seed: int = 7,
     use_graph_traces: bool = True,
 ) -> List[WarpTrace]:
+    """Traces straight from a spec (Table II path, kept for back-compat)."""
     gen = make_generator(
         spec, footprint_bytes, line_bytes, page_bytes, seed, use_graph_traces
     )
     return gen.traces(num_warps, accesses_per_warp)
+
+
+# --------------------------------------------------------------------
+# Default registrations (import-time, so executor workers see them too)
+# --------------------------------------------------------------------
+
+def _register_defaults() -> None:
+    for spec in TABLE2:
+        register_workload(
+            make_def(
+                spec.name,
+                "graph" if spec.is_graph else "synthetic",
+                spec,
+                summary=(
+                    f"Table II {spec.suite} workload "
+                    f"(APKI {spec.apki:.0f}, {spec.read_ratio:.0%} reads)"
+                ),
+            )
+        )
+
+    gemm = register_workload(
+        make_def(
+            "gemm_reuse",
+            "gemm",
+            WorkloadSpec(
+                "gemm_reuse", apki=120, read_ratio=0.8, suite="dense",
+                zipf_alpha=0.9, seq_run_mean=8.0, temporal_reuse=0.7,
+                stream_fraction=0.1, compute_reuse=96.0,
+            ),
+            params={"tile_lines": 16, "passes": 2, "update_writes": 0.5},
+            summary="tiled GEMM / attention: heavy intra-tile reuse over a streaming tile grid",
+        )
+    )
+    chase = register_workload(
+        make_def(
+            "pointer_chase",
+            "pointer",
+            WorkloadSpec(
+                "pointer_chase", apki=220, read_ratio=0.9, suite="pointer",
+                zipf_alpha=1.1, seq_run_mean=1.0, temporal_reuse=0.1,
+                stream_fraction=0.15, compute_reuse=10.0,
+            ),
+            params={"node_lines": 1, "chain_length": 12,
+                    "frontier_fraction": 0.15, "frontier_write_ratio": 0.5},
+            summary="dependent pointer chase with hub-skewed restarts and a frontier queue",
+        )
+    )
+    register_workload(
+        make_def(
+            "stream_scan",
+            "stream",
+            WorkloadSpec(
+                "stream_scan", apki=160, read_ratio=2.0 / 3.0, suite="stream",
+                zipf_alpha=0.5, seq_run_mean=16.0, temporal_reuse=0.0,
+                stream_fraction=1.0, compute_reuse=4.0,
+            ),
+            params={"read_fraction": 2.0 / 3.0, "num_streams": 3,
+                    "stride_lines": 1},
+            summary="STREAM triad: three sequential cursors, two reads per write, zero reuse",
+        )
+    )
+    # Read:write-mix variants for the families sensitivity sweep.
+    for pct in (25, 50, 75, 100):
+        rf = pct / 100.0
+        register_workload(
+            make_def(
+                f"stream_scan_r{pct}",
+                "stream",
+                WorkloadSpec(
+                    f"stream_scan_r{pct}", apki=160, read_ratio=rf,
+                    suite="stream", zipf_alpha=0.5, seq_run_mean=16.0,
+                    temporal_reuse=0.0, stream_fraction=1.0, compute_reuse=4.0,
+                ),
+                params={"read_fraction": rf, "num_streams": 3, "stride_lines": 1},
+                summary=f"streaming scan at {pct}% reads (write-mix sensitivity)",
+            )
+        )
+    # Composed defaults: a co-located mix and a phased pipeline.
+    register_workload(
+        _compose.make_multi_tenant(
+            "mix_gemm_chase",
+            [("gemm", gemm, 0.5), ("chase", chase, 0.5)],
+            summary="two co-located tenants: dense GEMM vs pointer chase, 50/50 warps",
+        )
+    )
+    register_workload(
+        _compose.make_phased(
+            "phased_scan_gemm",
+            [(REGISTRY["stream_scan"], 0.3), (gemm, 0.7)],
+            summary="streaming load phase (30%) then tiled-GEMM compute phase (70%)",
+        )
+    )
+
+
+_register_defaults()

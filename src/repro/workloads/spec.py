@@ -1,28 +1,44 @@
-"""Workload characteristics (Table II) plus trace-shaping parameters.
+"""Workload characteristics and declarative workload definitions.
 
-APKI (memory accesses per kilo-instruction) and the read ratio come
-straight from Table II.  The remaining fields shape the synthetic
-traces: access skew (hot pages), spatial locality (sequential runs) and
-the compute-reuse factor used by the Fig. 3 host/storage model.  Skew
-and reuse are chosen per suite: graph workloads are highly skewed and
-irregular; the Rodinia/Polybench kernels are more regular.
+Two layers live here:
+
+* :class:`WorkloadSpec` — the *characteristics* of a workload: APKI
+  (memory accesses per kilo-instruction), read ratio, footprint, and the
+  trace-shaping parameters (skew, spatial locality, compute reuse).
+  The ten Table II rows are instances; the parametric families
+  (``workloads/families.py``) and trace replays carry one too, so every
+  consumer (the Fig. 3 host model, the footprint scaler, the energy
+  accounting) sees a uniform surface.
+
+* :class:`WorkloadDef` — a *declarative scenario spec*: a registered
+  name bound to a trace **family** (``synthetic``, ``graph``, ``gemm``,
+  ``pointer``, ``stream``, ``compose``, ``trace``) plus the family's
+  parameters.  The registry (``workloads/registry.py``) resolves a name
+  to its def and dispatches trace generation to the family builder, so
+  adding a scenario is one :func:`~repro.workloads.registry.register_workload`
+  call — no new simulation code.
+
+APKI and the read ratio of the Table II rows come straight from the
+paper.  Skew and reuse are chosen per suite: graph workloads are highly
+skewed and irregular; the Rodinia/Polybench kernels are more regular.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.config import GB
 
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """One row of Table II plus generator parameters."""
+    """Characteristics of one workload (a Table II row or equivalent)."""
 
     name: str
     apki: float
     read_ratio: float
-    suite: str  # "rodinia" | "polybench" | "graphbig"
+    suite: str  # "rodinia" | "polybench" | "graphbig" | "dense" | "pointer" | "stream" | "composed" | "trace"
     zipf_alpha: float = 0.9  # page-popularity skew
     seq_run_mean: float = 4.0  # mean sequential-line run length
     temporal_reuse: float = 0.45  # chance of revisiting a recent line
@@ -69,3 +85,79 @@ TABLE2 = (
     WorkloadSpec("pagerank", 599, 0.99, "graphbig", zipf_alpha=1.2, seq_run_mean=2.0, compute_reuse=8.0),
     WorkloadSpec("sssp", 103, 0.98, "graphbig", zipf_alpha=1.1, seq_run_mean=2.0, compute_reuse=20.0),
 )
+
+
+def _freeze_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical (sorted, hashable) form of a family parameter mapping."""
+    frozen = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, list):
+            value = tuple(tuple(v) if isinstance(v, list) else v for v in value)
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class WorkloadDef:
+    """A registered workload: a name bound to a family and its params.
+
+    This is the declarative unit of the workload subsystem.  The
+    ``family`` string selects a trace builder from the registry's
+    family table; ``params`` parameterize it (tile sizes, read:write
+    mixes, tenant shares, a trace-file digest, ...).  The ``spec``
+    carries the workload's characteristics for every consumer that does
+    not generate traces (footprint scaling, the Fig. 3 host model).
+
+    Defs are frozen and hashable; :meth:`fingerprint_payload` is folded
+    into the persistent result-cache key so two workloads that share a
+    name but differ in parameters can never alias a cached result.
+    """
+
+    name: str
+    family: str
+    spec: WorkloadSpec
+    params: Tuple[Tuple[str, Any], ...] = ()
+    summary: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload def needs a name")
+        if not self.family:
+            raise ValueError(f"{self.name}: workload def needs a family")
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        """The family parameters as a plain keyword mapping."""
+        return dict(self.params)
+
+    def fingerprint_payload(self) -> dict:
+        """Everything that determines this workload's traces, as JSON.
+
+        Folded into :func:`repro.harness.cache.job_fingerprint`, so a
+        cached result can only be replayed for a byte-identical
+        workload definition.
+        """
+        return {
+            "family": self.family,
+            "params": [[k, list(v) if isinstance(v, tuple) else v]
+                       for k, v in self.params],
+            "spec": asdict(self.spec),
+        }
+
+
+def make_def(
+    name: str,
+    family: str,
+    spec: WorkloadSpec,
+    params: Mapping[str, Any] | None = None,
+    summary: str = "",
+) -> WorkloadDef:
+    """Build a :class:`WorkloadDef` from a plain parameter mapping."""
+    return WorkloadDef(
+        name=name,
+        family=family,
+        spec=spec,
+        params=_freeze_params(params or {}),
+        summary=summary,
+    )

@@ -9,9 +9,10 @@ read ratio).  Generation is deterministic per (workload, warp, seed).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -20,14 +21,36 @@ from repro.workloads.spec import WorkloadSpec
 
 @dataclass(frozen=True)
 class WarpTrace:
-    """One warp's replayable access stream."""
+    """One warp's replayable access stream.
+
+    ``tenant`` labels the trace for composed multi-tenant workloads
+    (``workloads/compose.py``); the GPU model attributes per-tenant
+    instruction and access counts from it.  Plain workloads leave it
+    ``None`` and pay nothing.
+    """
 
     gaps: np.ndarray  # int64 instructions of compute before each access
     addrs: np.ndarray  # int64 byte addresses
     writes: np.ndarray  # bool
+    tenant: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.addrs)
+
+    def digest(self) -> str:
+        """SHA-256 over the raw access stream (endianness-pinned).
+
+        The golden workload-fingerprint tests freeze these per family:
+        any change to a family's generated addresses, gaps or write
+        flags — however small — changes the digest.
+        """
+        h = hashlib.sha256()
+        h.update(self.gaps.astype("<i8").tobytes())
+        h.update(self.addrs.astype("<i8").tobytes())
+        h.update(self.writes.astype("u1").tobytes())
+        if self.tenant is not None:
+            h.update(self.tenant.encode("utf-8"))
+        return h.hexdigest()
 
     @cached_property
     def ops(self) -> tuple[tuple[int, int, bool], ...]:

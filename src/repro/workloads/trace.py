@@ -1,0 +1,243 @@
+"""Memory-trace format: record any simulation, replay it as a workload.
+
+The format is compact JSONL (gzip-compressed when the path ends in
+``.gz``):
+
+* **line 1** — a header object: ``format`` (``"repro-trace"``),
+  ``version``, the originating ``workload``/``platform``/``mode``,
+  ``line_bytes``, ``num_warps``, and the full ``spec`` dict of the
+  recorded workload (so a replay carries the original
+  :class:`~repro.workloads.spec.WorkloadSpec` — including its name,
+  which keeps the replayed :class:`~repro.gpu.gpu.RunResult`
+  bit-identical to the recorded run).
+* **one line per warp** — ``{"warp": i, "tenant": ..., "gaps": [...],
+  "addrs": [...], "writes": [0/1, ...]}``.
+
+Recording hooks into the warp's memory-issue path: a
+:class:`TraceRecorder` handed to :class:`~repro.gpu.gpu.GpuModel` (via
+``repro run --record-trace`` or ``repro workloads record``) captures
+every ``(gap, addr, write)`` exactly as executed.  Because the
+simulator is a deterministic function of (traces, config), replaying a
+recorded file under the same configuration reproduces the original
+``RunResult`` fingerprint bit-identically — the property the trace
+tests pin down.
+
+Replay is addressed through the registry as the workload name
+``trace:<path>`` and therefore works everywhere a workload name does:
+``repro run``, experiment specs, sweeps, parallel executors and the
+persistent result cache (the file's SHA-256 is folded into the cache
+fingerprint).
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.synthetic import WarpTrace
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+#: Registry prefix: ``trace:<path>`` resolves to a replay workload.
+TRACE_PREFIX = "trace:"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or has the wrong version."""
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Header of a trace file: provenance plus the recorded spec."""
+
+    workload: str
+    platform: str
+    mode: str
+    line_bytes: int
+    num_warps: int
+    spec: WorkloadSpec
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "workload": self.workload,
+            "platform": self.platform,
+            "mode": self.mode,
+            "line_bytes": self.line_bytes,
+            "num_warps": self.num_warps,
+            "spec": asdict(self.spec),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceMeta":
+        if data.get("format") != TRACE_FORMAT:
+            raise TraceFormatError("not a repro-trace file (bad format marker)")
+        if data.get("version") != TRACE_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace version {data.get('version')!r} "
+                f"(this build reads v{TRACE_VERSION})"
+            )
+        return cls(
+            workload=data["workload"],
+            platform=data["platform"],
+            mode=data["mode"],
+            line_bytes=data["line_bytes"],
+            num_warps=data["num_warps"],
+            spec=WorkloadSpec(**data["spec"]),
+        )
+
+
+class TraceRecorder:
+    """Collects each warp's executed ``(gap, addr, write)`` stream.
+
+    Handed to :class:`~repro.gpu.gpu.GpuModel`, which threads it into
+    every warp; the warp calls :meth:`record` once per memory
+    instruction at issue time.  Accesses are appended in per-warp
+    program order, so the recording is exactly the stream a replay
+    feeds back.
+    """
+
+    def __init__(self, num_warps: int) -> None:
+        if num_warps < 1:
+            raise ValueError("need at least one warp")
+        self._streams: List[List[tuple]] = [[] for _ in range(num_warps)]
+
+    def record(self, warp_id: int, gap: int, addr: int, is_write: bool) -> None:
+        """Append one executed access to ``warp_id``'s stream."""
+        self._streams[warp_id].append((gap, addr, is_write))
+
+    def to_traces(
+        self, tenants: Optional[Sequence[Optional[str]]] = None
+    ) -> List[WarpTrace]:
+        """The recording as replayable :class:`WarpTrace` objects."""
+        traces = []
+        for w, stream in enumerate(self._streams):
+            if not stream:
+                raise ValueError(f"warp {w} recorded no accesses")
+            gaps, addrs, writes = zip(*stream)
+            traces.append(
+                WarpTrace(
+                    gaps=np.asarray(gaps, dtype=np.int64),
+                    addrs=np.asarray(addrs, dtype=np.int64),
+                    writes=np.asarray(writes, dtype=bool),
+                    tenant=tenants[w] if tenants is not None else None,
+                )
+            )
+        return traces
+
+
+def _open_for_write(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_for_read(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def save_traces(
+    path: Union[str, Path], meta: TraceMeta, traces: Sequence[WarpTrace]
+) -> Path:
+    """Write a trace file (header line + one JSONL record per warp)."""
+    path = Path(path)
+    if len(traces) != meta.num_warps:
+        raise ValueError(
+            f"meta says {meta.num_warps} warps, got {len(traces)} traces"
+        )
+    with _open_for_write(path) as fh:
+        fh.write(json.dumps(meta.to_dict(), separators=(",", ":")) + "\n")
+        for w, trace in enumerate(traces):
+            record = {
+                "warp": w,
+                "tenant": trace.tenant,
+                "gaps": trace.gaps.tolist(),
+                "addrs": trace.addrs.tolist(),
+                "writes": [int(b) for b in trace.writes.tolist()],
+            }
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    return path
+
+
+def read_trace_meta(path: Union[str, Path]) -> TraceMeta:
+    """Read only the header of a trace file.
+
+    This is what name resolution (``trace:<path>`` -> WorkloadDef)
+    uses: building the def needs the recorded spec and provenance, not
+    the warp records, so resolving a large trace stays cheap.
+    """
+    path = Path(path)
+    try:
+        with _open_for_read(path) as fh:
+            header_line = fh.readline()
+    except (EOFError, UnicodeDecodeError) as exc:
+        raise TraceFormatError(f"{path}: not a readable trace file ({exc})") from None
+    if not header_line.strip():
+        raise TraceFormatError(f"{path}: empty trace file")
+    try:
+        return TraceMeta.from_dict(json.loads(header_line))
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: unreadable header ({exc})") from None
+
+
+def load_traces(path: Union[str, Path]) -> tuple[TraceMeta, List[WarpTrace]]:
+    """Read a trace file back into its header and warp traces."""
+    path = Path(path)
+    meta = read_trace_meta(path)
+    traces: List[WarpTrace] = []
+    try:
+        with _open_for_read(path) as fh:
+            fh.readline()  # header, already parsed above
+            for line in fh:
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(
+                        f"{path}: corrupt warp record ({exc})"
+                    ) from None
+                traces.append(
+                    WarpTrace(
+                        gaps=np.asarray(record["gaps"], dtype=np.int64),
+                        addrs=np.asarray(record["addrs"], dtype=np.int64),
+                        writes=np.asarray(record["writes"], dtype=bool),
+                        tenant=record.get("tenant"),
+                    )
+                )
+    except (EOFError, UnicodeDecodeError) as exc:
+        raise TraceFormatError(f"{path}: not a readable trace file ({exc})") from None
+    if len(traces) != meta.num_warps:
+        raise TraceFormatError(
+            f"{path}: header says {meta.num_warps} warps, file has {len(traces)}"
+        )
+    return meta, traces
+
+
+def trace_file_digest(path: Union[str, Path]) -> str:
+    """SHA-256 of the file bytes — the cache-fingerprint component."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def trace_path_of(name: str) -> Optional[str]:
+    """The path inside a ``trace:<path>`` workload name, else ``None``."""
+    if name.startswith(TRACE_PREFIX):
+        return name[len(TRACE_PREFIX):]
+    return None

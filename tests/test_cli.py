@@ -79,7 +79,8 @@ class TestCommands:
         payload = json.loads(out_file.read_text())
         assert payload["unit"] == "events_per_sec"
         assert {m["case"] for m in payload["current"]} == {
-            "headline_smoke", "two_level_smoke", "origin_smoke"
+            "headline_smoke", "two_level_smoke", "origin_smoke",
+            "gemm_smoke", "mix_smoke",
         }
         for m in payload["current"]:
             assert m["events_per_sec"] > 0
@@ -87,6 +88,82 @@ class TestCommands:
     def test_experiment_fig15(self, capsys):
         assert main(["experiment", "fig15", "--quick"]) == 0
         assert "planar" in capsys.readouterr().out
+
+
+class TestWorkloadsCommands:
+    def test_run_accepts_new_families(self, capsys):
+        for name in ("gemm_reuse", "pointer_chase", "stream_scan"):
+            assert main(
+                ["run", "--platform", "Ohm-BW", "--workload", name,
+                 "--warps", "8", "--accesses", "8"]
+            ) == 0
+            assert "exec time" in capsys.readouterr().out
+
+    def test_run_accepts_composed_multi_tenant(self, capsys):
+        assert main(
+            ["run", "--platform", "Ohm-base", "--workload", "mix_gemm_chase",
+             "--warps", "8", "--accesses", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tenant gemm" in out and "tenant chase" in out
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--platform", "Ohm-BW", "--workload", "doom", "--quick"])
+
+    def test_workloads_list(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm_reuse" in out and "pagerank" in out and "compose" in out
+
+    def test_workloads_describe(self, capsys):
+        assert main(["workloads", "describe", "stream_scan"]) == 0
+        out = capsys.readouterr().out
+        assert "family: stream" in out
+        assert "read_fraction" in out  # parameters printed
+        assert "STREAM" in out  # family docstring printed
+
+    def test_workloads_describe_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["workloads", "describe", "doom"])
+
+    def test_record_then_replay_is_bit_identical(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl.gz"
+        assert main(
+            ["workloads", "record", "--platform", "Ohm-BW",
+             "--workload", "pagerank", "--warps", "8", "--accesses", "8",
+             "-o", str(trace)]
+        ) == 0
+        recorded = capsys.readouterr().out
+        assert main(
+            ["workloads", "replay", "--trace", str(trace),
+             "--platform", "Ohm-BW", "--warps", "8", "--accesses", "8"]
+        ) == 0
+        replayed = capsys.readouterr().out
+        def fp(out):
+            return [l for l in out.splitlines() if l.startswith("fingerprint")][0]
+        assert fp(recorded) == fp(replayed)
+
+    def test_run_record_trace_flag(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            ["run", "--platform", "Oracle", "--workload", "backp",
+             "--warps", "8", "--accesses", "8", "--record-trace", str(trace)]
+        ) == 0
+        assert trace.exists()
+        assert "fingerprint" in capsys.readouterr().out
+
+    def test_replay_missing_trace_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["workloads", "replay", "--trace", str(tmp_path / "no.jsonl"),
+                 "--platform", "Ohm-BW"]
+            )
+
+    def test_experiment_families_quick(self, capsys):
+        assert main(["experiment", "families", "--warps", "8", "--accesses", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm_reuse" in out and "stream_scan_r25" in out
 
 
 class TestServiceFlags:

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Docs-consistency check (CI, non-gating).
+
+Two invariants keep the documentation surface honest:
+
+1. every workload name registered at import time appears in
+   docs/WORKLOADS.md (and every experiment name in README.md or
+   DESIGN.md is a soft courtesy we do not enforce);
+2. every example script under examples/ runs to completion in smoke
+   mode (REPRO_SMOKE=1).
+
+Run locally::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exits non-zero on the first class of failure encountered; prints every
+individual failure first.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def check_workload_docs() -> list[str]:
+    from repro.workloads.registry import REGISTRY
+
+    doc = (REPO / "docs" / "WORKLOADS.md").read_text(encoding="utf-8")
+    return [
+        f"workload {name!r} is registered but not documented in docs/WORKLOADS.md"
+        for name in REGISTRY
+        if name not in doc
+    ]
+
+
+def check_required_docs_exist() -> list[str]:
+    required = ("README.md", "docs/WORKLOADS.md", "DESIGN.md")
+    return [
+        f"required document {rel} is missing"
+        for rel in required
+        if not (REPO / rel).is_file()
+    ]
+
+
+def check_examples_smoke() -> list[str]:
+    failures = []
+    env = dict(os.environ, REPRO_SMOKE="1")
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    for script in sorted((REPO / "examples").glob("*.py")):
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stderr.splitlines()[-5:])
+            failures.append(
+                f"example {script.name} failed in smoke mode "
+                f"(exit {proc.returncode}):\n{tail}"
+            )
+    return failures
+
+
+def main() -> int:
+    failures = []
+    failures += check_required_docs_exist()
+    failures += check_workload_docs()
+    failures += check_examples_smoke()
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        print(f"\n{len(failures)} docs-consistency failure(s)", file=sys.stderr)
+        return 1
+    print("docs-consistency: all registered workloads documented, all examples run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
