@@ -23,6 +23,7 @@ from repro.config import (
 )
 from repro.core.platforms import PLATFORMS, Platform, build_memory_system
 from repro.gpu.gpu import GpuModel, RunResult
+from repro.harness.batch import BatchRun
 from repro.harness.cache import ResultCache
 from repro.harness.executor import (
     ParallelExecutor,
@@ -32,6 +33,7 @@ from repro.harness.executor import (
     execute_job,
 )
 from repro.harness.runner import Runner
+from repro.harness.store import ResultStore
 from repro.workloads.registry import (
     REGISTRY,
     WORKLOADS,
@@ -44,7 +46,7 @@ from repro.workloads.registry import (
 )
 from repro.workloads.spec import WorkloadDef, WorkloadSpec, make_def
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MemoryMode",
@@ -62,6 +64,8 @@ __all__ = [
     "ParallelExecutor",
     "execute_job",
     "ResultCache",
+    "BatchRun",
+    "ResultStore",
     "WORKLOADS",
     "REGISTRY",
     "WorkloadSpec",

@@ -13,6 +13,11 @@ Usage examples::
     python -m repro.cli workloads describe mix_gemm_chase
     python -m repro.cli workloads record --platform Ohm-BW --workload pagerank -o pr.jsonl.gz
     python -m repro.cli workloads replay --trace pr.jsonl.gz --platform Ohm-BW
+    python -m repro.cli batch run --experiment fig16 fig17 --batch-dir .repro-batch --jobs 4
+    python -m repro.cli batch status --batch-dir .repro-batch
+    python -m repro.cli batch resume --batch-dir .repro-batch --jobs 4
+    python -m repro.cli store query --platform Ohm-BW --workload gemm_reuse --format json
+    python -m repro.cli store gc --cache-dir .repro-batch/cache
     python -m repro.cli perf -o BENCH_perf.json
     python -m repro.cli list
 
@@ -23,6 +28,15 @@ an experiment's rows as json or csv via the structured emitters.
 ``perf`` benchmarks the simulator itself (events/sec per calibrated
 case, written to ``BENCH_perf.json``); ``run --profile`` wraps one
 simulation in cProfile for hot-path hunts.
+
+The ``batch`` group fronts the sharded batch scheduler (DESIGN.md
+section 9): ``batch run`` shards one or more experiments' job matrices
+into a journaled, resumable batch; ``batch status`` reports per-batch
+shard progress; ``batch resume`` picks every incomplete batch up
+exactly where its journal left off.  Any simulating command also takes
+``--batch-dir`` directly to journal its own matrix.  The ``store``
+group queries the persistent result cache by job facets (``store
+query``) and reclaims stale-schema entries (``store gc``).
 
 The ``workloads`` group fronts the workload subsystem (see
 docs/WORKLOADS.md): ``list``/``describe`` introspect the registry,
@@ -37,13 +51,16 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro import MemoryMode, RunConfig, Runner
 from repro.core.platforms import PLATFORMS
 from repro.harness import experiments  # noqa: F401  (populates the registry)
+from repro.harness.batch import DEFAULT_SHARD_SIZE, BatchError, BatchRun
 from repro.harness.cache import ResultCache
 from repro.harness.executor import make_executor
+from repro.harness.store import STORE_COLUMNS, ResultStore
 from repro.harness.registry import (
     EXPERIMENTS,
     ExperimentResult,
@@ -56,6 +73,17 @@ from repro.workloads.trace import TraceFormatError
 
 def _mode(name: str) -> MemoryMode:
     return MemoryMode(name)
+
+
+def _positive_int(text: str) -> int:
+    """argparse ``type=`` wrapper for flags that must be >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def _resolve_workload(name: str):
@@ -168,23 +196,42 @@ def _run_config(args: argparse.Namespace) -> RunConfig:
     return RunConfig(num_warps=args.warps, accesses_per_warp=args.accesses)
 
 
+def _enable_log(name: str) -> None:
+    """Route one harness logger's INFO records to stderr."""
+    log = logging.getLogger(name)
+    log.setLevel(logging.INFO)
+    if not log.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        log.addHandler(handler)
+
+
 def _make_runner(args: argparse.Namespace) -> Runner:
     """Assemble the experiment service the flags describe."""
     cache = None
     if getattr(args, "cache_dir", None):
         # Surface per-job cache hits on stderr (acceptance: hits logged).
-        log = logging.getLogger("repro.cache")
-        log.setLevel(logging.INFO)
-        if not log.handlers:
-            handler = logging.StreamHandler()
-            handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
-            log.addHandler(handler)
+        _enable_log("repro.cache")
         try:
             cache = ResultCache(args.cache_dir)
         except OSError as exc:
             raise SystemExit(f"repro: --cache-dir: {exc}")
+    batch_dir = getattr(args, "batch_dir", None)
+    if batch_dir:
+        # Surface per-shard progress and skip decisions on stderr.
+        _enable_log("repro.batch")
     executor = make_executor(getattr(args, "jobs", 1))
-    return Runner(_run_config(args), executor=executor, cache=cache)
+    try:
+        return Runner(
+            _run_config(args),
+            executor=executor,
+            cache=cache,
+            batch_dir=batch_dir,
+            shard_size=getattr(args, "shard_size", DEFAULT_SHARD_SIZE),
+        )
+    except OSError as exc:
+        # Runner creates <batch-dir>/cache eagerly when batching.
+        raise SystemExit(f"repro: --batch-dir: {exc}")
 
 
 def _finish(runner: Runner) -> None:
@@ -315,7 +362,12 @@ def cmd_perf(args: argparse.Namespace) -> int:
     from repro.harness.perf import PERF_CASES, SMOKE_CASES, run_suite, write_bench
 
     cases = SMOKE_CASES if args.smoke else PERF_CASES
-    measurements = run_suite(cases, repeats=args.repeats)
+    if args.journal:
+        try:
+            Path(args.journal).parent.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise SystemExit(f"repro: --journal: {exc}")
+    measurements = run_suite(cases, repeats=args.repeats, journal=args.journal)
     rows = []
     for m in measurements:
         speedup = m.speedup_vs_baseline
@@ -399,6 +451,133 @@ def cmd_workloads_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_cache(args: argparse.Namespace, root) -> ResultCache:
+    """The cache a batch command stores/merges results through."""
+    try:
+        return ResultCache(args.cache_dir or (root / "cache"))
+    except OSError as exc:
+        raise SystemExit(f"repro: --cache-dir: {exc}")
+
+
+def _print_batch_statuses(batches) -> None:
+    rows = [
+        tuple(b.status().to_row()[c] for c in ("batch", "label", "shards", "jobs", "state"))
+        for b in batches
+    ]
+    print(
+        format_table(
+            ["batch", "label", "shards", "jobs", "state"], rows, title="batches"
+        )
+    )
+
+
+def cmd_batch_run(args: argparse.Namespace) -> int:
+    """`repro batch run`: shard experiments into a journaled batch."""
+    from repro.harness.experiments import batch_jobs_for
+
+    _enable_log("repro.batch")
+    root = Path(args.batch_dir)
+    jobs = batch_jobs_for(tuple(args.experiments), _run_config(args))
+    if not jobs:
+        raise SystemExit(
+            "repro: the selected experiments are analytic (no simulations); "
+            "nothing to batch"
+        )
+    try:
+        # BatchError (tampered/older-schema manifest) is handled
+        # uniformly in main().
+        batch = BatchRun.open(
+            root, jobs,
+            shard_size=args.shard_size, label=",".join(args.experiments),
+        )
+    except OSError as exc:
+        raise SystemExit(f"repro: --batch-dir: {exc}")
+    batch.run(make_executor(args.jobs), _batch_cache(args, root))
+    _print_batch_statuses([batch])
+    return 0
+
+
+def cmd_batch_status(args: argparse.Namespace) -> int:
+    """`repro batch status`: shard progress of every batch under a root."""
+    batches = BatchRun.discover(Path(args.batch_dir))
+    if not batches:
+        print(f"no batches under {args.batch_dir}")
+        return 0
+    _print_batch_statuses(batches)
+    return 0
+
+
+def cmd_batch_resume(args: argparse.Namespace) -> int:
+    """`repro batch resume`: finish every incomplete batch's journal."""
+    _enable_log("repro.batch")
+    root = Path(args.batch_dir)
+    batches = BatchRun.discover(root)
+    if args.id:
+        batches = [b for b in batches if b.batch_id.startswith(args.id)]
+        if not batches:
+            raise SystemExit(f"repro: no batch under {root} matches id {args.id!r}")
+    if not batches:
+        print(f"no batches under {root}", file=sys.stderr)
+        return 0
+    pending = [b for b in batches if not b.status().done]
+    executor = make_executor(args.jobs)
+    cache = _batch_cache(args, root)
+    # Resume *every* batch, not just journal-incomplete ones: run() is
+    # a cheap cache probe for a healthy finished batch, and it re-runs
+    # shards whose journaled results were pruned from the cache.
+    for batch in batches:
+        batch.resume(executor, cache)
+    if not pending:
+        print(
+            f"no incomplete batches under {root}; cached results verified",
+            file=sys.stderr,
+        )
+    _print_batch_statuses(batches)
+    return 0
+
+
+def cmd_store_query(args: argparse.Namespace) -> int:
+    """`repro store query`: filter cached results by job facets."""
+    store = ResultStore(args.cache_dir)
+    entries = store.query(
+        platform=args.platform,
+        workload=args.workload,
+        mode=args.mode,
+        include_stale=args.include_stale,
+    )
+    rows = store.rows(entries)
+    if args.format == "table":
+        text = format_table(
+            list(STORE_COLUMNS),
+            [tuple(r.get(c) for c in STORE_COLUMNS) for r in rows],
+            title=f"store {store.cache_dir} ({len(rows)} entries)",
+        ) + "\n"
+    else:
+        text = EMITTERS[args.format](rows, columns=STORE_COLUMNS)
+        if not text.endswith("\n"):
+            text += "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(rows)} entries to {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    if store.skipped:
+        print(f"store: skipped {store.skipped} unreadable entries", file=sys.stderr)
+    return 0
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    """`repro store gc`: reclaim stale-schema and orphaned entries."""
+    store = ResultStore(args.cache_dir)
+    doomed = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"store gc: {verb} {len(doomed)} file(s) from {store.cache_dir}")
+    for path in doomed:
+        print(f"  {path.name}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Assemble the argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -415,6 +594,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--cache-dir", default=None,
             help="persist results here and reuse them across invocations",
+        )
+        p.add_argument(
+            "--batch-dir", default=None,
+            help="journal this command's simulation matrix as a sharded "
+            "batch under this directory (resumable after a kill)",
+        )
+        p.add_argument(
+            "--shard-size", type=_positive_int, default=DEFAULT_SHARD_SIZE,
+            help="jobs per journaled shard when batching "
+            f"(default: {DEFAULT_SHARD_SIZE})",
         )
 
     p_run = sub.add_parser("run", help="simulate one platform/workload")
@@ -484,6 +673,96 @@ def build_parser() -> argparse.ArgumentParser:
     add_sizing(p_wl_rep)
     p_wl_rep.set_defaults(fn=cmd_workloads_replay)
 
+    p_batch = sub.add_parser(
+        "batch", help="sharded, journaled, resumable experiment batches"
+    )
+    batch_sub = p_batch.add_subparsers(dest="batch_command", required=True)
+
+    p_b_run = batch_sub.add_parser(
+        "run", help="shard experiments' job matrices into a journaled batch"
+    )
+    p_b_run.add_argument(
+        "--experiment", dest="experiments", nargs="+", required=True,
+        choices=list(EXPERIMENTS), metavar="NAME",
+        help="experiments whose job matrices to batch (union, deduplicated)",
+    )
+    add_sizing(p_b_run)  # also provides --batch-dir; default it for `batch run`
+    p_b_run.set_defaults(fn=cmd_batch_run, batch_dir=".repro-batch")
+
+    p_b_status = batch_sub.add_parser(
+        "status", help="shard progress of every batch under a root"
+    )
+    p_b_status.add_argument(
+        "--batch-dir", default=".repro-batch",
+        help="batch root directory (default: .repro-batch)",
+    )
+    p_b_status.set_defaults(fn=cmd_batch_status)
+
+    p_b_resume = batch_sub.add_parser(
+        "resume", help="finish every incomplete batch exactly where it stopped"
+    )
+    p_b_resume.add_argument(
+        "--batch-dir", default=".repro-batch",
+        help="batch root directory (default: .repro-batch)",
+    )
+    p_b_resume.add_argument(
+        "--id", default=None,
+        help="only resume the batch whose id starts with this prefix",
+    )
+    p_b_resume.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the resumed shards (default: 1)",
+    )
+    p_b_resume.add_argument(
+        "--cache-dir", default=None,
+        help="result cache (default: <batch-dir>/cache)",
+    )
+    p_b_resume.set_defaults(fn=cmd_batch_resume)
+
+    p_store = sub.add_parser(
+        "store", help="query and garbage-collect the persistent result store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_s_query = store_sub.add_parser(
+        "query", help="filter cached results by job facets"
+    )
+    p_s_query.add_argument(
+        "--cache-dir", default=".repro-batch/cache",
+        help="cache directory to index (default: .repro-batch/cache)",
+    )
+    p_s_query.add_argument("--platform", default=None, help="exact platform name")
+    p_s_query.add_argument("--workload", default=None, help="exact workload name")
+    p_s_query.add_argument(
+        "--mode", choices=[m.value for m in MemoryMode], default=None
+    )
+    p_s_query.add_argument(
+        "--include-stale", action="store_true",
+        help="also list entries written under stale schema versions",
+    )
+    p_s_query.add_argument(
+        "--format", choices=["table", *EMITTERS], default="table",
+        help="output format (default: table)",
+    )
+    p_s_query.add_argument(
+        "-o", "--output", default=None,
+        help="write to this file instead of stdout",
+    )
+    p_s_query.set_defaults(fn=cmd_store_query)
+
+    p_s_gc = store_sub.add_parser(
+        "gc", help="remove stale-schema entries and orphaned temp files"
+    )
+    p_s_gc.add_argument(
+        "--cache-dir", default=".repro-batch/cache",
+        help="cache directory to collect (default: .repro-batch/cache)",
+    )
+    p_s_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without removing it",
+    )
+    p_s_gc.set_defaults(fn=cmd_store_gc)
+
     p_exp = sub.add_parser("experiment", help="regenerate a figure/table")
     p_exp.add_argument("name", choices=list(EXPERIMENTS))
     add_sizing(p_exp)
@@ -519,6 +798,11 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="BENCH_perf.json",
         help="write the before/after payload here (default: BENCH_perf.json)",
     )
+    p_perf.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal each finished case to this JSONL file and resume "
+        "from it on re-invocation (skips already-measured cases)",
+    )
     p_perf.set_defaults(fn=cmd_perf)
 
     p_list = sub.add_parser("list", help="list platforms/workloads/experiments")
@@ -529,7 +813,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (console script ``repro``)."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BatchError as exc:
+        # Raised wherever a batch directory turns out corrupt or
+        # inconsistent — including mid-command through Runner's
+        # --batch-dir path, which no per-command handler sees.
+        raise SystemExit(f"repro: {exc}")
 
 
 if __name__ == "__main__":

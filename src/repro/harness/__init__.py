@@ -1,8 +1,16 @@
-"""Experiment harness: a three-layer service (executors -> persistent
-cache -> declarative registry) that runs platform x workload x mode
-matrices and regenerates every table and figure of the paper's
-evaluation.  See DESIGN.md."""
+"""Experiment harness: a four-layer service (executors -> persistent
+cache -> declarative registry -> sharded batch scheduler) that runs
+platform x workload x mode matrices, regenerates every table and figure
+of the paper's evaluation, and survives being killed mid-batch.  See
+DESIGN.md."""
 
+from repro.harness.batch import (
+    BatchError,
+    BatchRun,
+    BatchStatus,
+    batch_id,
+    plan_shards,
+)
 from repro.harness.cache import ResultCache, job_fingerprint
 from repro.harness.executor import (
     ParallelExecutor,
@@ -20,9 +28,17 @@ from repro.harness.registry import (
 )
 from repro.harness.report import emit_csv, emit_json, format_table
 from repro.harness.runner import Runner
+from repro.harness.store import ResultStore, StoreEntry
 
 __all__ = [
     "Runner",
+    "BatchRun",
+    "BatchError",
+    "BatchStatus",
+    "batch_id",
+    "plan_shards",
+    "ResultStore",
+    "StoreEntry",
     "RunConfig",
     "SimulationJob",
     "SerialExecutor",

@@ -26,6 +26,34 @@ from repro.harness.executor import SimulationJob
 
 log = logging.getLogger("repro.cache")
 
+
+def write_json_atomic(
+    path: Union[str, Path],
+    payload: dict,
+    indent: Optional[int] = None,
+    sort_keys: bool = False,
+) -> None:
+    """Write a JSON document atomically: temp file in the same
+    directory, then ``os.replace`` — readers never see a partial file.
+    Shared by the result cache and the batch manifest writer."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=indent, sort_keys=sort_keys)
+            fh.flush()
+            # Data must be durable *before* the rename publishes it:
+            # the batch journal fsyncs its shard records on the promise
+            # that every published result already survived a crash.
+            os.fsync(fd)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
+
 # Bump when the fingerprint payload or RunResult schema changes shape;
 # stale entries then simply miss instead of deserializing garbage.
 # v2: Stats.snapshot() grew latency ".min"/".max" counters (PR 2), so
@@ -34,7 +62,11 @@ log = logging.getLogger("repro.cache")
 # now folds in the resolved WorkloadDef (family, params, spec, and for
 # trace replays the file digest), so same-named workloads with
 # different parameters can never alias a cached result.
-SCHEMA_VERSION = 3
+# v4: entries carry the job's facets (platform, workload, mode, sizing)
+# alongside the result so the result store (harness/store.py) can index
+# and query the cache directory without re-deriving fingerprints;
+# ``repro store gc`` reclaims pre-v4 entries.
+SCHEMA_VERSION = 4
 
 
 def job_fingerprint(job: SimulationJob) -> str:
@@ -93,19 +125,12 @@ class ResultCache:
 
     def put(self, job: SimulationJob, result: RunResult) -> None:
         """Atomically persist one result (write temp file, then rename)."""
-        path = self.path_for(job)
-        payload = {"schema": SCHEMA_VERSION, "result": result.to_dict()}
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
-            raise
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "job": job.to_dict(),
+            "result": result.to_dict(),
+        }
+        write_json_atomic(self.path_for(job), payload)
         self.stores += 1
 
     def __len__(self) -> int:

@@ -37,9 +37,25 @@ class RunConfig:
     seed: int = 7
     waveguides: int = 1
 
+    #: Smallest ``accesses_per_warp`` that :meth:`scaled` will produce —
+    #: below this a warp's access stream is too short to exercise the
+    #: migration machinery at all.
+    MIN_SCALED_ACCESSES = 8
+
     def scaled(self, factor: float) -> "RunConfig":
+        """Sizing with ``accesses_per_warp`` multiplied by ``factor``.
+
+        The product is truncated to an int and floored at
+        :data:`MIN_SCALED_ACCESSES` (8), so aggressive down-scaling can
+        never produce a degenerate trace.  ``scaled(1.0)`` is the
+        identity whenever ``accesses_per_warp`` is already at or above
+        the floor; a config below the floor is pulled *up* to it.
+        """
         return replace(
-            self, accesses_per_warp=max(8, int(self.accesses_per_warp * factor))
+            self,
+            accesses_per_warp=max(
+                self.MIN_SCALED_ACCESSES, int(self.accesses_per_warp * factor)
+            ),
         )
 
     def to_dict(self) -> dict:
@@ -79,6 +95,28 @@ class SimulationJob:
         if self.run_cfg.waveguides != 1:
             cfg = cfg.with_waveguides(self.run_cfg.waveguides)
         return cfg
+
+    def to_dict(self) -> dict:
+        """JSON-ready description; batch manifests persist these."""
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "mode": self.mode.value,
+            "run_cfg": self.run_cfg.to_dict(),
+            "cfg": None if self.cfg is None else self.cfg.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationJob":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        cfg = data.get("cfg")
+        return cls(
+            platform=data["platform"],
+            workload=data["workload"],
+            mode=MemoryMode(data["mode"]),
+            run_cfg=RunConfig.from_dict(data["run_cfg"]),
+            cfg=None if cfg is None else SystemConfig.from_dict(cfg),
+        )
 
 
 # Worker-local trace memo: regenerating a workload's traces is pure in

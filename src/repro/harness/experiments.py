@@ -22,6 +22,7 @@ from repro.energy.accounting import EnergyBreakdown, EnergyModel
 from repro.harness.registry import (
     ExperimentSpec,
     JobResults,
+    get_experiment,
     register,
     run_spec,
 )
@@ -44,6 +45,24 @@ FIG20A_WORKLOADS = ("backp", "GRAMS", "betw", "pagerank")
 FIG20A_WAVEGUIDES = (1, 2, 4, 8)
 
 MODES = (MemoryMode.PLANAR, MemoryMode.TWO_LEVEL)
+
+
+def batch_jobs_for(
+    names: Tuple[str, ...], run_cfg: RunConfig
+) -> Tuple[SimulationJob, ...]:
+    """The deduplicated job union of several registered experiments.
+
+    This is the payload ``repro batch run`` shards and journals: submit
+    the whole evaluation's matrix as one resumable batch, then render
+    each figure instantly from the warm cache.  Order is deterministic
+    (experiment order, then each spec's own job order), so the shard
+    plan — and therefore the resume journal — is stable across
+    invocations.
+    """
+    jobs: List[SimulationJob] = []
+    for name in names:
+        jobs.extend(get_experiment(name).jobs(run_cfg))
+    return tuple(dict.fromkeys(jobs))
 
 
 @dataclass

@@ -10,15 +10,23 @@ evaluates the distinct jobs concurrently.
 
 The lookup order per job is: in-memory memo -> persistent cache ->
 executor, with every executed result stored back to both.
+
+When constructed with a ``batch_dir``, the runner routes every batch of
+never-seen jobs through a journaled
+:class:`~repro.harness.batch.BatchRun` instead of calling the executor
+directly, so any entry point — a figure experiment, a sweep, the CLI —
+becomes checkpointed and resumable without knowing about batches.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.config import MemoryMode
 from repro.core.platforms import PLATFORMS, Platform
 from repro.gpu.gpu import RunResult
+from repro.harness.batch import DEFAULT_SHARD_SIZE, BatchRun
 from repro.harness.cache import ResultCache
 from repro.harness.executor import (
     ParallelExecutor,
@@ -56,9 +64,18 @@ class Runner:
         run_cfg: Optional[RunConfig] = None,
         executor: Optional[object] = None,
         cache: Optional[ResultCache] = None,
+        batch_dir: Optional[Union[str, Path]] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
     ) -> None:
         self.run_cfg = run_cfg or RunConfig()
         self.executor = executor or SerialExecutor()
+        self.batch_dir = Path(batch_dir) if batch_dir is not None else None
+        self.shard_size = shard_size
+        if cache is None and self.batch_dir is not None:
+            # Batched runs must be able to merge journaled shards back,
+            # so a persistent cache is not optional — default to the
+            # batch root's shared one.
+            cache = ResultCache(self.batch_dir / "cache")
         self.cache = cache
         self._results: Dict[SimulationJob, RunResult] = {}
 
@@ -76,6 +93,8 @@ class Runner:
         self, jobs: Sequence[SimulationJob]
     ) -> Dict[SimulationJob, RunResult]:
         """Evaluate a batch; only never-seen jobs reach the executor."""
+        if self.batch_dir is not None:
+            return self._run_jobs_batched(jobs)
         pending: List[SimulationJob] = []
         for job in dict.fromkeys(jobs):
             if job in self._results:
@@ -91,6 +110,24 @@ class Runner:
                 self._results[job] = result
                 if self.cache is not None:
                     self.cache.put(job, result)
+        return {job: self._results[job] for job in jobs}
+
+    def _run_jobs_batched(
+        self, jobs: Sequence[SimulationJob]
+    ) -> Dict[SimulationJob, RunResult]:
+        """Route never-memoized jobs through a journaled BatchRun.
+
+        The batch identity covers the full not-yet-memoized job set (no
+        cache pre-filter), so a re-invocation after a crash opens the
+        *same* batch and skips its journaled shards outright — per-job
+        cache shielding happens inside the shard loop.
+        """
+        todo = [j for j in dict.fromkeys(jobs) if j not in self._results]
+        if todo:
+            batch = BatchRun.open(self.batch_dir, todo, self.shard_size)
+            self._results.update(
+                batch.run(executor=self.executor, cache=self.cache)
+            )
         return {job: self._results[job] for job in jobs}
 
     def run_job(self, job: SimulationJob) -> RunResult:

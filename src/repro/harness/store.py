@@ -1,0 +1,236 @@
+"""Queryable result store over the persistent cache directory.
+
+The :class:`~repro.harness.cache.ResultCache` answers exactly one
+question — "is *this* job cached?" — because lookups go through the
+fingerprint.  The :class:`ResultStore` answers the inverse: "what is in
+here?"  It indexes every cache entry by its job facets (platform,
+workload, mode, sizing), supports filtered queries whose rows feed the
+structured json/csv emitters (``repro store query``), and garbage
+collects entries written under stale schema versions or left behind as
+orphaned temp files (``repro store gc``).
+
+Entries written before cache schema v4 carry no job facets; the store
+falls back to the facets recorded in the result payload itself (platform
+/ workload / mode) and reports their sizing as unknown.  ``gc`` reclaims
+them — they can never hit again anyway, because the fingerprint schema
+moved on.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.gpu.gpu import RunResult
+from repro.harness.cache import SCHEMA_VERSION
+
+log = logging.getLogger("repro.store")
+
+#: ``gc`` only reclaims ``*.tmp`` files older than this — a young temp
+#: file is most likely a *live* writer mid-``put``, not an orphan, and
+#: unlinking it would crash that writer's atomic rename.
+TMP_GRACE_SECONDS = 3600.0
+
+#: The cache owns exactly the files named by a SHA-256 fingerprint.
+#: The store never indexes — and ``gc`` never deletes — anything else,
+#: so a misdirected ``--cache-dir`` cannot destroy unrelated JSON.
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def _cache_entry_paths(cache_dir: Path) -> List[Path]:
+    return sorted(
+        p for p in cache_dir.glob("*.json") if _FINGERPRINT_RE.match(p.stem)
+    )
+
+#: Flat output schema of ``query`` rows (json/csv export order).
+STORE_COLUMNS = (
+    "fingerprint",
+    "platform",
+    "workload",
+    "mode",
+    "num_warps",
+    "accesses_per_warp",
+    "seed",
+    "waveguides",
+    "schema",
+    "instructions",
+    "exec_time_ps",
+    "mean_mem_latency_ps",
+    "migration_bw_frac",
+)
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One indexed cache entry: job facets + headline result metrics."""
+
+    fingerprint: str
+    schema: Optional[int]
+    platform: str
+    workload: str
+    mode: str
+    num_warps: Optional[int]
+    accesses_per_warp: Optional[int]
+    seed: Optional[int]
+    waveguides: Optional[int]
+    instructions: int
+    exec_time_ps: int
+    mean_mem_latency_ps: float
+    migration_bw_frac: float
+    path: Path
+
+    @property
+    def stale(self) -> bool:
+        """True when this entry can never be served by the cache again."""
+        return self.schema != SCHEMA_VERSION
+
+    def to_row(self) -> dict:
+        """Flat dict matching :data:`STORE_COLUMNS` (for the emitters)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "platform": self.platform,
+            "workload": self.workload,
+            "mode": self.mode,
+            "num_warps": self.num_warps,
+            "accesses_per_warp": self.accesses_per_warp,
+            "seed": self.seed,
+            "waveguides": self.waveguides,
+            "schema": self.schema,
+            "instructions": self.instructions,
+            "exec_time_ps": self.exec_time_ps,
+            "mean_mem_latency_ps": self.mean_mem_latency_ps,
+            "migration_bw_frac": self.migration_bw_frac,
+        }
+
+
+def _parse_entry(path: Path) -> Optional[StoreEntry]:
+    """Index one cache file; ``None`` when it is not a readable entry."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        result = RunResult.from_dict(data["result"])
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        log.warning("store: skipping unreadable entry %s (%s)", path.name, exc)
+        return None
+    schema = data.get("schema")
+    job = data.get("job") or {}
+    run_cfg = job.get("run_cfg") or {}
+    return StoreEntry(
+        fingerprint=path.stem,
+        schema=schema if isinstance(schema, int) else None,
+        platform=job.get("platform", result.platform),
+        workload=job.get("workload", result.workload),
+        mode=job.get("mode", result.mode),
+        num_warps=run_cfg.get("num_warps"),
+        accesses_per_warp=run_cfg.get("accesses_per_warp"),
+        seed=run_cfg.get("seed"),
+        waveguides=run_cfg.get("waveguides"),
+        instructions=result.instructions,
+        exec_time_ps=result.exec_time_ps,
+        mean_mem_latency_ps=result.mean_mem_latency_ps,
+        migration_bw_frac=result.migration_bandwidth_fraction,
+        path=path,
+    )
+
+
+class ResultStore:
+    """Facet index + query + GC surface over one cache directory."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.skipped = 0  # unreadable entries seen by the last scan
+
+    def entries(self) -> List[StoreEntry]:
+        """Every readable entry, sorted by fingerprint (scan is fresh
+        each call — the store holds no state besides the directory).
+        Only fingerprint-named files are considered."""
+        self.skipped = 0
+        out: List[StoreEntry] = []
+        if not self.cache_dir.is_dir():
+            return out
+        for path in _cache_entry_paths(self.cache_dir):
+            entry = _parse_entry(path)
+            if entry is None:
+                self.skipped += 1
+            else:
+                out.append(entry)
+        return out
+
+    def query(
+        self,
+        platform: Optional[str] = None,
+        workload: Optional[str] = None,
+        mode: Optional[str] = None,
+        num_warps: Optional[int] = None,
+        accesses_per_warp: Optional[int] = None,
+        seed: Optional[int] = None,
+        waveguides: Optional[int] = None,
+        include_stale: bool = False,
+    ) -> List[StoreEntry]:
+        """Entries matching every given facet exactly (None = wildcard).
+
+        Stale-schema entries are excluded by default because the cache
+        itself will never serve them; pass ``include_stale=True`` to see
+        what ``gc`` would reclaim.
+        """
+        facets = {
+            "platform": platform,
+            "workload": workload,
+            "mode": mode,
+            "num_warps": num_warps,
+            "accesses_per_warp": accesses_per_warp,
+            "seed": seed,
+            "waveguides": waveguides,
+        }
+        return [
+            e
+            for e in self.entries()
+            if (include_stale or not e.stale)
+            and all(
+                want is None or getattr(e, facet) == want
+                for facet, want in facets.items()
+            )
+        ]
+
+    def rows(self, entries: Iterable[StoreEntry]) -> List[dict]:
+        """Flatten entries for the json/csv emitters."""
+        return [e.to_row() for e in entries]
+
+    def gc(self, dry_run: bool = False) -> List[Path]:
+        """Remove entries the cache can never serve again.
+
+        Reclaims (1) fingerprint-named entries written under a
+        different ``SCHEMA_VERSION``, (2) fingerprint-named files that
+        do not parse as cache entries, and (3) orphaned ``*.tmp`` files
+        left by writers killed mid-store — but only temps older than
+        :data:`TMP_GRACE_SECONDS`, so a concurrently *running* writer's
+        in-flight temp file is never yanked out from under its rename.
+        Files the cache does not own (any other name) are never
+        touched.  Returns the removed (or, with ``dry_run``, the
+        would-be-removed) paths.
+        """
+        doomed: List[Path] = []
+        if not self.cache_dir.is_dir():
+            return doomed
+        for path in _cache_entry_paths(self.cache_dir):
+            entry = _parse_entry(path)
+            if entry is None or entry.stale:
+                doomed.append(path)
+        cutoff = time.time() - TMP_GRACE_SECONDS
+        for path in sorted(self.cache_dir.glob("*.tmp")):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    doomed.append(path)
+            except FileNotFoundError:
+                pass  # the writer's rename won the race — not an orphan
+        if not dry_run:
+            for path in doomed:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+        return doomed

@@ -8,13 +8,16 @@ Sweeps are expressed as :class:`SimulationJob` batches with explicit
 ``SystemConfig`` overrides and evaluated through a shared
 :class:`Runner`, so they ride the same executor (``--jobs``) and
 persistent cache as the figure experiments instead of owning a private
-simulation path.
+simulation path.  Passing ``batch_dir`` journals the sweep through the
+sharded batch scheduler (see ``harness/batch.py``): a killed sweep
+resumes from its last completed shard instead of restarting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.config import MemoryMode, SystemConfig, default_config
 from repro.gpu.gpu import RunResult
@@ -55,16 +58,20 @@ def sweep_config(
     mutate: Callable[[SystemConfig, float], SystemConfig],
     sizing: Optional[RunConfig] = None,
     runner: Optional[Runner] = None,
+    batch_dir: Optional[Union[str, Path]] = None,
 ) -> List[SweepPoint]:
     """Run ``platform`` on ``workload`` once per knob value.
 
     ``mutate(cfg, value)`` returns the modified configuration; traces
     are regenerated per point because page size or footprint may change.
     Pass a ``runner`` to share its executor, memo and persistent cache
-    with the rest of the harness.
+    with the rest of the harness, or ``batch_dir`` to journal the sweep
+    through the sharded batch scheduler (resumable after a kill).
     """
+    if runner is not None and batch_dir is not None:
+        raise ValueError("pass either runner or batch_dir, not both")
     sizing = sizing or RunConfig(num_warps=48, accesses_per_warp=48)
-    runner = runner or Runner(sizing)
+    runner = runner or Runner(sizing, batch_dir=batch_dir)
     jobs = sweep_jobs(platform, workload, mode, values, mutate, sizing)
     results = runner.run_jobs(jobs)
     return [SweepPoint(v, results[job]) for v, job in zip(values, jobs)]
@@ -76,6 +83,7 @@ def sweep_hot_threshold(
     thresholds: Sequence[int] = (6, 14, 28, 56),
     sizing: Optional[RunConfig] = None,
     runner: Optional[Runner] = None,
+    batch_dir: Optional[Union[str, Path]] = None,
 ) -> List[SweepPoint]:
     """Planar migration aggressiveness sweep."""
     return sweep_config(
@@ -86,6 +94,7 @@ def sweep_hot_threshold(
         lambda cfg, v: replace(cfg, hetero=replace(cfg.hetero, hot_threshold=int(v))),
         sizing,
         runner,
+        batch_dir,
     )
 
 
@@ -95,6 +104,7 @@ def sweep_waveguides(
     counts: Sequence[int] = (1, 2, 4, 8),
     sizing: Optional[RunConfig] = None,
     runner: Optional[Runner] = None,
+    batch_dir: Optional[Union[str, Path]] = None,
 ) -> List[SweepPoint]:
     """Fig. 20a's knob as a reusable sweep."""
     return sweep_config(
@@ -105,6 +115,7 @@ def sweep_waveguides(
         lambda cfg, v: cfg.with_waveguides(int(v)),
         sizing,
         runner,
+        batch_dir,
     )
 
 
@@ -114,6 +125,7 @@ def sweep_xpoint_read_latency(
     latencies_ns: Sequence[float] = (95.0, 190.0, 380.0, 760.0),
     sizing: Optional[RunConfig] = None,
     runner: Optional[Runner] = None,
+    batch_dir: Optional[Union[str, Path]] = None,
 ) -> List[SweepPoint]:
     """How sensitive is Ohm-GPU to the NVM technology's read latency?
 
@@ -128,4 +140,5 @@ def sweep_xpoint_read_latency(
         lambda cfg, v: replace(cfg, xpoint=replace(cfg.xpoint, read_ns=float(v))),
         sizing,
         runner,
+        batch_dir,
     )

@@ -1,0 +1,517 @@
+"""Batch scheduler tests: shard planning, journaling, resume, and the
+tier-2 crash/resume integration test (subprocess + SIGKILL, marked
+``slow``)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MemoryMode
+from repro.harness.batch import (
+    BatchError,
+    BatchRun,
+    append_jsonl,
+    batch_id,
+    plan_shards,
+    read_jsonl,
+)
+from repro.harness.cache import ResultCache
+from repro.harness.executor import (
+    RunConfig,
+    SerialExecutor,
+    SimulationJob,
+    execute_job,
+)
+from repro.harness.runner import Runner
+
+TINY = RunConfig(num_warps=8, accesses_per_warp=8)
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def tiny_job(seed=7, platform="Ohm-base", workload="backp"):
+    return SimulationJob(
+        platform,
+        workload,
+        MemoryMode.PLANAR,
+        RunConfig(num_warps=8, accesses_per_warp=8, seed=seed),
+    )
+
+
+def seeded_jobs(n):
+    """n distinct cheap jobs (seed varies, everything else fixed)."""
+    return [tiny_job(seed=s) for s in range(n)]
+
+
+class RecordingExecutor(SerialExecutor):
+    """Serial executor that remembers every job it actually evaluated."""
+
+    def __init__(self):
+        self.jobs = []
+
+    def run_jobs(self, jobs):
+        self.jobs.extend(jobs)
+        return super().run_jobs(jobs)
+
+
+# --------------------------------------------------------------------
+# Job serialization
+# --------------------------------------------------------------------
+
+class TestJobSerialization:
+    def test_round_trip_plain(self):
+        job = tiny_job(seed=3)
+        assert SimulationJob.from_dict(job.to_dict()) == job
+
+    def test_round_trip_with_cfg_override(self):
+        from dataclasses import replace
+
+        from repro.config import default_config
+
+        cfg = default_config(MemoryMode.TWO_LEVEL)
+        cfg = replace(cfg, hetero=replace(cfg.hetero, hot_threshold=99))
+        job = SimulationJob("Oracle", "pagerank", MemoryMode.TWO_LEVEL, TINY, cfg)
+        back = SimulationJob.from_dict(job.to_dict())
+        assert back == job
+        assert back.resolved_config() == cfg
+
+    def test_round_trip_is_json_safe(self):
+        job = tiny_job()
+        assert SimulationJob.from_dict(json.loads(json.dumps(job.to_dict()))) == job
+
+
+# --------------------------------------------------------------------
+# Shard planning
+# --------------------------------------------------------------------
+
+class TestPlanShards:
+    def test_chunks_and_remainder(self):
+        shards = plan_shards(seeded_jobs(7), shard_size=3)
+        assert [len(s) for s in shards] == [3, 3, 1]
+
+    def test_deduplicates_preserving_order(self):
+        jobs = seeded_jobs(3)
+        shards = plan_shards(jobs + jobs, shard_size=10)
+        assert list(shards[0]) == jobs
+
+    def test_empty(self):
+        assert plan_shards([], shard_size=4) == ()
+
+    def test_rejects_nonpositive_shard_size(self):
+        with pytest.raises(ValueError):
+            plan_shards(seeded_jobs(2), shard_size=0)
+
+    def test_batch_id_is_order_independent(self):
+        jobs = seeded_jobs(5)
+        assert batch_id(jobs) == batch_id(list(reversed(jobs)))
+
+    def test_batch_id_depends_on_shard_size(self):
+        jobs = seeded_jobs(5)
+        assert batch_id(jobs, 2) != batch_id(jobs, 3)
+
+    def test_batch_id_depends_on_jobs(self):
+        assert batch_id(seeded_jobs(2)) != batch_id(seeded_jobs(3))
+
+
+class TestShardProperties:
+    """Property-based: arbitrary job lists round-trip through the plan."""
+
+    jobs_strategy = st.lists(
+        st.builds(
+            tiny_job,
+            seed=st.integers(min_value=0, max_value=9),
+            platform=st.sampled_from(["Ohm-base", "Oracle", "Hetero"]),
+            workload=st.sampled_from(["backp", "pagerank"]),
+        ),
+        min_size=1,
+        max_size=24,
+    )
+
+    @given(jobs=jobs_strategy, shard_size=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_plan_partitions_unique_jobs_exactly(self, jobs, shard_size):
+        shards = plan_shards(jobs, shard_size)
+        flat = [job for shard in shards for job in shard]
+        assert flat == list(dict.fromkeys(jobs))  # every unique job once
+        assert all(1 <= len(s) <= shard_size for s in shards)
+        assert all(len(s) == shard_size for s in shards[:-1])
+
+    @given(jobs=jobs_strategy, shard_size=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_order_independent(self, jobs, shard_size):
+        """Shard/merge covers the same job set for any input order, and
+        the batch identity agrees — the resume contract."""
+        fwd = plan_shards(jobs, shard_size)
+        rev = plan_shards(list(reversed(jobs)), shard_size)
+        assert {j for s in fwd for j in s} == {j for s in rev for j in s}
+        assert batch_id(jobs, shard_size) == batch_id(reversed(jobs), shard_size)
+
+
+# --------------------------------------------------------------------
+# JSONL journal
+# --------------------------------------------------------------------
+
+class TestJournal:
+    def test_append_read_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"shard": 0})
+        append_jsonl(path, {"shard": 1, "wall_s": 0.5})
+        assert read_jsonl(path) == [{"shard": 0}, {"shard": 1, "wall_s": 0.5}]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_jsonl(tmp_path / "absent.jsonl") == []
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"shard": 0})
+        with open(path, "a") as fh:
+            fh.write('{"shard": 1, "tru')  # writer died mid-append
+        assert read_jsonl(path) == [{"shard": 0}]
+
+    def test_append_after_torn_line_self_heals(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"shard": 0})
+        with open(path, "a") as fh:
+            fh.write('{"shard": 1, "tru')
+        append_jsonl(path, {"shard": 2})
+        # The torn fragment corrupts only itself; both whole records live.
+        assert read_jsonl(path) == [{"shard": 0}, {"shard": 2}]
+
+    def test_non_dict_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('[1,2]\n{"ok": 1}\n')
+        assert read_jsonl(path) == [{"ok": 1}]
+
+
+# --------------------------------------------------------------------
+# BatchRun lifecycle
+# --------------------------------------------------------------------
+
+class TestBatchRun:
+    def test_open_rejects_empty(self, tmp_path):
+        with pytest.raises(BatchError):
+            BatchRun.open(tmp_path, [])
+
+    def test_open_is_idempotent(self, tmp_path):
+        jobs = seeded_jobs(4)
+        a = BatchRun.open(tmp_path, jobs, shard_size=2)
+        b = BatchRun.open(tmp_path, jobs, shard_size=2)
+        assert a.batch_dir == b.batch_dir
+        assert a.batch_id == b.batch_id
+        assert a.jobs == b.jobs
+
+    def test_open_reordered_jobs_attaches_to_manifest_plan(self, tmp_path):
+        # Same job *set*, different order: the batch id matches, so the
+        # second open adopts the persisted plan — journal indices stay
+        # meaningful no matter how the caller iterated its matrix.
+        jobs = seeded_jobs(5)
+        a = BatchRun.open(tmp_path, jobs, shard_size=2)
+        b = BatchRun.open(tmp_path, list(reversed(jobs)), shard_size=2)
+        assert b.batch_dir == a.batch_dir
+        assert b.shards == a.shards
+
+    def test_manifest_round_trips_jobs(self, tmp_path):
+        jobs = seeded_jobs(5)
+        created = BatchRun.open(tmp_path, jobs, shard_size=2)
+        loaded = BatchRun.load(created.batch_dir)
+        assert loaded.jobs == jobs
+        assert loaded.shards == created.shards
+        assert loaded.shard_size == 2
+
+    def test_load_rejects_missing_manifest(self, tmp_path):
+        with pytest.raises(BatchError):
+            BatchRun.load(tmp_path)
+
+    def test_load_rejects_edited_manifest(self, tmp_path):
+        batch = BatchRun.open(tmp_path, seeded_jobs(4), shard_size=2)
+        manifest = batch.batch_dir / "manifest.json"
+        data = json.loads(manifest.read_text())
+        data["shards"][0] = data["shards"][1]  # tamper with the plan
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(BatchError, match="does not match"):
+            BatchRun.load(batch.batch_dir)
+
+    def test_run_executes_everything_once(self, tmp_path):
+        jobs = seeded_jobs(5)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        recording = RecordingExecutor()
+        results = batch.run(recording, ResultCache(tmp_path / "cache"))
+        assert recording.jobs == jobs
+        assert set(results) == set(jobs)
+        assert batch.status().done
+
+    def test_results_match_direct_execution(self, tmp_path):
+        jobs = seeded_jobs(3)
+        results = BatchRun.open(tmp_path, jobs, shard_size=2).run(
+            SerialExecutor(), ResultCache(tmp_path / "cache")
+        )
+        for job in jobs:
+            assert results[job] == execute_job(job)
+
+    def test_rerun_skips_journaled_shards_entirely(self, tmp_path):
+        jobs = seeded_jobs(6)
+        cache = ResultCache(tmp_path / "cache")
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        batch.run(SerialExecutor(), cache)
+        recording = RecordingExecutor()
+        again = BatchRun.open(tmp_path, jobs, shard_size=2)
+        results = again.resume(recording, ResultCache(tmp_path / "cache"))
+        assert recording.jobs == []  # journal answered for every shard
+        assert set(results) == set(jobs)
+        # and the journal was not extended: each shard exactly once
+        recs = read_jsonl(again.journal_path)
+        shards = [r["shard"] for r in recs]
+        assert sorted(shards) == list(range(3))
+
+    def test_partial_journal_resumes_only_missing_shards(self, tmp_path):
+        jobs = seeded_jobs(6)
+        cache = ResultCache(tmp_path / "cache")
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        batch.run(SerialExecutor(), cache)
+        # Drop the last journal record: shard 2 now looks unfinished.
+        recs = read_jsonl(batch.journal_path)
+        batch.journal_path.write_text(
+            "".join(json.dumps(r) + "\n" for r in recs[:-1])
+        )
+        recording = RecordingExecutor()
+        fresh_cache = ResultCache(tmp_path / "cache")
+        BatchRun.load(batch.batch_dir).resume(recording, fresh_cache)
+        # Every shard's jobs were cache-shielded (journaled shards are
+        # probed too, to catch pruned caches), so nothing re-executed;
+        # the merge reuses the probed results — one read per job, total.
+        assert recording.jobs == []
+        assert fresh_cache.hits == len(jobs)
+
+    def test_journaled_batch_with_pruned_cache_self_heals(self, tmp_path):
+        # The journal says "done" but the cache was emptied (or a wrong
+        # --cache-dir supplied): run() must re-execute, not deadlock on
+        # "resume the batch" advice that skips everything forever.
+        jobs = seeded_jobs(4)
+        cache_dir = tmp_path / "cache"
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        batch.run(SerialExecutor(), ResultCache(cache_dir))
+        for f in cache_dir.glob("*.json"):
+            f.unlink()
+        recording = RecordingExecutor()
+        results = BatchRun.load(batch.batch_dir).resume(
+            recording, ResultCache(cache_dir)
+        )
+        assert recording.jobs == jobs  # everything recomputed
+        assert set(results) == set(jobs)
+        for job in jobs:
+            assert results[job] == execute_job(job)
+
+    def test_digest_mismatch_forces_rerun(self, tmp_path):
+        jobs = seeded_jobs(4)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        batch.run(SerialExecutor(), ResultCache(tmp_path / "cache"))
+        recs = read_jsonl(batch.journal_path)
+        recs[0]["digest"] = "0" * 64
+        batch.journal_path.write_text(
+            "".join(json.dumps(r) + "\n" for r in recs)
+        )
+        assert set(batch.completed_shards()) == {1}
+
+    def test_out_of_range_shard_records_ignored(self, tmp_path):
+        jobs = seeded_jobs(2)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        append_jsonl(batch.journal_path, {"shard": 99, "digest": "x"})
+        append_jsonl(batch.journal_path, {"shard": "zero", "digest": "x"})
+        assert batch.completed_shards() == {}
+
+    def test_results_raise_when_cache_pruned(self, tmp_path):
+        jobs = seeded_jobs(2)
+        cache_dir = tmp_path / "cache"
+        batch = BatchRun.open(tmp_path, jobs, shard_size=1)
+        batch.run(SerialExecutor(), ResultCache(cache_dir))
+        for f in cache_dir.glob("*.json"):
+            f.unlink()
+        with pytest.raises(BatchError, match="no cached result"):
+            batch.results(ResultCache(cache_dir))
+
+    def test_empty_explicit_cache_is_honored(self, tmp_path):
+        # An empty ResultCache is falsy (__len__ == 0): `cache or
+        # default` would silently strand results in the default dir.
+        jobs = seeded_jobs(2)
+        mine = ResultCache(tmp_path / "mine")
+        batch = BatchRun.open(tmp_path / "root", jobs, shard_size=1)
+        results = batch.run(SerialExecutor(), mine)
+        assert len(list((tmp_path / "mine").glob("*.json"))) == len(jobs)
+        assert not (tmp_path / "root" / "cache").exists()
+        assert batch.results(ResultCache(tmp_path / "mine")) == results
+
+    def test_discover_skips_unresolvable_batch(self, tmp_path):
+        # A batch whose manifest names a workload that no longer
+        # resolves must degrade to a warning, not crash status/resume
+        # for every other batch under the root.
+        good = BatchRun.open(tmp_path, seeded_jobs(2), shard_size=1)
+        bad = BatchRun.open(
+            tmp_path, [tiny_job(workload="pagerank")], shard_size=1
+        )
+        manifest = bad.batch_dir / "manifest.json"
+        data = json.loads(manifest.read_text())
+        for shard in data["shards"]:
+            for j in shard:
+                j["workload"] = "no_such_workload"
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(BatchError, match="cannot resolve"):
+            BatchRun.load(bad.batch_dir)
+        assert [b.batch_id for b in BatchRun.discover(tmp_path)] == [
+            good.batch_id
+        ]
+
+    def test_status_counts(self, tmp_path):
+        jobs = seeded_jobs(5)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        st_ = batch.status()
+        assert (st_.total_shards, st_.completed_shards) == (3, 0)
+        assert not st_.done
+        batch.run(SerialExecutor(), ResultCache(tmp_path / "cache"))
+        st_ = batch.status()
+        assert st_.completed_shards == 3
+        assert st_.completed_jobs == 5
+        assert st_.done
+
+    def test_discover_finds_batches(self, tmp_path):
+        BatchRun.open(tmp_path, seeded_jobs(2), shard_size=1)
+        BatchRun.open(tmp_path, seeded_jobs(3), shard_size=1)
+        assert len(BatchRun.discover(tmp_path)) == 2
+        assert BatchRun.discover(tmp_path / "absent") == []
+
+
+class TestRunnerBatchIntegration:
+    def test_batched_runner_matches_plain(self, tmp_path):
+        jobs = seeded_jobs(4)
+        plain = Runner(TINY).run_jobs(jobs)
+        batched = Runner(TINY, batch_dir=tmp_path, shard_size=2).run_jobs(jobs)
+        assert batched == plain
+
+    def test_batched_runner_journals_shards(self, tmp_path):
+        runner = Runner(TINY, batch_dir=tmp_path, shard_size=2)
+        runner.run_jobs(seeded_jobs(4))
+        journals = list(Path(tmp_path).glob("b-*/journal.jsonl"))
+        assert len(journals) == 1
+        assert len(read_jsonl(journals[0])) == 2
+
+    def test_batched_runner_defaults_cache_under_root(self, tmp_path):
+        runner = Runner(TINY, batch_dir=tmp_path)
+        runner.run("Ohm-base", "backp", MemoryMode.PLANAR)
+        assert list((tmp_path / "cache").glob("*.json"))
+
+    def test_second_batched_runner_executes_nothing(self, tmp_path):
+        jobs = seeded_jobs(4)
+        Runner(TINY, batch_dir=tmp_path, shard_size=2).run_jobs(jobs)
+        recording = RecordingExecutor()
+        again = Runner(TINY, executor=recording, batch_dir=tmp_path, shard_size=2)
+        again.run_jobs(jobs)
+        assert recording.jobs == []
+
+
+# --------------------------------------------------------------------
+# Tier-2: crash a batch with SIGKILL mid-run, resume, compare.
+# --------------------------------------------------------------------
+
+#: The child's job matrix — must match _crash_jobs() below exactly.
+_DRIVER = """
+import sys, time
+from repro.config import MemoryMode
+from repro.harness.batch import BatchRun
+from repro.harness.cache import ResultCache
+from repro.harness.executor import RunConfig, SerialExecutor, SimulationJob
+
+root = sys.argv[1]
+jobs = [
+    SimulationJob("Ohm-base", "backp", MemoryMode.PLANAR,
+                  RunConfig(num_warps=8, accesses_per_warp=8, seed=s))
+    for s in range(12)
+]
+batch = BatchRun.open(root, jobs, shard_size=2)
+batch.run(
+    SerialExecutor(),
+    ResultCache(root + "/cache"),
+    # Widen the kill window without touching production code: the
+    # parent SIGKILLs us while we sleep between journaled shards.
+    progress=lambda done: time.sleep(0.3),
+)
+"""
+
+
+def _crash_jobs():
+    return [tiny_job(seed=s) for s in range(12)]
+
+
+@pytest.mark.slow
+class TestCrashResume:
+    def test_sigkilled_batch_resumes_bit_identical(self, tmp_path):
+        root = tmp_path / "batch"
+        driver = tmp_path / "driver.py"
+        driver.write_text(_DRIVER)
+        env = dict(
+            os.environ,
+            PYTHONPATH=REPO_SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        )
+        child = subprocess.Popen(
+            [sys.executable, str(driver), str(root)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait until at least two shards are journaled, then SIGKILL.
+            journal = None
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                candidates = list(root.glob("b-*/journal.jsonl"))
+                if candidates and len(read_jsonl(candidates[0])) >= 2:
+                    journal = candidates[0]
+                    break
+                time.sleep(0.02)
+            assert journal is not None, "child never journaled two shards"
+        finally:
+            child.kill()  # SIGKILL: no cleanup, no atexit, no flush
+            child.wait()
+
+        jobs = _crash_jobs()
+        batch = BatchRun.load(journal.parent)
+        killed_recs = read_jsonl(journal)
+        done_at_kill = {r["shard"] for r in killed_recs}
+        assert 0 < len(done_at_kill) < len(batch.shards), (
+            "kill landed outside the batch; nothing to prove"
+        )
+        survivors = {j for i in done_at_kill for j in batch.shards[i]}
+
+        # Resume with a recording executor: journaled shards must not
+        # re-execute a single job.
+        recording = RecordingExecutor()
+        resumed = batch.resume(recording, ResultCache(root / "cache"))
+        assert set(recording.jobs).isdisjoint(survivors)
+
+        # The journal now covers every shard exactly once — the
+        # journaled prefix was preserved, not rewritten or duplicated.
+        recs = read_jsonl(journal)
+        assert sorted(r["shard"] for r in recs) == list(range(len(batch.shards)))
+        assert recs[: len(killed_recs)] == killed_recs
+
+        # Merged results are bit-identical to an uninterrupted run.
+        clean_root = tmp_path / "clean"
+        clean = BatchRun.open(clean_root, jobs, shard_size=2).run(
+            SerialExecutor(), ResultCache(clean_root / "cache")
+        )
+        assert set(resumed) == set(clean)
+        for job in jobs:
+            assert resumed[job].fingerprint() == clean[job].fingerprint()
+            assert resumed[job] == clean[job]
+
+        # And the CLI agrees the batch is done.
+        from repro.cli import main
+
+        assert main(["batch", "status", "--batch-dir", str(root)]) == 0

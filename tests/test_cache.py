@@ -1,13 +1,19 @@
-"""Persistent result cache: fingerprint stability, round-trips, reuse."""
+"""Persistent result cache: fingerprint stability, round-trips, reuse,
+and the shared-directory concurrency stress test."""
 
+import json
+import os
+import subprocess
+import sys
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
 from repro import MemoryMode, ResultCache, RunConfig, Runner, SimulationJob
 from repro.config import default_config
 from repro.gpu.gpu import RunResult
-from repro.harness.cache import job_fingerprint
+from repro.harness.cache import SCHEMA_VERSION, job_fingerprint
 from repro.harness.executor import SerialExecutor, execute_job
 
 TINY = RunConfig(num_warps=8, accesses_per_warp=8)
@@ -160,3 +166,102 @@ class TestRunnerCacheIntegration:
         assert again.exec_time_ps == plain.exec_time_ps
         assert again.counters == pytest.approx(plain.counters)
         assert again.mean_mem_latency_ps == pytest.approx(plain.mean_mem_latency_ps)
+
+
+class TestCacheEntryShape:
+    def test_entry_carries_schema_and_job_facets(self, tmp_path):
+        """v4 entries are self-describing: the result store indexes them
+        without re-deriving anything from the fingerprint."""
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        cache.put(job, execute_job(job))
+        data = json.loads(cache.path_for(job).read_text())
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["job"] == job.to_dict()
+        assert RunResult.from_dict(data["result"]) == execute_job(job)
+
+
+# Driver for the concurrency stress test: one journaled BatchRun over
+# the shared directory, fanned out over a 2-worker ParallelExecutor.
+# Both contenders run the *same* batch, so every layer races: journal
+# appends, cache writes, and shard claims.
+_RACE_DRIVER = """
+import sys
+from repro.config import MemoryMode
+from repro.harness.batch import BatchRun
+from repro.harness.cache import ResultCache
+from repro.harness.executor import ParallelExecutor, RunConfig, SimulationJob
+
+root = sys.argv[1]
+jobs = [
+    SimulationJob("Ohm-base", "backp", MemoryMode.PLANAR,
+                  RunConfig(num_warps=8, accesses_per_warp=8, seed=s))
+    for s in range(6)
+]
+batch = BatchRun.open(root, jobs, shard_size=2)
+batch.run(ParallelExecutor(2), ResultCache(root + "/cache"))
+"""
+
+
+@pytest.mark.slow
+class TestConcurrentCacheRace:
+    def test_two_parallel_batches_share_one_store(self, tmp_path):
+        """Two ParallelExecutor batches race on the same jobs and the
+        same cache/store directory: no corrupt or partial JSON may
+        survive, and every job's stored content is exactly the one
+        deterministic result."""
+        driver = tmp_path / "driver.py"
+        driver.write_text(_RACE_DRIVER)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(
+            os.environ,
+            PYTHONPATH=src + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        )
+        root = tmp_path / "shared"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(driver), str(root)],
+                env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            )
+            for _ in range(2)
+        ]
+        for p in procs:
+            _, err = p.communicate(timeout=300)
+            assert p.returncode == 0, err.decode()
+
+        jobs = [
+            SimulationJob(
+                "Ohm-base", "backp", MemoryMode.PLANAR,
+                RunConfig(num_warps=8, accesses_per_warp=8, seed=s),
+            )
+            for s in range(6)
+        ]
+        cache_dir = root / "cache"
+        # Exactly one file per unique job; no strays, no temp leftovers.
+        files = sorted(cache_dir.glob("*"))
+        assert sorted(f.name for f in files) == sorted(
+            f"{job_fingerprint(j)}.json" for j in jobs
+        )
+        # Every entry parses cleanly and holds exactly-once content:
+        # the racing writers can interleave, but each file is one
+        # atomic rename of one complete, deterministic result.
+        cache = ResultCache(cache_dir)
+        for job in jobs:
+            data = json.loads(cache.path_for(job).read_text())
+            assert data["schema"] == SCHEMA_VERSION
+            assert cache.get(job) == execute_job(job)
+        # The store indexes the shared directory without skipping.
+        from repro.harness.store import ResultStore
+
+        store = ResultStore(cache_dir)
+        assert len(store.entries()) == len(jobs)
+        assert store.skipped == 0
+        # The shared journal survived concurrent appenders: every
+        # parseable record is a whole, valid shard completion.
+        from repro.harness.batch import BatchRun, read_jsonl
+
+        (batch,) = BatchRun.discover(root)
+        recs = read_jsonl(batch.journal_path)
+        assert {r["shard"] for r in recs} == {0, 1, 2}
+        assert all(r["digest"] for r in recs)
+        assert batch.status().done

@@ -24,6 +24,13 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "fig20b"])
         assert args.name == "fig20b"
 
+    def test_shard_size_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--platform", "Oracle", "--workload", "backp",
+                 "--shard-size", "0"]
+            )
+
     def test_mode_default(self):
         args = build_parser().parse_args(
             ["run", "--platform", "Oracle", "--workload", "backp"]
@@ -88,6 +95,81 @@ class TestCommands:
     def test_experiment_fig15(self, capsys):
         assert main(["experiment", "fig15", "--quick"]) == 0
         assert "planar" in capsys.readouterr().out
+
+
+class TestBatchCommands:
+    def test_batch_run_then_resume_and_status(self, tmp_path, capsys):
+        root = str(tmp_path / "batches")
+        args = [
+            "--warps", "8", "--accesses", "8",
+            "--shard-size", "8", "--batch-dir", root,
+        ]
+        assert main(["batch", "run", "--experiment", "fig8", *args]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out and "fig8" in out
+        # Re-running attaches to the finished batch: nothing re-executes.
+        assert main(["batch", "run", "--experiment", "fig8", *args]) == 0
+        capsys.readouterr()
+        assert main(["batch", "status", "--batch-dir", root]) == 0
+        assert "done" in capsys.readouterr().out
+        assert main(["batch", "resume", "--batch-dir", root]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_batch_run_rejects_analytic_only(self, tmp_path):
+        with pytest.raises(SystemExit, match="analytic"):
+            main([
+                "batch", "run", "--experiment", "fig15", "fig20b",
+                "--batch-dir", str(tmp_path), "--quick",
+            ])
+
+    def test_batch_resume_heals_pruned_cache(self, tmp_path, capsys):
+        # Journal says done but the cache was emptied: resume must
+        # recompute, not report "nothing to resume" and leave the
+        # results unrecoverable.
+        root = tmp_path / "batches"
+        args = [
+            "--warps", "8", "--accesses", "8",
+            "--shard-size", "8", "--batch-dir", str(root),
+        ]
+        assert main(["batch", "run", "--experiment", "fig8", *args]) == 0
+        capsys.readouterr()
+        entries = list((root / "cache").glob("*.json"))
+        assert entries
+        for f in entries:
+            f.unlink()
+        assert main(["batch", "resume", "--batch-dir", str(root)]) == 0
+        assert "done" in capsys.readouterr().out
+        assert len(list((root / "cache").glob("*.json"))) == len(entries)
+
+    def test_batch_status_empty_root(self, tmp_path, capsys):
+        assert main(["batch", "status", "--batch-dir", str(tmp_path)]) == 0
+        assert "no batches" in capsys.readouterr().out
+
+    def test_unusable_batch_dir_is_clean_error(self, tmp_path):
+        blocker = tmp_path / "a_file"
+        blocker.write_text("not a directory")
+        with pytest.raises(SystemExit, match="--batch-dir"):
+            main([
+                "run", "--platform", "Oracle", "--workload", "backp",
+                "--quick", "--batch-dir", str(blocker),
+            ])
+
+    def test_batch_resume_unknown_id(self, tmp_path):
+        with pytest.raises(SystemExit, match="no batch"):
+            main([
+                "batch", "resume", "--batch-dir", str(tmp_path),
+                "--id", "feedface",
+            ])
+
+    def test_experiment_accepts_batch_dir(self, tmp_path, capsys):
+        root = tmp_path / "b"
+        assert main([
+            "experiment", "fig8", "--warps", "8", "--accesses", "8",
+            "--batch-dir", str(root),
+        ]) == 0
+        assert "fig8" in capsys.readouterr().out
+        assert list(root.glob("b-*/journal.jsonl"))
+        assert list((root / "cache").glob("*.json"))
 
 
 class TestWorkloadsCommands:

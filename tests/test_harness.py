@@ -37,6 +37,24 @@ class TestRunner:
     def test_scaled_floor(self):
         assert RunConfig(accesses_per_warp=10).scaled(0.01).accesses_per_warp == 8
 
+    def test_scaled_identity(self):
+        # scaled(1.0) is the identity for any config at/above the floor.
+        cfg = RunConfig(num_warps=32, accesses_per_warp=64, seed=3, waveguides=2)
+        assert cfg.scaled(1.0) == cfg
+        at_floor = RunConfig(accesses_per_warp=RunConfig.MIN_SCALED_ACCESSES)
+        assert at_floor.scaled(1.0) == at_floor
+
+    def test_scaled_floor_boundary(self):
+        # Landing exactly on the floor is allowed; one below clamps up.
+        assert RunConfig(accesses_per_warp=16).scaled(0.5).accesses_per_warp == 8
+        assert RunConfig(accesses_per_warp=15).scaled(0.5).accesses_per_warp == 8
+        assert RunConfig.MIN_SCALED_ACCESSES == 8
+
+    def test_scaled_pulls_sub_floor_config_up(self):
+        # The documented exception: a config already below the floor is
+        # raised to it even at factor 1.0 (scaled() never emits < 8).
+        assert RunConfig(accesses_per_warp=4).scaled(1.0).accesses_per_warp == 8
+
     def test_matrix_shape(self, runner):
         m = runner.matrix(("Oracle", "Ohm-base"), APPS, MemoryMode.PLANAR)
         assert set(m) == {(p, w) for p in ("Oracle", "Ohm-base") for w in APPS}

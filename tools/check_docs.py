@@ -1,12 +1,16 @@
 #!/usr/bin/env python
 """Docs-consistency check (CI, non-gating).
 
-Two invariants keep the documentation surface honest:
+Three invariants keep the documentation surface honest:
 
 1. every workload name registered at import time appears in
    docs/WORKLOADS.md (and every experiment name in README.md or
    DESIGN.md is a soft courtesy we do not enforce);
-2. every example script under examples/ runs to completion in smoke
+2. every CLI command — including nested groups like ``batch run`` and
+   ``store query`` — appears in the README CLI tour (walked straight
+   out of the live argparse tree, so a new subcommand without docs
+   fails here);
+3. every example script under examples/ runs to completion in smoke
    mode (REPRO_SMOKE=1).
 
 Run locally::
@@ -36,6 +40,37 @@ def check_workload_docs() -> list[str]:
         f"workload {name!r} is registered but not documented in docs/WORKLOADS.md"
         for name in REGISTRY
         if name not in doc
+    ]
+
+
+def _cli_commands() -> list[str]:
+    """Every ``repro ...`` command path in the live argparse tree."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    def walk(parser, prefix):
+        sub_actions = [
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        ]
+        if not sub_actions:
+            return [" ".join(prefix)] if prefix else []
+        out = []
+        for action in sub_actions:
+            for name, child in action.choices.items():
+                out.extend(walk(child, prefix + [name]))
+        return out
+
+    return walk(build_parser(), [])
+
+
+def check_cli_docs() -> list[str]:
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    return [
+        f"CLI command `repro {cmd}` is not shown in the README CLI tour"
+        for cmd in _cli_commands()
+        if f"repro {cmd}" not in readme
     ]
 
 
@@ -73,13 +108,17 @@ def main() -> int:
     failures = []
     failures += check_required_docs_exist()
     failures += check_workload_docs()
+    failures += check_cli_docs()
     failures += check_examples_smoke()
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
         print(f"\n{len(failures)} docs-consistency failure(s)", file=sys.stderr)
         return 1
-    print("docs-consistency: all registered workloads documented, all examples run")
+    print(
+        "docs-consistency: all registered workloads documented, "
+        "all CLI commands in the README tour, all examples run"
+    )
     return 0
 
 
