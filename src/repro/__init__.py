@@ -32,8 +32,10 @@ from repro.harness.executor import (
     SimulationJob,
     execute_job,
 )
+from repro.harness.audit import AuditOutcome, audit_jobs, run_audit
 from repro.harness.runner import Runner
 from repro.harness.store import ResultStore
+from repro.sim.audit import Auditor, InvariantError, InvariantViolation
 from repro.workloads.registry import (
     REGISTRY,
     WORKLOADS,
@@ -46,7 +48,7 @@ from repro.workloads.registry import (
 )
 from repro.workloads.spec import WorkloadDef, WorkloadSpec, make_def
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "MemoryMode",
@@ -63,6 +65,12 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "execute_job",
+    "Auditor",
+    "InvariantError",
+    "InvariantViolation",
+    "AuditOutcome",
+    "audit_jobs",
+    "run_audit",
     "ResultCache",
     "BatchRun",
     "ResultStore",

@@ -70,6 +70,34 @@ class ChannelPort(abc.ABC):
         self._k_route_mem = f"{name}.busy_ps.route.{RouteKind.MEMORY.value}"
         self._k_transfers = f"{name}.transfers"
 
+    def accounting(self, counters: dict) -> dict:
+        """The port's ledger, read back from a counter snapshot.
+
+        The key scheme (``<name>.bits.<kind>``, ``<name>.busy_ps.<kind>``,
+        ``<name>.busy_ps.route.<route>``, ``<name>.transfers``) is owned
+        here, so the audit layer (``sim/audit.py``) never re-derives
+        counter names: every subclass's ``transfer_window`` must keep
+
+        * ``bits`` equal to the bits actually offered to the port
+          (bytes-in == bytes-out),
+        * ``windows`` equal to the windows it opened, and
+        * ``kind_busy_ps == route_busy_ps`` — each window charges its
+          occupancy to exactly one traffic kind *and* one route.
+        """
+        return {
+            "bits": sum(
+                counters.get(k_bits, 0.0)
+                for k_bits, _ in self._kind_keys.values()
+            ),
+            "windows": counters.get(self._k_transfers, 0.0),
+            "kind_busy_ps": sum(
+                counters.get(k_busy, 0.0)
+                for _, k_busy in self._kind_keys.values()
+            ),
+            "route_busy_ps": counters.get(self._k_route_data, 0.0)
+            + counters.get(self._k_route_mem, 0.0),
+        }
+
     @property
     @abc.abstractmethod
     def dual_routes(self) -> bool:

@@ -18,6 +18,9 @@ Usage examples::
     python -m repro.cli batch resume --batch-dir .repro-batch --jobs 4
     python -m repro.cli store query --platform Ohm-BW --workload gemm_reuse --format json
     python -m repro.cli store gc --cache-dir .repro-batch/cache
+    python -m repro.cli run --platform Ohm-BW --workload pagerank --validate
+    python -m repro.cli audit --smoke
+    python -m repro.cli audit --jobs 4 --format json -o audit.json
     python -m repro.cli perf -o BENCH_perf.json
     python -m repro.cli list
 
@@ -37,6 +40,14 @@ exactly where its journal left off.  Any simulating command also takes
 ``--batch-dir`` directly to journal its own matrix.  The ``store``
 group queries the persistent result cache by job facets (``store
 query``) and reclaims stale-schema entries (``store gc``).
+
+``--validate`` (any simulating command) runs with the cross-layer
+invariant audit armed: a violated conservation law aborts the command
+with every recorded violation.  ``audit`` sweeps the whole
+workload-registry x platform x mode matrix under a collecting auditor
+and reports per-job verdicts (table/json/csv); ``--smoke`` is the
+CI-sized gate and ``--journal`` makes the sweep crash-resumable.  See
+DESIGN.md section 10 for the invariant catalogue.
 
 The ``workloads`` group fronts the workload subsystem (see
 docs/WORKLOADS.md): ``list``/``describe`` introspect the registry,
@@ -67,6 +78,7 @@ from repro.harness.registry import (
     run_spec,
 )
 from repro.harness.report import EMITTERS, format_table
+from repro.sim.audit import InvariantError
 from repro.workloads.registry import FAMILIES, REGISTRY, get_workload_def
 from repro.workloads.trace import TraceFormatError
 
@@ -191,9 +203,12 @@ PRINTERS = {
 
 
 def _run_config(args: argparse.Namespace) -> RunConfig:
+    validate = bool(getattr(args, "validate", False))
     if getattr(args, "quick", False):
-        return RunConfig(num_warps=48, accesses_per_warp=32)
-    return RunConfig(num_warps=args.warps, accesses_per_warp=args.accesses)
+        return RunConfig(num_warps=48, accesses_per_warp=32, validate=validate)
+    return RunConfig(
+        num_warps=args.warps, accesses_per_warp=args.accesses, validate=validate
+    )
 
 
 def _enable_log(name: str) -> None:
@@ -355,6 +370,75 @@ def cmd_export(args: argparse.Namespace) -> int:
         print(text, end="" if text.endswith("\n") else "\n")
     _finish(runner)
     return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """`repro audit`: invariant-check the workload x platform matrix."""
+    import dataclasses
+    import json
+
+    from repro.harness.audit import (
+        AUDIT_COLUMNS,
+        DEFAULT_SIZING,
+        SMOKE_SIZING,
+        audit_jobs,
+        audit_report,
+        run_audit,
+    )
+
+    _enable_log("repro.audit")
+    run_cfg = SMOKE_SIZING if args.smoke else DEFAULT_SIZING
+    if args.warps:
+        run_cfg = dataclasses.replace(run_cfg, num_warps=args.warps)
+    if args.accesses:
+        run_cfg = dataclasses.replace(run_cfg, accesses_per_warp=args.accesses)
+    try:
+        jobs = audit_jobs(
+            run_cfg=run_cfg,
+            platforms=args.platform or None,
+            workloads=args.workload or None,
+            modes=[_mode(args.mode)] if args.mode else None,
+            smoke=args.smoke,
+        )
+    except KeyError as exc:
+        raise SystemExit(f"repro: {exc.args[0]}")
+    try:
+        outcomes = run_audit(
+            jobs, executor=make_executor(args.jobs), journal=args.journal
+        )
+    except OSError as exc:
+        raise SystemExit(f"repro: --journal: {exc}")
+    report = audit_report(outcomes)
+    failing = [o for o in outcomes if not o.ok]
+    if args.format == "table":
+        shown = failing or []
+        text = ""
+        if shown:
+            rows = [o.to_row() for o in shown]
+            text = format_table(
+                list(AUDIT_COLUMNS),
+                [tuple(r[c] for c in AUDIT_COLUMNS) for r in rows],
+                title="invariant violations",
+            ) + "\n"
+    elif args.format == "json":
+        text = json.dumps(report, indent=2) + "\n"
+    else:
+        rows = [o.to_row() for o in outcomes]
+        text = EMITTERS["csv"](rows, columns=AUDIT_COLUMNS)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote audit report to {args.output}", file=sys.stderr)
+    elif text:
+        print(text, end="" if text.endswith("\n") else "\n")
+    verdict = "CLEAN" if report["ok"] else "VIOLATED"
+    print(
+        f"audit: {report['jobs']} jobs, {report['checks']} checks, "
+        f"{report['violations']} violation(s) in {len(failing)} job(s) "
+        f"— {verdict}",
+        file=sys.stderr,
+    )
+    return 0 if report["ok"] else 1
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -605,6 +689,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="jobs per journaled shard when batching "
             f"(default: {DEFAULT_SHARD_SIZE})",
         )
+        p.add_argument(
+            "--validate", action="store_true",
+            help="enable the cross-layer invariant audit (DESIGN.md "
+            "section 10); any violated conservation law aborts the run",
+        )
 
     p_run = sub.add_parser("run", help="simulate one platform/workload")
     p_run.add_argument("--platform", choices=list(PLATFORMS), required=True)
@@ -783,6 +872,55 @@ def build_parser() -> argparse.ArgumentParser:
     add_sizing(p_export)
     p_export.set_defaults(fn=cmd_export)
 
+    p_audit = sub.add_parser(
+        "audit",
+        help="invariant-check the workload x platform matrix "
+        "(cross-layer conservation laws, DESIGN.md section 10)",
+    )
+    p_audit.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized gate: a representative workload subset at small "
+        "sizing instead of the full registry",
+    )
+    p_audit.add_argument(
+        "--platform", nargs="*", choices=list(PLATFORMS), metavar="NAME",
+        help="restrict to these platforms (default: all)",
+    )
+    p_audit.add_argument(
+        "--workload", nargs="*", type=_workload, metavar="NAME",
+        help="restrict to these workloads (default: the full registry)",
+    )
+    p_audit.add_argument(
+        "--mode", choices=[m.value for m in MemoryMode], default=None,
+        help="restrict to one memory mode (default: both)",
+    )
+    p_audit.add_argument(
+        "--warps", type=_positive_int, default=None,
+        help="override the audit sizing's warp count",
+    )
+    p_audit.add_argument(
+        "--accesses", type=_positive_int, default=None,
+        help="override the audit sizing's accesses per warp",
+    )
+    p_audit.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the audit matrix (default: 1)",
+    )
+    p_audit.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal each audited job to this JSONL file and resume "
+        "from it on re-invocation (skips already-audited jobs)",
+    )
+    p_audit.add_argument(
+        "--format", choices=["table", *EMITTERS], default="table",
+        help="report format (default: table of violating jobs only)",
+    )
+    p_audit.add_argument(
+        "-o", "--output", default=None,
+        help="write the report to this file instead of stdout",
+    )
+    p_audit.set_defaults(fn=cmd_audit)
+
     p_perf = sub.add_parser(
         "perf", help="benchmark the simulator core (events/sec)"
     )
@@ -820,6 +958,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # inconsistent — including mid-command through Runner's
         # --batch-dir path, which no per-command handler sees.
         raise SystemExit(f"repro: {exc}")
+    except InvariantError as exc:
+        # A --validate run tripped a cross-layer conservation law;
+        # surface every recorded violation, not a traceback.
+        raise SystemExit(f"repro: invariant audit failed: {exc}")
 
 
 if __name__ == "__main__":

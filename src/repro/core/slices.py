@@ -54,6 +54,15 @@ class SliceBase:
         self._window = chan.transfer_window
         self._page_occupancy_ps: Optional[int] = None
 
+    def refresh_channel_binding(self) -> None:
+        """Re-resolve the cached ``transfer_window`` binding.
+
+        The audit layer wraps a port's ``transfer_window`` *after* slice
+        construction; anything that replaces that method must call this
+        so the slice's pre-bound hot-path handle sees the wrapper.
+        """
+        self._window = self.chan.transfer_window
+
     # -- channel helpers -----------------------------------------------
 
     def _cmd(self, now: int, kind: RequestKind, device: int) -> int:

@@ -29,10 +29,23 @@ class Bank:
     state: BankState = BankState.IDLE
     open_row: Optional[int] = None
     busy_until_ps: int = 0
-    # Counters the device aggregates for the energy model.
+    # Counters the device aggregates for the energy model.  The audit
+    # layer (sim/audit.py) reconciles these against the device-level
+    # stats counters, so every path that touches the bank must keep its
+    # own ledger: ``activations`` counts *all* row activations,
+    # ``preset_activations`` the subset driven by :meth:`activate`
+    # (swap presets, which the demand-path device counter deliberately
+    # excludes), and ``occupancies`` the bulk :meth:`occupy`
+    # reservations (externally driven page streams that perform no
+    # column access through this state machine).  Without the latter
+    # two, a swap-preset activation looked like an activation that did
+    # no work — per-bank ``activations`` could silently exceed
+    # ``accesses``, invisible to every counter-based test.
     activations: int = 0
     accesses: int = 0
     row_hits: int = 0
+    preset_activations: int = 0
+    occupancies: int = 0
 
     def classify(self, row: int) -> AccessOutcome:
         if self.state is BankState.IDLE:
@@ -75,6 +88,7 @@ class Bank:
         if self.state is BankState.ACTIVE:
             latency += self.timing.t_rp_ps
         self.activations += 1
+        self.preset_activations += 1
         self.state = BankState.ACTIVE
         self.open_row = row
         self.busy_until_ps = start + latency
@@ -98,4 +112,5 @@ class Bank:
         start = max(now_ps, self.busy_until_ps)
         end = start + duration_ps
         self.busy_until_ps = end
+        self.occupancies += 1
         return start, end

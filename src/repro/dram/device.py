@@ -125,7 +125,28 @@ class DramDevice:
 
     @property
     def total_activations(self) -> int:
+        """All row activations, demand *and* swap presets.
+
+        The ``<name>.activations`` stats counter deliberately counts
+        only demand-path activations (it feeds the Fig. 19 energy
+        model at the paper's granularity); swap presets issued through
+        :meth:`activate_for_swap` are visible here and in
+        :attr:`total_preset_activations`, and the audit layer
+        reconciles ``counter == total_activations -
+        total_preset_activations`` exactly.
+        """
         return sum(b.activations for b in self.banks)
+
+    @property
+    def total_preset_activations(self) -> int:
+        """Row activations issued as swap presets (:meth:`activate_for_swap`)."""
+        return sum(b.preset_activations for b in self.banks)
+
+    @property
+    def total_occupancies(self) -> int:
+        """Bulk bank reservations (page streams driven by an external
+        engine through :meth:`occupy_bank`)."""
+        return sum(b.occupancies for b in self.banks)
 
     @property
     def total_accesses(self) -> int:

@@ -72,20 +72,25 @@ class EnergyModel:
         xp = self.xpoint.dynamic_j(
             self._sum(c, ".media.reads"), self._sum(c, ".media.writes")
         )
-        optical = 0.0
-        electrical = 0.0
-        if platform.uses_optical:
-            signalling = self.optical.signalling_j(
-                sum(v for k, v in c.items() if k.startswith("ochan") and k.endswith(".energy_pj")),
-                self._sum(c, ".mrr_tuning_pj"),
-            )
-            laser = self.optical.laser_j(platform.laser_scale, result.exec_time_ps)
-            optical = signalling + laser
-        else:
-            electrical = (
-                sum(v for k, v in c.items() if k.startswith("echan") and k.endswith(".energy_pj"))
-                * 1e-12
-            )
+        # Both channel families are accounted unconditionally from
+        # whichever counters the run actually produced.  Branching on
+        # ``platform.uses_optical`` silently dropped the electrical side
+        # on optical platforms (and vice versa) for any run whose
+        # memory system mixes or renames ports — the audit layer's
+        # energy reconciliation (sim/audit.py) exists to catch exactly
+        # that class of drift.  The laser term is gated by the
+        # platform's ``laser_scale`` (0 on electrical platforms), not
+        # by which counters are read.
+        signalling = self.optical.signalling_j(
+            sum(v for k, v in c.items() if k.startswith("ochan") and k.endswith(".energy_pj")),
+            self._sum(c, ".mrr_tuning_pj"),
+        )
+        laser = self.optical.laser_j(platform.laser_scale, result.exec_time_ps)
+        optical = signalling + laser
+        electrical = (
+            sum(v for k, v in c.items() if k.startswith("echan") and k.endswith(".energy_pj"))
+            * 1e-12
+        )
         return EnergyBreakdown(
             xpoint_j=xp,
             dram_dynamic_j=dram_dyn,

@@ -17,10 +17,12 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     writebacks: int = 0
-
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
+    # Stored, not derived: counted once on entry to ``access`` while
+    # hits/misses are counted per branch, so ``hits + misses ==
+    # accesses`` is a real two-ledger conservation law the audit layer
+    # (sim/audit.py) can actually catch drifting — a derived property
+    # would make the check tautological.
+    accesses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -58,6 +60,7 @@ class SetAssocCache:
     def access(self, addr: int, is_write: bool) -> Tuple[bool, Optional[EvictedLine]]:
         """Returns ``(hit, evicted_line_or_None)``."""
         self._tick += 1
+        self.stats.accesses += 1
         set_index, tag = self._locate(addr)
         ways = self._sets[set_index]
         if tag in ways:

@@ -18,6 +18,7 @@ from repro.gpu.cache import SetAssocCache
 from repro.gpu.interconnect import Interconnect
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.gpu.warp import Warp
+from repro.sim.audit import Auditor, ValidatingEngine
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 from repro.workloads.spec import WorkloadSpec
@@ -128,13 +129,18 @@ class GpuModel:
         traces: List[WarpTrace],
         model_caches: bool = False,
         recorder: Optional[TraceRecorder] = None,
+        auditor: Optional[Auditor] = None,
     ) -> None:
         if not traces:
             raise ValueError("need at least one warp trace")
         self.platform = platform
         self.cfg = cfg
         self.spec = spec
-        self.engine = Engine()
+        self.auditor = auditor
+        # Zero-cost rule: the un-audited engine and channels are the
+        # exact production objects — audit instrumentation is installed
+        # here, at construction, never checked per event.
+        self.engine = Engine() if auditor is None else ValidatingEngine(auditor)
         self.stats = Stats()
         self.memory: MemorySystem = build_memory_system(platform, cfg, self.stats)
         self.interconnect = Interconnect(stats=self.stats)
@@ -168,6 +174,13 @@ class GpuModel:
             self._warps.append(Warp(w, sm, trace, self._warp_done, recorder))
         self._remaining = len(self._warps)
         self._tenant_finish_ps: Dict[str, int] = {}
+        if auditor is not None:
+            auditor.instrument(self)
+
+    @property
+    def warps(self) -> List[Warp]:
+        """The model's warps (read-only view; the audit layer walks it)."""
+        return list(self._warps)
 
     def _warp_done(self, warp: Warp) -> None:
         self._remaining -= 1
@@ -187,7 +200,7 @@ class GpuModel:
         lat = self.stats.latency("mem.latency_ps")
         counters = self.stats.snapshot()
         self._attribute_tenants(counters)
-        return RunResult(
+        result = RunResult(
             platform=self.platform.name,
             workload=self.spec.name,
             mode=self.cfg.hetero.mode.value,
@@ -197,6 +210,11 @@ class GpuModel:
             mean_mem_latency_ps=lat.mean,
             counters=counters,
         )
+        if self.auditor is not None:
+            # Post-run conservation checks; a strict auditor raises
+            # InvariantError here with every violation attached.
+            self.auditor.finish(self, result)
+        return result
 
     def _attribute_tenants(self, counters: Dict[str, float]) -> None:
         """Fold per-tenant aggregates into the result counters.

@@ -1,0 +1,257 @@
+"""The audit sweep: invariant checks over the workload x platform matrix.
+
+``repro audit`` drives this module.  It builds the full
+workload-registry x platform (x memory-mode) job matrix, evaluates each
+job through the existing executor layer with a collecting (non-strict)
+:class:`~repro.sim.audit.Auditor` attached, and folds the per-job
+outcomes into one report — a table for terminals plus json/csv through
+the structured emitters in :mod:`repro.harness.report`.
+
+Resumability rides the batch layer's JSONL write-ahead journal
+(:func:`~repro.harness.batch.append_jsonl`): with ``--journal PATH``
+the sweep executes in executor-sized waves and appends each wave's
+outcomes as it lands, and a re-invocation skips jobs whose fingerprint
+is already journaled — the same crash-recovery contract the sharded
+batch scheduler gives simulation results (DESIGN.md section 9),
+applied to audit outcomes.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.config import MemoryMode
+from repro.core.platforms import PLATFORMS
+from repro.gpu.gpu import GpuModel
+from repro.harness.batch import append_jsonl, read_jsonl
+from repro.harness.cache import job_fingerprint
+from repro.harness.executor import (
+    RunConfig,
+    SerialExecutor,
+    SimulationJob,
+    traces_for,
+)
+from repro.sim.audit import Auditor
+from repro.workloads.registry import REGISTRY, get_workload_def
+
+log = logging.getLogger("repro.audit")
+
+AUDIT_SCHEMA = 1
+
+#: Row schema shared by the table printer and the json/csv emitters.
+AUDIT_COLUMNS = (
+    "platform",
+    "workload",
+    "mode",
+    "checks",
+    "violations",
+    "ok",
+    "detail",
+)
+
+#: The CI gate: small but shaped like the full sweep — every platform,
+#: every trace family (Table II synthetic + graph, the parametric
+#: families, a multi-tenant composition), both memory modes.
+SMOKE_WORKLOADS = ("pagerank", "backp", "gemm_reuse", "stream_scan", "mix_gemm_chase")
+SMOKE_SIZING = RunConfig(num_warps=24, accesses_per_warp=24)
+
+#: Default sizing of the full sweep; big enough that every slice type
+#: faults/migrates/swaps, small enough that the ~270-job matrix stays
+#: in whole-minutes territory on one core.
+DEFAULT_SIZING = RunConfig(num_warps=48, accesses_per_warp=32)
+
+
+@dataclass(frozen=True)
+class AuditOutcome:
+    """One job's audit verdict (picklable: crosses worker processes)."""
+
+    platform: str
+    workload: str
+    mode: str
+    checks: int
+    violations: Tuple[dict, ...]
+    fingerprint: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "mode": self.mode,
+            "checks": self.checks,
+            "violations": list(self.violations),
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditOutcome":
+        return cls(
+            platform=data["platform"],
+            workload=data["workload"],
+            mode=data["mode"],
+            checks=data["checks"],
+            violations=tuple(data["violations"]),
+            fingerprint=data["fingerprint"],
+        )
+
+    def to_row(self) -> dict:
+        """Flat row for the table printer and the json/csv emitters."""
+        detail = "; ".join(
+            f"[{v['invariant']}] {v['component']}: {v['message']}"
+            for v in self.violations[:3]
+        )
+        if len(self.violations) > 3:
+            detail += f"; ... and {len(self.violations) - 3} more"
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "mode": self.mode,
+            "checks": self.checks,
+            "violations": len(self.violations),
+            "ok": self.ok,
+            "detail": detail,
+        }
+
+
+def execute_job_audited(job: SimulationJob) -> AuditOutcome:
+    """Run one simulation under a collecting auditor.
+
+    The non-strict twin of
+    :func:`repro.harness.executor.execute_job` with
+    ``run_cfg.validate``: instead of raising on the first run whose
+    invariants fail, every violation is captured so a sweep can report
+    the whole matrix.  Top-level and picklable by design — the parallel
+    executor maps it across worker processes.
+    """
+    cfg = job.resolved_config()
+    defn = get_workload_def(job.workload)
+    traces = traces_for(job, cfg)
+    auditor = Auditor(strict=False)
+    fingerprint = ""
+    try:
+        model = GpuModel(
+            PLATFORMS[job.platform], cfg, defn.spec, traces, auditor=auditor
+        )
+        fingerprint = model.run().fingerprint()
+    except Exception as exc:  # noqa: BLE001 - one crashed job must not
+        # kill a whole sweep: surface it as its own audit record (the
+        # construction-time violations already collected stay attached).
+        auditor.record(
+            "run.crashed",
+            f"{job.platform}/{job.workload}/{job.mode.value}",
+            f"{type(exc).__name__}: {exc}",
+        )
+    return AuditOutcome(
+        platform=job.platform,
+        workload=job.workload,
+        mode=job.mode.value,
+        checks=auditor.checks_run,
+        violations=tuple(v.to_dict() for v in auditor.violations),
+        fingerprint=fingerprint,
+    )
+
+
+def audit_jobs(
+    run_cfg: Optional[RunConfig] = None,
+    platforms: Optional[Iterable[str]] = None,
+    workloads: Optional[Iterable[str]] = None,
+    modes: Optional[Iterable[MemoryMode]] = None,
+    smoke: bool = False,
+) -> List[SimulationJob]:
+    """The audit matrix: workload-registry x platforms x memory modes.
+
+    Defaults cover the *full* registry (every Table II workload, every
+    parametric family variant, the composed scenarios) on every
+    platform in both memory modes; ``smoke`` shrinks it to the CI gate.
+    """
+    if smoke:
+        run_cfg = run_cfg or SMOKE_SIZING
+        workloads = tuple(workloads) if workloads is not None else SMOKE_WORKLOADS
+    else:
+        run_cfg = run_cfg or DEFAULT_SIZING
+        workloads = tuple(workloads) if workloads is not None else tuple(REGISTRY)
+    platforms = tuple(platforms) if platforms is not None else tuple(PLATFORMS)
+    modes = tuple(modes) if modes is not None else tuple(MemoryMode)
+    for name in platforms:
+        if name not in PLATFORMS:
+            raise KeyError(f"unknown platform {name!r}; choose from {list(PLATFORMS)}")
+    for name in workloads:
+        get_workload_def(name)  # raises KeyError on unknown names
+    return [
+        SimulationJob(p, w, m, run_cfg)
+        for w in workloads
+        for p in platforms
+        for m in modes
+    ]
+
+
+def run_audit(
+    jobs: Sequence[SimulationJob],
+    executor: Optional[object] = None,
+    journal: Optional[Union[str, Path]] = None,
+) -> List[AuditOutcome]:
+    """Audit every job; outcomes in job order.
+
+    ``journal`` makes the sweep resumable: each outcome is appended to
+    the JSONL journal as it completes (keyed by the job's cache
+    fingerprint), and jobs already journaled are not re-simulated.
+    """
+    executor = executor or SerialExecutor()
+    done: Dict[str, AuditOutcome] = {}
+    if journal is not None:
+        for rec in read_jsonl(journal):
+            if rec.get("schema") != AUDIT_SCHEMA or "key" not in rec:
+                continue
+            try:
+                done[rec["key"]] = AuditOutcome.from_dict(rec["outcome"])
+            except (KeyError, TypeError):
+                log.warning("audit journal: skipping malformed record")
+    keys = {job: job_fingerprint(job) for job in dict.fromkeys(jobs)}
+    pending = [job for job, key in keys.items() if key not in done]
+    if journal is not None and len(pending) < len(keys):
+        log.info(
+            "audit journal: %d/%d jobs already audited, resuming",
+            len(keys) - len(pending), len(keys),
+        )
+    if pending:
+        # With a journal, evaluate in executor-sized waves and append
+        # each wave's outcomes as they land, so a killed sweep resumes
+        # from its last completed wave — not from zero.  Without one,
+        # a single executor call maximizes parallelism.
+        chunk = len(pending)
+        if journal is not None:
+            chunk = max(1, 2 * getattr(executor, "max_workers", 1))
+        for start in range(0, len(pending), chunk):
+            wave = pending[start:start + chunk]
+            outcomes = executor.run_jobs(wave, fn=execute_job_audited)
+            for job, outcome in zip(wave, outcomes):
+                done[keys[job]] = outcome
+                if journal is not None:
+                    append_jsonl(
+                        journal,
+                        {
+                            "schema": AUDIT_SCHEMA,
+                            "key": keys[job],
+                            "outcome": outcome.to_dict(),
+                        },
+                    )
+    return [done[keys[job]] for job in jobs]
+
+
+def audit_report(outcomes: Sequence[AuditOutcome]) -> dict:
+    """The JSON report document ``repro audit`` emits."""
+    total_violations = sum(len(o.violations) for o in outcomes)
+    return {
+        "schema": AUDIT_SCHEMA,
+        "jobs": len(outcomes),
+        "checks": sum(o.checks for o in outcomes),
+        "violations": total_violations,
+        "ok": total_violations == 0,
+        "outcomes": [o.to_dict() for o in outcomes],
+    }

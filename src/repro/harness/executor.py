@@ -30,12 +30,25 @@ from repro.workloads.trace import TraceRecorder
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Simulation sizing: trade fidelity for wall-clock time."""
+    """Simulation sizing: trade fidelity for wall-clock time.
+
+    ``validate`` opts the run into the cross-layer invariant audit
+    (``sim/audit.py``): the model is built with a strict
+    :class:`~repro.sim.audit.Auditor` and any violated conservation law
+    raises :class:`~repro.sim.audit.InvariantError` at the end of the
+    run.  Validation never changes the simulated timeline or the
+    counters — a validated run's ``RunResult`` is bit-identical to the
+    un-validated one — but it is deliberately part of the job identity
+    (and, when ``True``, of the cache fingerprint) so a cached
+    un-validated result is never silently passed off as a validated
+    run.
+    """
 
     num_warps: int = 192
     accesses_per_warp: int = 80
     seed: int = 7
     waveguides: int = 1
+    validate: bool = False
 
     #: Smallest ``accesses_per_warp`` that :meth:`scaled` will produce —
     #: below this a warp's access stream is too short to exercise the
@@ -59,12 +72,18 @@ class RunConfig:
         )
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "num_warps": self.num_warps,
             "accesses_per_warp": self.accesses_per_warp,
             "seed": self.seed,
             "waveguides": self.waveguides,
         }
+        # Emitted only when set: every pre-existing fingerprint, batch
+        # manifest and cache entry (all written without the key) keeps
+        # round-tripping to an equal RunConfig.
+        if self.validate:
+            data["validate"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunConfig":
@@ -167,11 +186,24 @@ def traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
 
 
 def execute_job(job: SimulationJob) -> RunResult:
-    """Run one simulation from scratch.  Deterministic in ``job``."""
+    """Run one simulation from scratch.  Deterministic in ``job``.
+
+    With ``job.run_cfg.validate`` set, the model carries a strict
+    :class:`~repro.sim.audit.Auditor`: the result is bit-identical, but
+    any violated cross-layer invariant raises
+    :class:`~repro.sim.audit.InvariantError` instead of returning.
+    """
     cfg = job.resolved_config()
     defn = get_workload_def(job.workload)
     traces = traces_for(job, cfg)
-    return GpuModel(PLATFORMS[job.platform], cfg, defn.spec, traces).run()
+    auditor = None
+    if job.run_cfg.validate:
+        from repro.sim.audit import Auditor
+
+        auditor = Auditor(strict=True)
+    return GpuModel(
+        PLATFORMS[job.platform], cfg, defn.spec, traces, auditor=auditor
+    ).run()
 
 
 def execute_job_recorded(
@@ -200,13 +232,18 @@ def execute_job_recorded(
 class SerialExecutor:
     """Evaluate jobs one after the other in the calling process."""
 
-    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[RunResult]:
-        """Results in job order; duplicate jobs are simulated once."""
-        memo: Dict[SimulationJob, RunResult] = {}
+    def run_jobs(self, jobs: Sequence[SimulationJob], fn=execute_job) -> List:
+        """``fn(job)`` per job, in job order; duplicates evaluated once.
+
+        ``fn`` defaults to :func:`execute_job`; the audit sweep passes
+        :func:`repro.harness.audit.execute_job_audited` to reuse this
+        layer for outcome objects other than :class:`RunResult`.
+        """
+        memo: Dict[SimulationJob, object] = {}
         out = []
         for job in jobs:
             if job not in memo:
-                memo[job] = execute_job(job)
+                memo[job] = fn(job)
             out.append(memo[job])
         return out
 
@@ -226,15 +263,19 @@ class ParallelExecutor:
             raise ValueError("need at least one worker")
         self.max_workers = max_workers
 
-    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[RunResult]:
-        """Results in job order; duplicate jobs are simulated once."""
+    def run_jobs(self, jobs: Sequence[SimulationJob], fn=execute_job) -> List:
+        """``fn(job)`` per job, in job order; duplicates evaluated once.
+
+        ``fn`` must be a picklable top-level callable (it crosses the
+        process boundary); results must be picklable too.
+        """
         unique = list(dict.fromkeys(jobs))
         if len(unique) <= 1 or self.max_workers == 1:
-            return SerialExecutor().run_jobs(jobs)
+            return SerialExecutor().run_jobs(jobs, fn)
         with futures.ProcessPoolExecutor(
             max_workers=min(self.max_workers, len(unique))
         ) as pool:
-            results = dict(zip(unique, pool.map(execute_job, unique)))
+            results = dict(zip(unique, pool.map(fn, unique)))
         return [results[job] for job in jobs]
 
 

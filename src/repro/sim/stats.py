@@ -84,23 +84,47 @@ class Counter:
 
 
 class Histogram:
-    """Fixed-width-bin histogram for latency distributions."""
+    """Fixed-width-bin histogram for latency distributions.
+
+    Binning semantics are explicit: bin ``k`` covers the half-open
+    interval ``[k * bin_width, (k + 1) * bin_width)`` for **any**
+    integer value, negative included — ``-1`` with ``bin_width=10``
+    lands in the bin starting at ``-10``, not in the zero bin.  The
+    width must be a positive integer so bin keys (and the bin starts
+    :meth:`items` reports) stay exact ints; a float width would leak
+    float keys and floating-point bin boundaries into the results.
+    """
 
     __slots__ = ("bin_width", "bins", "_count")
 
     def __init__(self, bin_width: int) -> None:
+        # bool is an int subclass; Histogram(True) is a bug, not width 1.
+        if isinstance(bin_width, bool) or not isinstance(bin_width, int):
+            raise TypeError(
+                f"bin_width must be an int, got {type(bin_width).__name__}"
+            )
         if bin_width <= 0:
-            raise ValueError("bin_width must be positive")
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
         self.bin_width = bin_width
         self.bins: Dict[int, int] = defaultdict(int)
         self._count = 0
 
+    def bin_of(self, value: int) -> int:
+        """Start of the bin covering ``value`` (floor semantics).
+
+        Python's ``//`` floors toward negative infinity, which is
+        exactly the half-open-interval behaviour documented above; this
+        helper names that choice so callers never have to reason about
+        floor-division on negatives themselves.
+        """
+        return (int(value) // self.bin_width) * self.bin_width
+
     def record(self, value: int) -> None:
-        self.bins[value // self.bin_width] += 1
+        self.bins[int(value) // self.bin_width] += 1
         self._count += 1
 
     def items(self) -> List[tuple[int, int]]:
-        """``(bin_start, count)`` pairs sorted by bin."""
+        """``(bin_start, count)`` pairs sorted by bin (negatives first)."""
         return [(b * self.bin_width, c) for b, c in sorted(self.bins.items())]
 
     @property

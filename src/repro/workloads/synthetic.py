@@ -68,6 +68,35 @@ class WarpTrace:
     def __iter__(self) -> Iterator[tuple[int, int, bool]]:
         return iter(self.ops)
 
+    def well_formed(self) -> List[str]:
+        """Internal-consistency problems, empty when the trace is sound.
+
+        The trace is the contract between the workload layer and the
+        GPU model: the arrays must be aligned, compute gaps
+        non-negative (a negative gap would ask the SM for a
+        negative-length issue burst) and addresses non-negative (the
+        memory system rejects them mid-run).  Generators uphold this by
+        construction; replayed/edited trace files and custom generators
+        are exactly where it can silently break, so the invariant audit
+        (``sim/audit.py``) checks every warp's trace against this.
+        """
+        problems: List[str] = []
+        if not (len(self.gaps) == len(self.addrs) == len(self.writes)):
+            problems.append(
+                "misaligned arrays: "
+                f"{len(self.gaps)} gaps, {len(self.addrs)} addrs, "
+                f"{len(self.writes)} writes"
+            )
+            return problems
+        if len(self) == 0:
+            problems.append("empty trace (a warp must issue at least once)")
+            return problems
+        if int(self.gaps.min()) < 0:
+            problems.append(f"negative compute gap ({int(self.gaps.min())})")
+        if int(self.addrs.min()) < 0:
+            problems.append(f"negative address ({int(self.addrs.min())})")
+        return problems
+
     @property
     def total_instructions(self) -> int:
         """Compute instructions plus one memory instruction per access."""

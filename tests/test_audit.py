@@ -1,0 +1,628 @@
+"""Cross-layer invariant audit tests (sim/audit.py + harness/audit.py).
+
+Three angles:
+
+* **clean runs** — every platform/mode/workload shape passes the audit
+  and the audited result is bit-identical to the un-audited one;
+* **detection** — injected accounting drift of each class (channel,
+  DRAM, XPoint, GPU conservation, tenant attribution, stray energy
+  counters) is caught by the matching invariant, proving the audit is
+  not vacuously green;
+* **harness** — the sweep's matrix builder, journal resume, outcome
+  serialization and CLI gate behave.
+"""
+
+import json
+
+import pytest
+
+from repro.config import MemoryMode
+from repro.core.platforms import PLATFORMS
+from repro.gpu.gpu import GpuModel
+from repro.harness.audit import (
+    AUDIT_SCHEMA,
+    AuditOutcome,
+    audit_jobs,
+    audit_report,
+    execute_job_audited,
+    run_audit,
+)
+from repro.harness.executor import (
+    RunConfig,
+    SerialExecutor,
+    SimulationJob,
+    execute_job,
+    traces_for,
+)
+from repro.sim.audit import (
+    Auditor,
+    InvariantError,
+    InvariantViolation,
+    ValidatingEngine,
+)
+from repro.workloads.registry import get_workload_def
+
+SMALL = RunConfig(num_warps=16, accesses_per_warp=16)
+
+
+def audited_model(platform, workload, mode, run_cfg=SMALL, strict=False):
+    """(model, auditor) for one job, built but not yet run."""
+    job = SimulationJob(platform, workload, mode, run_cfg)
+    cfg = job.resolved_config()
+    defn = get_workload_def(workload)
+    auditor = Auditor(strict=strict)
+    model = GpuModel(
+        PLATFORMS[platform], cfg, defn.spec, traces_for(job, cfg), auditor=auditor
+    )
+    return model, auditor
+
+
+class TestViolationRecords:
+    def test_round_trip(self):
+        v = InvariantViolation("dram.access_split", "mc0.dram", "boom", 4.0, 5.0)
+        assert InvariantViolation.from_dict(v.to_dict()) == v
+
+    def test_str_includes_both_sides(self):
+        v = InvariantViolation("x.y", "c", "m", expected=1, actual=2)
+        s = str(v)
+        assert "x.y" in s and "expected 1" in s and "got 2" in s
+
+    def test_error_lists_violations(self):
+        violations = [
+            InvariantViolation(f"inv{i}", "c", "m") for i in range(8)
+        ]
+        err = InvariantError(violations)
+        assert "8 invariant violation(s)" in str(err)
+        assert "inv0" in str(err) and "... and 3 more" in str(err)
+        assert err.violations == violations
+
+    def test_error_survives_pickling(self):
+        # Parallel executors ship worker exceptions through pickle; the
+        # structured records must survive the round trip intact.
+        import pickle
+
+        violations = [InvariantViolation("a.b", "c", "m", 1.0, 2.0)]
+        err = pickle.loads(pickle.dumps(InvariantError(violations)))
+        assert err.violations == violations
+        assert "1 invariant violation(s)" in str(err)
+
+    def test_check_counts_and_records(self):
+        a = Auditor()
+        assert a.check("i", "c", True, "fine")
+        assert not a.check("i", "c", False, "bad", expected=1, actual=2)
+        assert a.checks_run == 2
+        assert len(a.violations) == 1
+        with pytest.raises(InvariantError):
+            a.raise_if_violations()
+
+
+class TestValidatingEngine:
+    def test_runs_events_in_order(self):
+        a = Auditor()
+        eng = ValidatingEngine(a)
+        seen = []
+        eng.schedule(5, lambda: seen.append("b"))
+        eng.schedule(1, lambda: seen.append("a"))
+        eng.run()
+        assert seen == ["a", "b"]
+        assert not a.violations
+
+    def test_detects_non_monotonic_heap(self):
+        # at() refuses past scheduling, so corrupt the queue directly —
+        # the validating engine must notice the broken heap discipline.
+        a = Auditor()
+        eng = ValidatingEngine(a)
+        eng.schedule(10, lambda: None)
+        eng.now = 50
+        eng.run()
+        assert any(v.invariant == "engine.monotonic_time" for v in a.violations)
+
+    def test_respects_until_and_max_events(self):
+        a = Auditor()
+        eng = ValidatingEngine(a)
+        for t in (1, 2, 3):
+            eng.schedule(t, lambda: None)
+        eng.run(until_ps=2)
+        assert eng.pending() == 1
+        eng.run(max_events=1)
+        assert eng.pending() == 0 or eng.events_processed == 3
+
+
+CLEAN_CASES = [
+    ("Origin", "pagerank", MemoryMode.PLANAR),
+    ("Hetero", "backp", MemoryMode.PLANAR),
+    ("Ohm-base", "backp", MemoryMode.TWO_LEVEL),
+    ("Auto-rw", "gemm_reuse", MemoryMode.PLANAR),
+    ("Ohm-WOM", "pagerank", MemoryMode.PLANAR),
+    ("Ohm-BW", "mix_gemm_chase", MemoryMode.PLANAR),
+    ("Ohm-BW", "backp", MemoryMode.TWO_LEVEL),
+    ("Oracle", "stream_scan", MemoryMode.PLANAR),
+]
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("platform,workload,mode", CLEAN_CASES)
+    def test_audit_is_clean(self, platform, workload, mode):
+        outcome = execute_job_audited(
+            SimulationJob(platform, workload, mode, SMALL)
+        )
+        assert outcome.violations == ()
+        assert outcome.checks > 20
+
+    def test_audited_result_is_bit_identical(self):
+        job = SimulationJob("Ohm-BW", "pagerank", MemoryMode.PLANAR, SMALL)
+        plain = execute_job(job)
+        audited = execute_job_audited(job)
+        assert audited.fingerprint == plain.fingerprint()
+
+    def test_validate_flag_is_bit_identical_and_clean(self):
+        base = SimulationJob("Ohm-WOM", "backp", MemoryMode.TWO_LEVEL, SMALL)
+        validated = SimulationJob(
+            "Ohm-WOM", "backp", MemoryMode.TWO_LEVEL,
+            RunConfig(num_warps=16, accesses_per_warp=16, validate=True),
+        )
+        assert execute_job(validated).fingerprint() == execute_job(base).fingerprint()
+
+    def test_cache_modelled_run_audits_clean(self):
+        # The cache invariants only fire when L1/L2 are modelled.
+        job = SimulationJob("Oracle", "backp", MemoryMode.PLANAR, SMALL)
+        cfg = job.resolved_config()
+        defn = get_workload_def("backp")
+        auditor = Auditor(strict=True)
+        model = GpuModel(
+            PLATFORMS["Oracle"], cfg, defn.spec, traces_for(job, cfg),
+            model_caches=True, auditor=auditor,
+        )
+        model.run()  # strict: raises on any violation
+        assert any(sm.l1 is not None for sm in model.sms)
+        assert auditor.checks_run > 0
+
+
+class TestDetection:
+    """Injected drift of every class must trip the matching invariant."""
+
+    def _violations(self, model, auditor):
+        model.run()
+        return {v.invariant for v in auditor.violations}
+
+    def test_channel_bits_drift(self):
+        model, auditor = audited_model("Hetero", "backp", MemoryMode.PLANAR)
+        chan = model.memory.slices[0].chan
+        model.stats.add(f"{chan.name}.bits.demand", 64)  # phantom bits
+        assert "channel.bits_conserved" in self._violations(model, auditor)
+
+    def test_channel_window_drift(self):
+        model, auditor = audited_model("Ohm-base", "backp", MemoryMode.PLANAR)
+        chan = model.memory.slices[0].chan
+        model.stats.add(f"{chan.name}.transfers", 1)  # phantom transfer
+        assert "channel.windows_conserved" in self._violations(model, auditor)
+
+    def test_channel_route_budget_drift(self):
+        model, auditor = audited_model("Ohm-BW", "backp", MemoryMode.PLANAR)
+        chan = model.memory.slices[0].chan
+        model.stats.add(f"{chan.name}.busy_ps.route.data", 1000)
+        assert "channel.busy_routes" in self._violations(model, auditor)
+
+    def test_dram_bank_drift(self):
+        model, auditor = audited_model("Origin", "backp", MemoryMode.PLANAR)
+        model.memory.slices[0].dram.banks[0].accesses += 1
+        got = self._violations(model, auditor)
+        assert "dram.bank_accesses" in got
+
+    def test_dram_counter_drift(self):
+        model, auditor = audited_model("Oracle", "backp", MemoryMode.PLANAR)
+        dram = model.memory.slices[0].dram
+        model.stats.add(f"{dram.name}.reads", 3)  # reads no one issued
+        assert "dram.access_split" in self._violations(model, auditor)
+
+    def test_cache_tally_drift(self):
+        # CacheStats.accesses is a stored ledger counted on entry while
+        # hits/misses are counted per branch — drifting either side
+        # must trip the split invariant.
+        job = SimulationJob("Oracle", "backp", MemoryMode.PLANAR, SMALL)
+        cfg = job.resolved_config()
+        defn = get_workload_def("backp")
+        auditor = Auditor()
+        model = GpuModel(
+            PLATFORMS["Oracle"], cfg, defn.spec, traces_for(job, cfg),
+            model_caches=True, auditor=auditor,
+        )
+        model.sms[0].l1.stats.accesses += 1  # an access no branch saw
+        model.run()
+        assert "cache.access_split" in {v.invariant for v in auditor.violations}
+
+    def test_xpoint_write_drift(self):
+        model, auditor = audited_model("Ohm-base", "backp", MemoryMode.PLANAR)
+        xp = model.memory.slices[0].xp
+        model.stats.add(f"{xp.name}.ecc_encodes", 2)  # unaccounted writes
+        assert "xpoint.write_conservation" in self._violations(model, auditor)
+
+    def test_gpu_request_drift(self):
+        model, auditor = audited_model("Hetero", "backp", MemoryMode.PLANAR)
+        model.stats.add("mem.demand_requests", 1)  # a request out of thin air
+        got = self._violations(model, auditor)
+        assert "gpu.requests_conserved" in got
+        assert "gpu.latency_samples" in got
+
+    def test_instruction_drift(self):
+        model, auditor = audited_model("Oracle", "backp", MemoryMode.PLANAR)
+        model.stats.add("gpu.instructions", 7)
+        assert "gpu.instructions_conserved" in self._violations(model, auditor)
+
+    def test_tenant_attribution_drift(self):
+        model, auditor = audited_model(
+            "Ohm-BW", "mix_gemm_chase", MemoryMode.PLANAR
+        )
+        model.stats.add("tenant.gemm.instructions", 100)  # phantom work
+        assert "tenant.instructions" in self._violations(model, auditor)
+
+    def test_stray_energy_counter(self):
+        # A counter that *looks* optical on an electrical platform: the
+        # breakdown's name patterns absorb it, the model-derived
+        # re-derivation does not — reconciliation must fail.
+        model, auditor = audited_model("Hetero", "backp", MemoryMode.PLANAR)
+        model.stats.add("ochan9.energy_pj", 5e6)
+        assert "energy.total_reconciles" in self._violations(model, auditor)
+
+    def test_malformed_trace_detected_at_construction(self):
+        import numpy as np
+
+        from repro.workloads.synthetic import WarpTrace
+
+        job = SimulationJob("Oracle", "backp", MemoryMode.PLANAR, SMALL)
+        cfg = job.resolved_config()
+        defn = get_workload_def("backp")
+        bad = WarpTrace(
+            gaps=np.array([3, -2], dtype=np.int64),
+            addrs=np.array([0, -128], dtype=np.int64),
+            writes=np.array([False, True]),
+        )
+        auditor = Auditor()
+        GpuModel(
+            PLATFORMS["Oracle"], cfg, defn.spec,
+            [bad] + traces_for(job, cfg), auditor=auditor,
+        )
+        got = {v.invariant for v in auditor.violations}
+        assert got == {"workload.trace_wellformed"}
+        assert len(auditor.violations) == 2  # negative gap AND address
+
+    def test_malformed_trace_raises_at_construction_when_strict(self):
+        # Without this, a bad trace dies mid-run on the symptom (a
+        # negative-length issue burst) instead of the diagnosis.
+        import numpy as np
+
+        from repro.workloads.synthetic import WarpTrace
+
+        job = SimulationJob("Oracle", "backp", MemoryMode.PLANAR, SMALL)
+        cfg = job.resolved_config()
+        defn = get_workload_def("backp")
+        bad = WarpTrace(
+            gaps=np.array([-1], dtype=np.int64),
+            addrs=np.array([0], dtype=np.int64),
+            writes=np.array([False]),
+        )
+        with pytest.raises(InvariantError) as exc:
+            GpuModel(
+                PLATFORMS["Oracle"], cfg, defn.spec, [bad],
+                auditor=Auditor(strict=True),
+            )
+        assert any(
+            v.invariant == "workload.trace_wellformed"
+            for v in exc.value.violations
+        )
+
+    def test_crashed_job_becomes_audit_outcome(self, monkeypatch):
+        # One exploding job must not kill a whole sweep.
+        import repro.harness.audit as audit_mod
+
+        class Boom:
+            def __init__(self, *a, **k):
+                raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(audit_mod, "GpuModel", Boom)
+        outcome = execute_job_audited(
+            SimulationJob("Oracle", "backp", MemoryMode.PLANAR, SMALL)
+        )
+        assert not outcome.ok
+        assert outcome.fingerprint == ""
+        assert any(
+            v["invariant"] == "run.crashed" and "kaboom" in v["message"]
+            for v in outcome.violations
+        )
+
+    def test_well_formed_trace_reports_nothing(self):
+        job = SimulationJob("Oracle", "backp", MemoryMode.PLANAR, SMALL)
+        for trace in traces_for(job, job.resolved_config()):
+            assert trace.well_formed() == []
+
+    def test_strict_mode_raises(self):
+        model, auditor = audited_model(
+            "Hetero", "backp", MemoryMode.PLANAR, strict=True
+        )
+        model.stats.add("mem.demand_requests", 1)
+        with pytest.raises(InvariantError) as exc:
+            model.run()
+        assert any(
+            v.invariant == "gpu.requests_conserved" for v in exc.value.violations
+        )
+
+    def test_validate_run_config_raises_on_drift(self, monkeypatch):
+        # End-to-end: RunConfig(validate=True) arms a strict auditor
+        # inside execute_job.
+        from repro.gpu import sm as sm_mod
+
+        original = sm_mod.StreamingMultiprocessor.issue_burst
+
+        def leaky(self, instructions):
+            self._cdict["gpu.instructions"] += 0.5  # drifting counter
+            return original(self, instructions)
+
+        monkeypatch.setattr(
+            sm_mod.StreamingMultiprocessor, "issue_burst", leaky
+        )
+        job = SimulationJob(
+            "Oracle", "backp", MemoryMode.PLANAR,
+            RunConfig(num_warps=8, accesses_per_warp=8, validate=True),
+        )
+        with pytest.raises(InvariantError):
+            execute_job(job)
+
+
+class TestBankAccountingFix:
+    """The latent bug the audit flushed out: swap presets were invisible
+    to the device counter that feeds the energy model, and bulk swap
+    occupancies let per-bank activations exceed per-bank accesses."""
+
+    def _swap_model(self):
+        job = SimulationJob(
+            "Ohm-BW", "pagerank", MemoryMode.PLANAR,
+            RunConfig(num_warps=24, accesses_per_warp=24),
+        )
+        cfg = job.resolved_config()
+        defn = get_workload_def("pagerank")
+        model = GpuModel(
+            PLATFORMS["Ohm-BW"], cfg, defn.spec, traces_for(job, cfg)
+        )
+        result = model.run()
+        return model, result
+
+    def test_swap_presets_are_tracked(self):
+        model, result = self._swap_model()
+        assert result.counters.get("mem.swaps", 0) > 0, "sizing must swap"
+        presets = sum(
+            s.dram.total_preset_activations for s in model.memory.slices
+        )
+        occupancies = sum(
+            s.dram.total_occupancies for s in model.memory.slices
+        )
+        assert presets > 0 and occupancies > 0
+
+    def test_device_counter_reconciles_exactly(self):
+        model, result = self._swap_model()
+        for s in model.memory.slices:
+            dram = s.dram
+            counted = result.counters.get(f"{dram.name}.activations", 0.0)
+            assert counted == (
+                dram.total_activations - dram.total_preset_activations
+            )
+
+    def test_per_bank_activations_bounded(self):
+        model, _ = self._swap_model()
+        for s in model.memory.slices:
+            for bank in s.dram.banks:
+                assert bank.activations <= bank.accesses + bank.occupancies
+
+    def test_bank_unit_accounting(self):
+        from repro.dram.bank import Bank
+        from repro.dram.timing import DramTiming
+        from repro.config import DramTimingConfig
+
+        bank = Bank(DramTiming.from_config(DramTimingConfig()))
+        bank.activate(row=3, now_ps=0)
+        assert bank.activations == 1
+        assert bank.preset_activations == 1
+        assert bank.accesses == 0
+        bank.occupy(now_ps=0, duration_ps=100)
+        assert bank.occupancies == 1
+        bank.access(row=3, now_ps=500)
+        assert bank.accesses == 1
+        assert bank.activations == 1  # row hit, no new activation
+        assert bank.activations <= bank.accesses + bank.occupancies
+
+
+class TestSweepHarness:
+    def test_matrix_shape(self):
+        jobs = audit_jobs(
+            run_cfg=SMALL,
+            platforms=("Origin", "Oracle"),
+            workloads=("backp", "pagerank"),
+        )
+        assert len(jobs) == 2 * 2 * len(MemoryMode)
+        assert len(set(jobs)) == len(jobs)
+
+    def test_smoke_matrix_is_small_but_covers_platforms(self):
+        jobs = audit_jobs(smoke=True)
+        assert {j.platform for j in jobs} == set(PLATFORMS)
+        assert len(jobs) <= 80
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(KeyError):
+            audit_jobs(platforms=("GTX",))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            audit_jobs(workloads=("nope",))
+
+    def test_outcome_round_trip(self):
+        o = AuditOutcome(
+            platform="Origin", workload="backp", mode="planar", checks=10,
+            violations=(
+                InvariantViolation("a.b", "c", "m", 1, 2).to_dict(),
+            ),
+            fingerprint="f" * 64,
+        )
+        assert AuditOutcome.from_dict(o.to_dict()) == o
+        assert not o.ok
+        row = o.to_row()
+        assert row["violations"] == 1 and row["ok"] is False
+        assert "a.b" in row["detail"]
+
+    def test_report_totals(self):
+        jobs = audit_jobs(
+            run_cfg=SMALL, platforms=("Oracle",), workloads=("backp",),
+            modes=(MemoryMode.PLANAR,),
+        )
+        outcomes = run_audit(jobs)
+        report = audit_report(outcomes)
+        assert report["jobs"] == 1
+        assert report["ok"] is True
+        assert report["violations"] == 0
+        assert report["schema"] == AUDIT_SCHEMA
+
+    def test_journal_resume_skips_audited_jobs(self, tmp_path, monkeypatch):
+        journal = tmp_path / "audit.jsonl"
+        jobs = audit_jobs(
+            run_cfg=SMALL, platforms=("Oracle", "Origin"),
+            workloads=("backp",), modes=(MemoryMode.PLANAR,),
+        )
+        first = run_audit(jobs, journal=journal)
+        assert journal.exists()
+        lines = journal.read_text().strip().splitlines()
+        assert len(lines) == len(jobs)
+
+        # Second invocation must not simulate anything.
+        import repro.harness.audit as audit_mod
+
+        def boom(job):  # pragma: no cover - must never run
+            raise AssertionError("journaled job was re-simulated")
+
+        monkeypatch.setattr(audit_mod, "execute_job_audited", boom)
+        second = run_audit(jobs, journal=journal)
+        assert [o.to_dict() for o in second] == [o.to_dict() for o in first]
+
+    def test_journal_written_in_waves_survives_mid_sweep_death(
+        self, tmp_path, monkeypatch
+    ):
+        # A sweep killed partway must leave its completed waves in the
+        # journal so the re-invocation starts from there, not from zero.
+        import repro.harness.audit as audit_mod
+
+        journal = tmp_path / "audit.jsonl"
+        jobs = audit_jobs(
+            run_cfg=SMALL, platforms=("Oracle", "Origin"),
+            workloads=("backp", "pagerank"), modes=(MemoryMode.PLANAR,),
+        )
+        assert len(jobs) == 4
+        real = audit_mod.execute_job_audited
+        calls = []
+
+        def dies_on_third(job):
+            if len(calls) >= 2:
+                raise KeyboardInterrupt("sweep killed")
+            calls.append(job)
+            return real(job)
+
+        monkeypatch.setattr(audit_mod, "execute_job_audited", dies_on_third)
+        with pytest.raises(KeyboardInterrupt):
+            run_audit(jobs, journal=journal)
+        # SerialExecutor waves are 2 jobs wide: the first wave landed.
+        assert len(journal.read_text().strip().splitlines()) == 2
+
+        monkeypatch.setattr(audit_mod, "execute_job_audited", real)
+        outcomes = run_audit(jobs, journal=journal)
+        assert len(outcomes) == 4 and all(o.ok for o in outcomes)
+        assert len(journal.read_text().strip().splitlines()) == 4
+
+    def test_journal_tolerates_garbage(self, tmp_path):
+        journal = tmp_path / "audit.jsonl"
+        journal.write_text('{"schema": 999}\nnot json\n')
+        jobs = audit_jobs(
+            run_cfg=SMALL, platforms=("Oracle",), workloads=("backp",),
+            modes=(MemoryMode.PLANAR,),
+        )
+        outcomes = run_audit(jobs, journal=journal)
+        assert len(outcomes) == 1 and outcomes[0].ok
+
+    def test_executor_fn_plumbing(self):
+        jobs = audit_jobs(
+            run_cfg=SMALL, platforms=("Oracle",), workloads=("backp",),
+            modes=(MemoryMode.PLANAR,),
+        )
+        calls = []
+
+        def fake(job):
+            calls.append(job)
+            return "sentinel"
+
+        out = SerialExecutor().run_jobs(jobs + jobs, fn=fake)
+        assert out == ["sentinel"] * 2
+        assert len(calls) == 1  # deduplicated
+
+
+class TestRunConfigValidate:
+    def test_to_dict_omits_false(self):
+        assert "validate" not in RunConfig().to_dict()
+
+    def test_to_dict_includes_true(self):
+        assert RunConfig(validate=True).to_dict()["validate"] is True
+
+    def test_round_trip(self):
+        for rc in (RunConfig(), RunConfig(validate=True)):
+            assert RunConfig.from_dict(rc.to_dict()) == rc
+
+    def test_legacy_dict_defaults_false(self):
+        legacy = {
+            "num_warps": 5, "accesses_per_warp": 6, "seed": 7, "waveguides": 1,
+        }
+        assert RunConfig.from_dict(legacy).validate is False
+
+    def test_cache_fingerprint_unchanged_for_default(self):
+        # The validate field must not shift existing cache fingerprints.
+        from repro.harness.cache import job_fingerprint
+
+        job = SimulationJob("Oracle", "backp", MemoryMode.PLANAR, RunConfig())
+        payload = json.dumps(job.to_dict(), sort_keys=True)
+        assert "validate" not in payload
+        assert job_fingerprint(job)  # and it still fingerprints
+
+
+class TestAuditCli:
+    def test_audit_smoke_subset(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "audit", "--smoke", "--platform", "Oracle", "Origin",
+            "--workload", "backp", "--mode", "planar",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "CLEAN" in err
+
+    def test_audit_json_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "audit.json"
+        rc = main([
+            "audit", "--smoke", "--platform", "Oracle",
+            "--workload", "backp", "--mode", "planar",
+            "--format", "json", "-o", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["ok"] is True and report["jobs"] == 1
+
+    def test_audit_rejects_unknown_workload(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["audit", "--workload", "definitely_not_registered"])
+
+    def test_run_validate_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "run", "--platform", "Oracle", "--workload", "backp",
+            "--quick", "--validate",
+        ])
+        assert rc == 0
+        assert "exec time" in capsys.readouterr().out

@@ -140,3 +140,37 @@ class TestOpticalChannel:
         cfg = replace(OpticalChannelConfig(), num_waveguides=4)
         chan = OpticalChannel(cfg, Stats())
         assert chan.vchannels[0].width_bits == 64
+
+
+class TestAccountingLedger:
+    """ChannelPort.accounting: the audit layer's read-back of the port's
+    counter ledger (DESIGN.md section 10)."""
+
+    def test_electrical_ledger_balances(self):
+        stats = Stats()
+        chan = ElectricalChannel(ElectricalChannelConfig(), stats)
+        chan.transfer(0, 480, RequestKind.DEMAND)
+        chan.transfer(0, 960, RequestKind.MIGRATION)
+        ledger = chan.accounting(stats.snapshot())
+        assert ledger["bits"] == 480 + 960
+        assert ledger["windows"] == 2
+        assert ledger["kind_busy_ps"] == ledger["route_busy_ps"] > 0
+
+    def test_optical_ledger_balances_across_routes(self):
+        chan = make_vchannel(dual=True)
+        stats = chan.stats
+        chan.transfer(0, 480, RequestKind.DEMAND, RouteKind.DATA, device=0)
+        chan.transfer(0, 480, RequestKind.MIGRATION, RouteKind.MEMORY, device=1)
+        ledger = chan.accounting(stats.snapshot())
+        assert ledger["bits"] == 960
+        assert ledger["windows"] == 2
+        assert ledger["kind_busy_ps"] == ledger["route_busy_ps"]
+
+    def test_ledger_empty_port(self):
+        stats = Stats()
+        chan = ElectricalChannel(ElectricalChannelConfig(), stats)
+        ledger = chan.accounting(stats.snapshot())
+        assert ledger == {
+            "bits": 0.0, "windows": 0.0,
+            "kind_busy_ps": 0.0, "route_busy_ps": 0.0,
+        }

@@ -153,3 +153,25 @@ class TestDevice:
             dev.access(i * 4096, False, 0)
         assert dev.total_accesses == 8
         assert dev.total_activations >= 1
+
+    def test_swap_preset_accounting(self):
+        """Regression for the audit-flushed bug: swap presets are row
+        activations too, but the demand-path stats counter must exclude
+        them — the bank ledger keeps both reconciled."""
+        dev = self.make()
+        dev.access(0, False, 0)  # demand: counter + bank agree
+        dev.activate_for_swap(4096, 0)  # preset: bank-only
+        dev.occupy_bank(4096, 0, 500)
+        assert dev.total_preset_activations == 1
+        assert dev.total_occupancies == 1
+        counted = dev.stats.get(f"{dev.name}.activations")
+        assert counted == dev.total_activations - dev.total_preset_activations
+        for bank in dev.banks:
+            assert bank.activations <= bank.accesses + bank.occupancies
+
+    def test_occupy_counts_no_demand_access(self):
+        dev = self.make()
+        dev.occupy_bank(0, 0, 1000)
+        assert dev.total_accesses == 0
+        assert dev.stats.get(f"{dev.name}.accesses") == 0
+        assert dev.total_occupancies == 1

@@ -67,6 +67,52 @@ class TestEnergyAccounting:
         }
         assert b.total_j == pytest.approx(sum(b.as_dict().values()))
 
+    def _mixed_result(self, platform_name):
+        """A synthetic RunResult carrying BOTH channel families' energy."""
+        from repro.gpu.gpu import RunResult
+
+        return RunResult(
+            platform=platform_name,
+            workload="synthetic",
+            mode="planar",
+            instructions=1000,
+            exec_time_ps=1_000_000,
+            demand_requests=10,
+            mean_mem_latency_ps=100.0,
+            counters={
+                "echan0.energy_pj": 2_000_000.0,  # 2 uJ electrical
+                "ochan0.energy_pj": 1_000_000.0,  # 1 uJ optical
+                "ochan0.mrr_tuning_pj": 500_000.0,
+            },
+        )
+
+    def test_electrical_energy_not_dropped_on_optical_platform(self):
+        """Regression: the old ``else`` branch silently discarded any
+        ``echan.*.energy_pj`` accumulated on a ``uses_optical`` platform;
+        both sides must now be accounted from whichever counters exist."""
+        from repro import Runner
+
+        runner = Runner()
+        cfg = default_config(MemoryMode.PLANAR)
+        b = EnergyModel(cfg).breakdown(
+            runner.platform("Ohm-base"), self._mixed_result("Ohm-base")
+        )
+        assert b.electrical_j == pytest.approx(2e-6)
+        assert b.optical_j > 1.5e-6  # signalling + tuning + laser
+
+    def test_optical_counters_accounted_on_electrical_platform(self):
+        from repro import Runner
+
+        runner = Runner()
+        cfg = default_config(MemoryMode.PLANAR)
+        b = EnergyModel(cfg).breakdown(
+            runner.platform("Hetero"), self._mixed_result("Hetero")
+        )
+        assert b.electrical_j == pytest.approx(2e-6)
+        # Signalling energy from the stray optical counters is kept; the
+        # laser term stays zero (laser_scale is 0 off-optical).
+        assert b.optical_j == pytest.approx(1.5e-6)
+
 
 class TestTable3:
     def test_planar_device_prices(self):

@@ -1,0 +1,114 @@
+"""Golden energy-breakdown fingerprints: Fig. 19 inputs are frozen.
+
+The RunResult golden fingerprints (tests/test_golden_fingerprints.py)
+freeze the simulated timeline and counters; this suite freezes the
+**energy accounting derived from them**.  A change anywhere in the
+counter -> EnergyBreakdown pipeline — the power-model constants, the
+counter name patterns, the platform branching — shows up here even when
+the RunResult itself is bit-identical, which is exactly the class of
+silent drift the invariant audit (DESIGN.md section 10) exists to stop.
+
+Each golden job's :class:`EnergyBreakdown` is canonicalized with full
+float precision (``repr`` round-trips) and hashed; per-component values
+are also stored so a mismatch reports *which* component moved, not just
+that the hash did.
+
+If you change energy accounting *on purpose*, regenerate with::
+
+    PYTHONPATH=src python tests/test_energy_fingerprints.py --regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.config import MemoryMode, default_config
+from repro.core.platforms import PLATFORMS
+from repro.energy.accounting import EnergyModel
+from repro.harness.executor import RunConfig, SimulationJob, execute_job
+
+DATA = pathlib.Path(__file__).parent / "data" / "energy_fingerprints.json"
+
+#: Same sizing and matrix as the RunResult golden jobs, so both suites
+#: freeze the same simulations.
+GOLDEN_RUN = RunConfig(num_warps=24, accesses_per_warp=24)
+
+GOLDEN_JOBS = [
+    ("Origin", "pagerank", "planar"),
+    ("Hetero", "pagerank", "planar"),
+    ("Ohm-base", "pagerank", "planar"),
+    ("Auto-rw", "pagerank", "planar"),
+    ("Ohm-WOM", "pagerank", "planar"),
+    ("Ohm-BW", "pagerank", "planar"),
+    ("Oracle", "pagerank", "planar"),
+    ("Ohm-BW", "backp", "two_level"),
+]
+
+
+def breakdown_payload(platform: str, workload: str, mode: str) -> dict:
+    """Canonical, JSON-stable energy breakdown for one golden job."""
+    result = execute_job(
+        SimulationJob(platform, workload, MemoryMode(mode), GOLDEN_RUN)
+    )
+    cfg = default_config(MemoryMode(mode))
+    b = EnergyModel(cfg).breakdown(PLATFORMS[platform], result)
+    components = {
+        "xpoint_j": b.xpoint_j,
+        "dram_dynamic_j": b.dram_dynamic_j,
+        "dram_static_j": b.dram_static_j,
+        "optical_j": b.optical_j,
+        "electrical_j": b.electrical_j,
+        "total_j": b.total_j,
+    }
+    # repr() round-trips floats exactly; json.dumps uses it.
+    canon = json.dumps(components, sort_keys=True, separators=(",", ":"))
+    return {
+        "components": components,
+        "sha256": hashlib.sha256(canon.encode("utf-8")).hexdigest(),
+    }
+
+
+@pytest.mark.parametrize("platform,workload,mode", GOLDEN_JOBS)
+def test_energy_breakdown_matches_golden(platform, workload, mode):
+    golden = json.loads(DATA.read_text())
+    key = f"{platform}/{workload}/{mode}"
+    assert key in golden, f"no golden energy fingerprint for {key}; run --regen"
+    got = breakdown_payload(platform, workload, mode)
+    expected = golden[key]
+    # Compare components first so a drift names the component that moved.
+    for component, value in expected["components"].items():
+        assert got["components"][component] == pytest.approx(
+            value, rel=1e-12, abs=1e-18
+        ), (
+            f"energy component {component!r} changed for {key} — if "
+            "intentional, regenerate tests/data/energy_fingerprints.json"
+        )
+    assert got["sha256"] == expected["sha256"]
+
+
+@pytest.mark.parametrize("platform,workload,mode", GOLDEN_JOBS)
+def test_breakdown_total_is_component_sum(platform, workload, mode):
+    got = breakdown_payload(platform, workload, mode)["components"]
+    parts = sum(v for k, v in got.items() if k != "total_j")
+    assert got["total_j"] == pytest.approx(parts, rel=1e-12)
+
+
+def _regen() -> None:
+    out = {
+        f"{p}/{w}/{m}": breakdown_payload(p, w, m) for p, w, m in GOLDEN_JOBS
+    }
+    DATA.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {DATA}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -70,6 +70,41 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram(0)
 
+    def test_negative_bin_width_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(-5)
+
+    def test_float_bin_width_rejected(self):
+        # A float width would leak float bin keys and fuzzy boundaries.
+        with pytest.raises(TypeError):
+            Histogram(2.5)
+
+    def test_bool_bin_width_rejected(self):
+        # bool is an int subclass; Histogram(True) is a bug, not width 1.
+        with pytest.raises(TypeError):
+            Histogram(True)
+
+    def test_negative_values_bin_with_floor_semantics(self):
+        # Bin k covers [k*w, (k+1)*w) for negatives too: -1 belongs to
+        # the bin starting at -10, not to the zero bin.
+        h = Histogram(10)
+        for v in (-1, -10, -11, 0, 9):
+            h.record(v)
+        assert dict(h.items()) == {-20: 1, -10: 2, 0: 2}
+
+    def test_bin_of_matches_record(self):
+        h = Histogram(7)
+        for v in (-15, -7, -1, 0, 6, 7, 20):
+            assert h.bin_of(v) <= v < h.bin_of(v) + h.bin_width
+            h.record(v)
+            assert h.bins[h.bin_of(v) // h.bin_width] >= 1
+
+    def test_items_sorted_with_negatives_first(self):
+        h = Histogram(5)
+        for v in (12, -3, 4):
+            h.record(v)
+        assert [start for start, _ in h.items()] == [-5, 0, 10]
+
 
 class TestStats:
     def test_add_and_get(self):

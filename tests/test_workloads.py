@@ -7,7 +7,7 @@ from repro.config import MB
 from repro.workloads.graphs import GraphTraceGenerator, build_scale_free_csr
 from repro.workloads.registry import WORKLOADS, generate_traces, get_workload, make_generator
 from repro.workloads.spec import TABLE2, WorkloadSpec
-from repro.workloads.synthetic import SyntheticTraceGenerator, zipf_pmf
+from repro.workloads.synthetic import SyntheticTraceGenerator, WarpTrace, zipf_pmf
 
 FOOTPRINT = 8 * MB
 
@@ -157,3 +157,40 @@ class TestGraphTraces:
         for name in WORKLOADS:
             traces = generate_traces(get_workload(name), FOOTPRINT, 2, 20)
             assert len(traces) == 2
+
+
+class TestTraceWellFormed:
+    """WarpTrace.well_formed: the workload layer's half of the audit
+    contract (sim/audit.py checks it per warp at model construction)."""
+
+    def test_generated_traces_are_well_formed(self):
+        g = SyntheticTraceGenerator(get_workload("backp"), FOOTPRINT, 128, 2048)
+        for w in range(4):
+            assert g.warp_trace(w, 60).well_formed() == []
+
+    def test_misaligned_arrays_reported(self):
+        t = WarpTrace(
+            gaps=np.array([1, 2], dtype=np.int64),
+            addrs=np.array([0], dtype=np.int64),
+            writes=np.array([False]),
+        )
+        problems = t.well_formed()
+        assert len(problems) == 1 and "misaligned" in problems[0]
+
+    def test_negative_gap_and_address_reported(self):
+        t = WarpTrace(
+            gaps=np.array([-1], dtype=np.int64),
+            addrs=np.array([-128], dtype=np.int64),
+            writes=np.array([True]),
+        )
+        problems = t.well_formed()
+        assert any("gap" in p for p in problems)
+        assert any("address" in p for p in problems)
+
+    def test_empty_trace_reported(self):
+        t = WarpTrace(
+            gaps=np.array([], dtype=np.int64),
+            addrs=np.array([], dtype=np.int64),
+            writes=np.array([], dtype=bool),
+        )
+        assert any("empty" in p for p in t.well_formed())
