@@ -127,3 +127,100 @@ def test_run_suite_remeasures_on_case_definition_change(tmp_path, monkeypatch):
     # And the fresh record now shadows the stale one.
     perf.run_suite(cases, repeats=1, journal=str(journal))
     assert calls == [cases[0].name, cases[0].name]  # resumed this time
+
+
+def _stub_measurement(name, eps, repeats=1):
+    from repro.harness.perf import PerfMeasurement
+
+    return PerfMeasurement(
+        case=name, platform="Ohm-BW", workload="pagerank", mode="planar",
+        events=100, instructions=50, wall_s=100.0 / eps,
+        events_per_sec=eps, repeats=repeats,
+    )
+
+
+class TestBenchHistory:
+    def test_write_bench_appends_history(self, tmp_path):
+        """Each write keeps the prior trajectory and appends one entry
+        (timestamp passed in, git rev, per-case events/sec)."""
+        from repro.harness.perf import load_bench, write_bench
+
+        out = str(tmp_path / "bench.json")
+        write_bench(
+            out, [_stub_measurement("headline", 100.0)],
+            timestamp="2026-08-08T00:00:00+00:00", git_rev="abc1234",
+        )
+        write_bench(
+            out, [_stub_measurement("headline", 120.0)],
+            timestamp="2026-08-09T00:00:00+00:00", git_rev="def5678",
+        )
+        payload = load_bench(out)
+        assert [h["git_rev"] for h in payload["history"]] == ["abc1234", "def5678"]
+        assert [h["timestamp"] for h in payload["history"]] == [
+            "2026-08-08T00:00:00+00:00", "2026-08-09T00:00:00+00:00",
+        ]
+        assert [h["events_per_sec"]["headline"] for h in payload["history"]] == [
+            100.0, 120.0,
+        ]
+        # ``current`` still reflects the latest measurement set.
+        assert payload["current"][0]["events_per_sec"] == 120.0
+
+    def test_write_bench_tolerates_corrupt_prior(self, tmp_path):
+        from repro.harness.perf import load_bench, write_bench
+
+        out = tmp_path / "bench.json"
+        out.write_text("{not json")
+        write_bench(str(out), [_stub_measurement("headline", 100.0)])
+        payload = load_bench(str(out))
+        assert len(payload["history"]) == 1
+
+
+class TestCompareBench:
+    def test_regression_detected_over_threshold(self):
+        from repro.harness.perf import bench_payload, compare_bench
+
+        old = bench_payload([_stub_measurement("headline", 100.0)])
+        new = bench_payload([_stub_measurement("headline", 89.0)])
+        comparisons, regressions = compare_bench(old, new)
+        assert len(comparisons) == 1
+        assert [c.case for c in regressions] == ["headline"]
+
+    def test_loss_within_threshold_passes(self):
+        from repro.harness.perf import bench_payload, compare_bench
+
+        old = bench_payload([_stub_measurement("headline", 100.0)])
+        new = bench_payload([_stub_measurement("headline", 91.0)])
+        _, regressions = compare_bench(old, new)
+        assert regressions == []
+
+    def test_disjoint_cases_are_not_regressions(self):
+        from repro.harness.perf import bench_payload, compare_bench
+
+        old = bench_payload([_stub_measurement("headline", 100.0)])
+        new = bench_payload([_stub_measurement("renamed", 1.0)])
+        comparisons, regressions = compare_bench(old, new)
+        assert comparisons == [] and regressions == []
+
+    def test_cli_compare_gate(self, tmp_path, monkeypatch, capsys):
+        """`repro perf --compare old.json` exits 1 on a >10% loss and
+        0 otherwise (measurement stubbed for speed)."""
+        from repro.cli import main
+        from repro.harness import perf
+        from repro.harness.perf import write_bench
+
+        old = str(tmp_path / "old.json")
+        write_bench(old, [_stub_measurement("headline_smoke", 1000.0)])
+
+        eps = {"value": 850.0}
+
+        def fake_measure(case, repeats=3):
+            return _stub_measurement(case.name, eps["value"], repeats)
+
+        monkeypatch.setattr(perf, "measure_case", fake_measure)
+        out = str(tmp_path / "new.json")
+        argv = ["perf", "--smoke", "-o", out, "--compare", old]
+        assert main(argv) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+        eps["value"] = 990.0
+        assert main(argv) == 0

@@ -69,6 +69,11 @@ class ChannelPort(abc.ABC):
         self._k_route_data = f"{name}.busy_ps.route.{RouteKind.DATA.value}"
         self._k_route_mem = f"{name}.busy_ps.route.{RouteKind.MEMORY.value}"
         self._k_transfers = f"{name}.transfers"
+        # The demand fast path skips the enum-keyed lookup entirely:
+        # DEMAND's two keys are resolved here, once.
+        self._k_demand_bits, self._k_demand_busy = self._kind_keys[
+            RequestKind.DEMAND
+        ]
 
     def accounting(self, counters: dict) -> dict:
         """The port's ledger, read back from a counter snapshot.
@@ -113,6 +118,32 @@ class ChannelPort(abc.ABC):
         device: int = 0,
     ) -> tuple[int, int]:
         """Occupy the channel for ``bits``; returns ``(start_ps, end_ps)``."""
+
+    def data_duration_ps(self, bits: int) -> int:
+        """Full-rate occupancy of a ``bits`` transfer on the data route.
+
+        Demand requests move fixed-size payloads (the command beat and
+        one cache line), so slices precompute these two durations once
+        and pass them into :meth:`demand_data_window` — the
+        ``int(round(...))`` per transfer disappears from the hot path.
+        """
+        duration = int(round(bits / self._bits_per_ps))
+        return duration if duration >= 1 else 1
+
+    def demand_data_window(
+        self, now_ps: int, bits: int, duration_ps: int, device: int = 0
+    ) -> int:
+        """Specialized DEMAND transfer on the DATA route; returns the end time.
+
+        ``duration_ps`` must be ``data_duration_ps(bits)`` — precomputed
+        by the caller.  Subclasses override this with an arithmetic-
+        and accounting-identical inline of their ``transfer_window``
+        DEMAND/DATA case; this default just routes through
+        :meth:`transfer_window` so any port supports the interface.
+        """
+        return self.transfer_window(
+            now_ps, bits, RequestKind.DEMAND, RouteKind.DATA, device
+        )[1]
 
     def transfer(
         self,

@@ -68,5 +68,25 @@ class ElectricalChannel(ChannelPort):
         counters[self._k_energy] += bits * self._energy_pj_per_bit
         return start, end
 
+    def demand_data_window(
+        self, now_ps: int, bits: int, duration_ps: int, device: int = 0
+    ) -> int:
+        """Inline of :meth:`transfer_window` for DEMAND traffic.
+
+        Accounting-identical (same keys, same order); the enum-keyed
+        lookup and per-call duration rounding are hoisted out.
+        """
+        busy = self._busy
+        start = now_ps if now_ps > busy else busy
+        end = start + duration_ps
+        self._busy = end
+        counters = self._cdict
+        counters[self._k_demand_bits] += bits
+        counters[self._k_demand_busy] += duration_ps
+        counters[self._k_route_data] += duration_ps
+        counters[self._k_transfers] += 1
+        counters[self._k_energy] += bits * self._energy_pj_per_bit
+        return end
+
     def busy_until(self, route: RouteKind = RouteKind.DATA) -> int:
         return self._busy

@@ -443,7 +443,16 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 def cmd_perf(args: argparse.Namespace) -> int:
     """`repro perf`: benchmark the simulator core (events/sec)."""
-    from repro.harness.perf import PERF_CASES, SMOKE_CASES, run_suite, write_bench
+    from repro.harness.perf import (
+        PERF_CASES,
+        SMOKE_CASES,
+        bench_payload,
+        compare_bench,
+        git_revision,
+        load_bench,
+        run_suite,
+        write_bench,
+    )
 
     cases = SMOKE_CASES if args.smoke else PERF_CASES
     if args.journal:
@@ -473,9 +482,48 @@ def cmd_perf(args: argparse.Namespace) -> int:
             f"{args.repeats} runs per case)",
         )
     )
+    from datetime import datetime, timezone
+
+    timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
     if args.output:
-        write_bench(args.output, measurements)
+        payload = write_bench(
+            args.output, measurements, timestamp=timestamp, git_rev=git_revision()
+        )
         print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        payload = bench_payload(measurements)
+    if args.compare:
+        old = load_bench(args.compare)
+        if old is None:
+            raise SystemExit(f"repro: --compare: cannot read {args.compare}")
+        comparisons, regressions = compare_bench(old, payload)
+        if not comparisons:
+            print(
+                f"--compare: no cases in common with {args.compare}; "
+                "nothing to gate",
+                file=sys.stderr,
+            )
+            return 0
+        print(
+            format_table(
+                ["case", "old_eps", "new_eps", "ratio", "verdict"],
+                [
+                    (
+                        c.case,
+                        c.old_events_per_sec,
+                        c.new_events_per_sec,
+                        f"{c.ratio:.3f}",
+                        "REGRESSION" if c in regressions else "ok",
+                    )
+                    for c in comparisons
+                ],
+                title=f"perf comparison vs {args.compare} (gate: >10% loss)",
+            )
+        )
+        if regressions:
+            names = ", ".join(c.case for c in regressions)
+            print(f"repro perf: regression gate FAILED: {names}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -940,6 +988,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal", default=None, metavar="PATH",
         help="journal each finished case to this JSONL file and resume "
         "from it on re-invocation (skips already-measured cases)",
+    )
+    p_perf.add_argument(
+        "--compare", default=None, metavar="OLD_JSON",
+        help="diff this run's numbers against an earlier BENCH_perf.json "
+        "and exit non-zero on a >10%% events/sec regression in any case",
     )
     p_perf.set_defaults(fn=cmd_perf)
 

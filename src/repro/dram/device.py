@@ -12,8 +12,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import DramTimingConfig
-from repro.dram.bank import Bank
-from repro.dram.timing import AccessOutcome, DramTiming
+from repro.dram.bank import Bank, BankState
+from repro.dram.timing import DramTiming
 from repro.sim.stats import Stats
 
 
@@ -56,6 +56,40 @@ class DramDevice:
         self._k_row_hits = f"{name}.row_hits"
         self._k_activations = f"{name}.activations"
         self._num_banks = len(self.banks)
+        # Demand-path flattening: the three open-page outcomes resolve
+        # to constant (latency, occupancy) pairs, precomputed so
+        # :meth:`access` runs the bank state machine inline with plain
+        # integer adds — no timing-table or classify calls per access.
+        t = self.timing
+        self._row_bytes = cfg.row_bytes
+        self._hit_lat = t.t_cl_ps
+        self._hit_occ = t.t_burst_ps
+        self._closed_lat = t.t_rcd_ps + t.t_cl_ps
+        self._closed_occ = t.t_rcd_ps + t.t_burst_ps
+        self._conflict_lat = t.t_rp_ps + t.t_rcd_ps + t.t_cl_ps
+        self._conflict_occ = t.t_rp_ps + t.t_rcd_ps + t.t_burst_ps
+        # One-tuple constant pack for :meth:`access`: everything the
+        # per-access state machine needs, loaded with a single unpack
+        # instead of a dozen attribute chains.  All entries are
+        # construction-time constants (or stable containers).
+        self._fp = (
+            self.enable_refresh,
+            t.refresh_interval_ps,
+            t.refresh_latency_ps,
+            self.capacity_bytes,
+            self._row_bytes,
+            self._num_banks,
+            self.rows_per_bank,
+            self.banks,
+            BankState.ACTIVE,
+            BankState.IDLE,
+            self._hit_lat,
+            self._hit_occ,
+            self._closed_lat,
+            self._closed_occ,
+            self._conflict_lat,
+            self._conflict_occ,
+        )
 
     def decode(self, addr: int) -> DramAddress:
         """Row-interleaved mapping: consecutive rows hit different banks."""
@@ -84,31 +118,55 @@ class DramDevice:
         """Issue a column access; returns the completion time (ps).
 
         Inlines :meth:`decode` (address math only — no
-        :class:`DramAddress` record is allocated per access) and the
-        refresh-window check; this runs once or more per demand request.
+        :class:`DramAddress` record is allocated per access), the
+        refresh-window check, *and* the bank's row-buffer state machine
+        against the precomputed outcome timings; this runs once or more
+        per demand request.  Keep it in lock-step with
+        :meth:`Bank.access` — the audit reconciles both ledgers.
         """
         if addr < 0:
             raise ValueError("negative address")
-        timing = self.timing
-        if self.enable_refresh:
-            offset = now_ps % timing.refresh_interval_ps
-            window = timing.refresh_latency_ps
-            if offset < window:
-                self._cdict[self._k_refresh_stalls] += 1
-                now_ps += window - offset
-        row_index = (addr % self.capacity_bytes) // self.cfg.row_bytes
-        num_banks = self._num_banks
-        bank = row_index % num_banks
-        row = (row_index // num_banks) % self.rows_per_bank
-        finish, outcome = self.banks[bank].access(row, now_ps)
+        (
+            enable_refresh, refresh_interval, refresh_window,
+            capacity, row_bytes, num_banks, rows_per_bank, banks,
+            ACTIVE, IDLE,
+            hit_lat, hit_occ, closed_lat, closed_occ,
+            conflict_lat, conflict_occ,
+        ) = self._fp
         counters = self._cdict
+        if enable_refresh:
+            offset = now_ps % refresh_interval
+            if offset < refresh_window:
+                counters[self._k_refresh_stalls] += 1
+                now_ps += refresh_window - offset
+        row_index = (addr % capacity) // row_bytes
+        bank = banks[row_index % num_banks]
+        row = (row_index // num_banks) % rows_per_bank
+        busy = bank.busy_until_ps
+        start = now_ps if now_ps > busy else busy
+        if bank.state is ACTIVE and bank.open_row == row:
+            bank.row_hits += 1
+            bank.accesses += 1
+            bank.busy_until_ps = start + hit_occ
+            counters[self._k_accesses] += 1
+            counters[self._k_writes if is_write else self._k_reads] += 1
+            counters[self._k_row_hits] += 1
+            return start + hit_lat
+        if bank.state is IDLE:
+            latency = closed_lat
+            occupancy = closed_occ
+        else:
+            latency = conflict_lat
+            occupancy = conflict_occ
+        bank.activations += 1
+        bank.accesses += 1
+        bank.state = ACTIVE
+        bank.open_row = row
+        bank.busy_until_ps = start + occupancy
         counters[self._k_accesses] += 1
         counters[self._k_writes if is_write else self._k_reads] += 1
-        if outcome is AccessOutcome.ROW_HIT:
-            counters[self._k_row_hits] += 1
-        else:
-            counters[self._k_activations] += 1
-        return finish
+        counters[self._k_activations] += 1
+        return start + latency
 
     def activate_for_swap(self, addr: int, now_ps: int) -> int:
         """Preset the target bank for an externally driven swap."""

@@ -3,12 +3,23 @@
 The harness drives the memory system with post-L2 traces (Table II's
 APKI is a memory-level rate), so caches default to off there; the cache
 model itself is exercised by the cache-enabled example and the tests.
+
+Storage is array-structured: instead of one ``tag -> (dirty, tick)``
+dict per set, the cache keeps three flat parallel lists (``tags``,
+``dirty``, ``lru``) indexed by ``set_index * ways + way`` plus a per-set
+fill count.  The hit probe is a short integer scan over the set's
+occupied span — no hashing, no per-line tuple allocations — and the
+LRU victim is an integer argmin over the same span.  Replacement
+behaviour is identical to the dict version: ticks are unique, so the
+argmin victim is exactly the entry the dict's ``min`` would pick, and
+the dirty-writeback slow path (EvictedLine construction) only runs on
+an actual eviction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 
 @dataclass
@@ -48,9 +59,15 @@ class SetAssocCache:
             raise ValueError("cache has no sets")
         self.name = name
         self.stats = CacheStats()
-        # Per set: tag -> (dirty, lru_tick); dict preserves no order, so
-        # an explicit tick provides LRU.
-        self._sets: List[Dict[int, Tuple[bool, int]]] = [dict() for _ in range(self.num_sets)]
+        # Flat per-way arrays (see module docstring).  Only the first
+        # ``_fill[s]`` ways of set ``s`` are valid, so no sentinel tag
+        # is needed — negative addresses (hence negative tags) probe
+        # correctly.
+        n = self.num_sets * ways
+        self._tags: List[int] = [0] * n
+        self._dirty: List[int] = [0] * n
+        self._lru: List[int] = [0] * n
+        self._fill: List[int] = [0] * self.num_sets
         self._tick = 0
 
     def _locate(self, addr: int) -> Tuple[int, int]:
@@ -59,39 +76,78 @@ class SetAssocCache:
 
     def access(self, addr: int, is_write: bool) -> Tuple[bool, Optional[EvictedLine]]:
         """Returns ``(hit, evicted_line_or_None)``."""
-        self._tick += 1
-        self.stats.accesses += 1
-        set_index, tag = self._locate(addr)
-        ways = self._sets[set_index]
-        if tag in ways:
-            dirty, _ = ways[tag]
-            ways[tag] = (dirty or is_write, self._tick)
-            self.stats.hits += 1
-            return True, None
-        self.stats.misses += 1
+        tick = self._tick + 1
+        self._tick = tick
+        stats = self.stats
+        stats.accesses += 1
+        line = addr // self.line_bytes
+        num_sets = self.num_sets
+        set_index = line % num_sets
+        tag = line // num_sets
+        base = set_index * self.ways
+        fill = self._fill[set_index]
+        tags = self._tags
+        end = base + fill
+        # Hit probe: integer scan over the occupied span.
+        for i in range(base, end):
+            if tags[i] == tag:
+                if is_write:
+                    self._dirty[i] = 1
+                self._lru[i] = tick
+                stats.hits += 1
+                return True, None
+        stats.misses += 1
         evicted: Optional[EvictedLine] = None
-        if len(ways) >= self.ways:
-            victim_tag = min(ways, key=lambda t: ways[t][1])
-            dirty, _ = ways.pop(victim_tag)
-            victim_line = victim_tag * self.num_sets + set_index
-            evicted = EvictedLine(addr=victim_line * self.line_bytes, dirty=dirty)
-            self.stats.evictions += 1
+        if fill < self.ways:
+            # Cold fill: claim the next free way, no victim.
+            victim = end
+            self._fill[set_index] = fill + 1
+        else:
+            # Full set: LRU argmin over the span (ticks are unique, so
+            # this is the same victim the dict's ``min`` selected).
+            lru = self._lru
+            victim = base
+            best = lru[base]
+            for i in range(base + 1, end):
+                v = lru[i]
+                if v < best:
+                    best = v
+                    victim = i
+            dirty = self._dirty[victim]
+            victim_line = tags[victim] * num_sets + set_index
+            evicted = EvictedLine(addr=victim_line * self.line_bytes, dirty=bool(dirty))
+            stats.evictions += 1
             if dirty:
-                self.stats.writebacks += 1
-        ways[tag] = (is_write, self._tick)
+                stats.writebacks += 1
+        tags[victim] = tag
+        self._dirty[victim] = 1 if is_write else 0
+        self._lru[victim] = tick
         return False, evicted
 
     def contains(self, addr: int) -> bool:
         set_index, tag = self._locate(addr)
-        return tag in self._sets[set_index]
+        base = set_index * self.ways
+        tags = self._tags
+        for i in range(base, base + self._fill[set_index]):
+            if tags[i] == tag:
+                return True
+        return False
+
+    def set_occupancy(self, set_index: int) -> int:
+        """Number of valid lines currently in ``set_index``."""
+        return self._fill[set_index]
 
     def flush(self) -> List[EvictedLine]:
         """Drop everything; returns the dirty lines that need writeback."""
         dirty_lines: List[EvictedLine] = []
-        for set_index, ways in enumerate(self._sets):
-            for tag, (dirty, _) in ways.items():
-                if dirty:
-                    line = tag * self.num_sets + set_index
+        tags = self._tags
+        dirty = self._dirty
+        ways = self.ways
+        for set_index in range(self.num_sets):
+            base = set_index * ways
+            for i in range(base, base + self._fill[set_index]):
+                if dirty[i]:
+                    line = tags[i] * self.num_sets + set_index
                     dirty_lines.append(EvictedLine(line * self.line_bytes, True))
-            ways.clear()
+            self._fill[set_index] = 0
         return dirty_lines

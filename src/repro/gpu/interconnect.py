@@ -31,6 +31,16 @@ class Interconnect:
         self.stats = stats if stats is not None else Stats()
         self._cdict = self.stats.counters
 
+    def occupancy_ps(self, bits: int) -> int:
+        """Crossbar occupancy for one ``bits``-sized transfer.
+
+        Exposed so callers moving a fixed-size payload (the SM's cache
+        line) can precompute the occupancy once and inline the busy-time
+        bookkeeping of :meth:`traverse`.
+        """
+        occupancy = int(round(bits / self._bits_per_ps))
+        return occupancy if occupancy >= 1 else 1
+
     def traverse(self, now_ps: int, bits: int) -> int:
         """Send ``bits`` across; returns delivery time."""
         if bits <= 0:

@@ -61,6 +61,49 @@ class StreamingMultiprocessor:
         self._l1_hit_ps = L1_HIT_LATENCY_CYCLES * self.period_ps
         self._l2_hit_ps = L2_HIT_LATENCY_CYCLES * self.period_ps
         self._line_bits = line_bytes * 8
+        # Demand-path specialization: every demand miss moves exactly
+        # one line, so the crossbar occupancy is a constant — computed
+        # once here, letting the uncached fast path inline the traverse.
+        self._noc_occupancy_ps = interconnect.occupancy_ps(self._line_bits)
+        self._serve_addr = memory.serve_addr
+        # Page-interleave routing, pre-resolved: when the memory system
+        # is the real one (not a test double), the uncached fast path
+        # picks the slice itself and calls its ``serve`` directly — the
+        # ``serve_addr`` dispatch hop disappears from the per-event path.
+        from repro.core.memsystem import MemorySystem
+
+        self._route_inline = type(memory) is MemorySystem
+        if self._route_inline:
+            self._ms_slices = memory.slices
+            self._ms_page_bytes = memory.page_bytes
+            self._ms_num_slices = memory._num_slices
+            # One-tuple constant pack for the uncached fast path: one
+            # unpack replaces a dozen attribute chains per access.
+            self._fp = (
+                engine,
+                interconnect,
+                interconnect._cdict,
+                self._line_bits,
+                self._noc_occupancy_ps,
+                interconnect.latency_ps,
+                memory.slices,
+                memory.page_bytes,
+                memory._num_slices,
+                self._cdict,
+                self._lat_mem,
+            )
+        else:
+            self._fp = None
+        # Cache probes, pre-bound (caches are fixed at construction):
+        # the cached path calls the probe directly instead of chasing
+        # ``self.l1``/``self.l2`` per access.
+        self._l1_access = l1.access if l1 is not None else None
+        self._l2_access = l2.access if l2 is not None else None
+        #: The warp lane's memory entry point: the uncached configuration
+        #: (every perf-suite case) skips the cache probes entirely.
+        self.fast_access = (
+            self._access_uncached if l1 is None and l2 is None else self.access_memory
+        )
 
     def issue_burst(self, instructions: int) -> int:
         """Claim issue slots for ``instructions``; returns finish time."""
@@ -82,15 +125,15 @@ class StreamingMultiprocessor:
         record is allocated before the access commits to main memory.
         """
         now = self.engine.now
-        l1 = self.l1
-        if l1 is not None:
-            hit, _ = l1.access(addr, is_write)
+        l1_access = self._l1_access
+        if l1_access is not None:
+            hit, _ = l1_access(addr, is_write)
             if hit:
                 self._cdict["gpu.l1_hits"] += 1
                 return now + self._l1_hit_ps
-        l2 = self.l2
-        if l2 is not None:
-            hit, evicted = l2.access(addr, is_write)
+        l2_access = self._l2_access
+        if l2_access is not None:
+            hit, evicted = l2_access(addr, is_write)
             if hit:
                 self._cdict["gpu.l2_hits"] += 1
                 return now + self._l2_hit_ps
@@ -104,6 +147,67 @@ class StreamingMultiprocessor:
         complete = self.memory.serve_addr(addr, is_write, arrive)
         self._cdict["mem.demand_requests"] += 1
         self._lat_mem.record(complete - now)
+        return complete
+
+    def _access_uncached(self, addr: int, is_write: bool) -> int:
+        """Demand path with no caches modelled: crossbar + memory system.
+
+        Same arithmetic and the same counter-update order as
+        :meth:`access_memory` falling through both cache probes, with
+        the crossbar traverse inlined against the precomputed line
+        occupancy (the ``int(round(...))`` per call goes away), the
+        page-interleave routing resolved here (no ``serve_addr`` hop)
+        and the latency stat updated in place (no ``record`` call).
+        """
+        fp = self._fp
+        if fp is None:
+            # Test doubles / custom memory systems: generic route.
+            now = self.engine.now
+            ic = self.interconnect
+            busy = ic._busy_until
+            start = now if now > busy else busy
+            occupancy = self._noc_occupancy_ps
+            ic._busy_until = start + occupancy
+            noc_counters = ic._cdict
+            noc_counters["noc.bits"] += self._line_bits
+            noc_counters["noc.busy_ps"] += occupancy
+            complete = self._serve_addr(
+                addr, is_write, start + occupancy + ic.latency_ps
+            )
+            self._cdict["mem.demand_requests"] += 1
+            value = complete - now
+            lat = self._lat_mem
+        else:
+            (
+                engine, ic, noc_counters, line_bits, occupancy,
+                ic_latency, slices, page_bytes, n, cdict, lat,
+            ) = fp
+            now = engine.now
+            busy = ic._busy_until
+            start = now if now > busy else busy
+            ic._busy_until = start + occupancy
+            noc_counters["noc.bits"] += line_bits
+            noc_counters["noc.busy_ps"] += occupancy
+            if addr < 0:
+                raise ValueError("negative address")
+            page = addr // page_bytes
+            complete = slices[page % n].serve(
+                (page // n) * page_bytes + (addr - page * page_bytes),
+                is_write,
+                start + occupancy + ic_latency,
+            )
+            cdict["mem.demand_requests"] += 1
+            value = complete - now
+        # LatencyStat.record, inlined (same update rules).
+        if lat.count == 0:
+            lat.min_value = value
+            lat.max_value = value
+        elif value < lat.min_value:
+            lat.min_value = value
+        elif value > lat.max_value:
+            lat.max_value = value
+        lat.count += 1
+        lat.total += value
         return complete
 
     def submit_memory_request(self, req: MemRequest) -> int:

@@ -233,8 +233,66 @@ def run_suite(
     return out
 
 
-def bench_payload(measurements: Sequence[PerfMeasurement]) -> dict:
-    """The ``BENCH_perf.json`` document: before/after events per second."""
+def git_revision(root: Optional[str] = None) -> Optional[str]:
+    """Short git revision of ``root`` (cwd by default), or ``None``.
+
+    Best-effort: a missing git binary, a non-repo directory or any git
+    failure degrades to ``None`` rather than failing a benchmark write.
+    """
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=root,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def load_bench(path: str) -> Optional[dict]:
+    """Parse a ``BENCH_perf.json`` document; ``None`` if absent/corrupt."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def history_entry(
+    measurements: Sequence[PerfMeasurement],
+    timestamp: Optional[str] = None,
+    git_rev: Optional[str] = None,
+) -> dict:
+    """One append-only trajectory record: when, which code, how fast.
+
+    The timestamp is passed in by the caller (the CLI stamps wall-clock
+    time; tests pass fixed strings so records stay deterministic).
+    """
+    return {
+        "timestamp": timestamp,
+        "git_rev": git_rev,
+        "events_per_sec": {m.case: m.events_per_sec for m in measurements},
+    }
+
+
+def bench_payload(
+    measurements: Sequence[PerfMeasurement],
+    history: Optional[Sequence[dict]] = None,
+) -> dict:
+    """The ``BENCH_perf.json`` document: before/after events per second.
+
+    ``history`` carries the per-PR trajectory (see :func:`write_bench`);
+    ``current`` is still the latest full measurement set, so existing
+    readers keep working.
+    """
     return {
         "benchmark": "simulation-core events/sec",
         "unit": "events_per_sec",
@@ -245,12 +303,89 @@ def bench_payload(measurements: Sequence[PerfMeasurement]) -> dict:
             "events_per_sec": dict(BASELINE_EVENTS_PER_SEC),
         },
         "current": [m.to_dict() for m in measurements],
+        "history": list(history) if history else [],
     }
 
 
-def write_bench(path: str, measurements: Sequence[PerfMeasurement]) -> dict:
-    payload = bench_payload(measurements)
+def write_bench(
+    path: str,
+    measurements: Sequence[PerfMeasurement],
+    timestamp: Optional[str] = None,
+    git_rev: Optional[str] = None,
+) -> dict:
+    """Write ``BENCH_perf.json``, appending to its ``history`` list.
+
+    An existing document at ``path`` contributes its history (so the
+    perf trajectory accumulates across PRs instead of being overwritten
+    with each ``current``); the new measurements are appended as one
+    :func:`history_entry` and also become the new ``current``.
+    """
+    prior = load_bench(path)
+    history: List[dict] = []
+    if prior is not None:
+        prior_history = prior.get("history")
+        if isinstance(prior_history, list):
+            history.extend(prior_history)
+    history.append(history_entry(measurements, timestamp, git_rev))
+    payload = bench_payload(measurements, history)
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
         fh.write("\n")
     return payload
+
+
+def current_events_per_sec(payload: dict) -> Dict[str, float]:
+    """``case -> events_per_sec`` from a bench document's ``current``."""
+    out: Dict[str, float] = {}
+    for rec in payload.get("current", []):
+        try:
+            out[rec["case"]] = float(rec["events_per_sec"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+@dataclass(frozen=True)
+class PerfComparison:
+    """One case present in both sides of a bench diff."""
+
+    case: str
+    old_events_per_sec: float
+    new_events_per_sec: float
+
+    @property
+    def ratio(self) -> float:
+        if self.old_events_per_sec <= 0:
+            return float("inf")
+        return self.new_events_per_sec / self.old_events_per_sec
+
+    def is_regression(self, threshold: float) -> bool:
+        """True if the new number lost more than ``threshold`` fraction."""
+        return (
+            self.old_events_per_sec > 0
+            and self.new_events_per_sec
+            < self.old_events_per_sec * (1.0 - threshold)
+        )
+
+
+def compare_bench(
+    old_payload: dict,
+    new_payload: dict,
+    threshold: float = 0.10,
+) -> tuple[List[PerfComparison], List[PerfComparison]]:
+    """Diff two bench documents case-by-case.
+
+    Returns ``(comparisons, regressions)``: every case present in both
+    ``current`` sections, and the subset whose events/sec dropped by
+    more than ``threshold`` (default 10%).  Cases present on only one
+    side are ignored — a renamed or added case is not a regression.
+    """
+    old_eps = current_events_per_sec(old_payload)
+    new_eps = current_events_per_sec(new_payload)
+    comparisons = [
+        PerfComparison(case, old_eps[case], new_eps[case])
+        for case in sorted(old_eps)
+        if case in new_eps
+    ]
+    regressions = [c for c in comparisons if c.is_regression(threshold)]
+    return comparisons, regressions

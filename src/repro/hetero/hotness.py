@@ -32,10 +32,10 @@ class HotnessTracker:
         self._since_decay += 1
         if self._since_decay >= self.decay_accesses:
             self._decay()
-        self._counts[key] += 1
-        if self._counts[key] == self.threshold:
-            return True
-        return False
+        counts = self._counts
+        count = counts[key] + 1
+        counts[key] = count
+        return count == self.threshold
 
     def reset(self, key: Hashable) -> None:
         """Forget a key (called after it has been migrated)."""

@@ -147,6 +147,40 @@ class VirtualChannel(ChannelPort):
         counters[self._k_mrr] += bits * self._mrr_tuning_fj_per_bit / 1000.0
         return start, end
 
+    def demand_data_window(
+        self, now_ps: int, bits: int, duration_ps: int, device: int = 0
+    ) -> int:
+        """Inline of :meth:`transfer_window`'s DEMAND/DATA case.
+
+        Arithmetic- and accounting-identical (same counter keys in the
+        same order, same WOM degradation math); the route selection,
+        enum-keyed counter lookup and the per-call ``int(round(...))``
+        are replaced by the caller's precomputed ``duration_ps``.
+        """
+        counters = self._cdict
+        start = self._busy_data
+        if now_ps > start:
+            start = now_ps
+        if self._dev_data != device:
+            start += FULL_TUNE_PS
+            self._dev_data = device
+            counters[self._k_demux] += 1
+        if self.wom_coded and start < self._wom_active_until:
+            duration_ps = int(
+                round(bits / (self._bits_per_ps * EFFECTIVE_BANDWIDTH_FRACTION))
+            )
+            if duration_ps < 1:
+                duration_ps = 1
+        end = start + duration_ps
+        self._busy_data = end
+        counters[self._k_route_data] += duration_ps
+        counters[self._k_demand_bits] += bits
+        counters[self._k_demand_busy] += duration_ps
+        counters[self._k_transfers] += 1
+        counters[self._k_energy] += bits * self._energy_pj_per_bit
+        counters[self._k_mrr] += bits * self._mrr_tuning_fj_per_bit / 1000.0
+        return end
+
     def busy_until(self, route: RouteKind = RouteKind.DATA) -> int:
         if route is RouteKind.MEMORY and self._dual_routes:
             return self._busy_mem

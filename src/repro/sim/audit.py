@@ -55,7 +55,6 @@ while the ``repro audit`` sweep collects them into a report instead
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
@@ -146,6 +145,12 @@ class ValidatingEngine(Engine):
     fast path is untouched.  The monotonicity check guards the heap
     discipline itself — ``at()`` already rejects scheduling into the
     past, so a violation here means the queue ordering broke.
+
+    Every drain runs through the engine's guarded merged loop, so warp
+    lane events are popped one at a time through the lane's slow-path
+    step (never the fused drain) with the monotonicity check applied to
+    generic and lane events alike — same ``(time, seq)`` order, same
+    results, with the heap discipline watched on every pop.
     """
 
     __slots__ = ("auditor",)
@@ -157,28 +162,7 @@ class ValidatingEngine(Engine):
     def run(
         self, until_ps: Optional[int] = None, max_events: Optional[int] = None
     ) -> None:
-        queue = self._queue
-        pop = heapq.heappop
-        record = self.auditor.record
-        processed = 0
-        while queue:
-            if until_ps is not None and queue[0][0] > until_ps:
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            time_ps, _, fn = pop(queue)
-            if time_ps < self.now:
-                record(
-                    "engine.monotonic_time",
-                    "engine",
-                    "event popped before current time",
-                    expected=self.now,
-                    actual=time_ps,
-                )
-            self.now = time_ps
-            self.events_processed += 1
-            processed += 1
-            fn()
+        self._run_guarded(until_ps, max_events, self.auditor.record)
 
 
 class Auditor:

@@ -19,9 +19,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyStat:
-    """Streaming mean/min/max without storing samples."""
+    """Streaming mean/min/max without storing samples.
+
+    Slotted: the hot paths (``StreamingMultiprocessor._access_uncached``
+    and the warp lane's fused drain) update the four fields in place per
+    memory event, and slot descriptors make those loads/stores cheaper
+    than ``__dict__`` lookups.
+    """
 
     count: int = 0
     total: int = 0
@@ -142,11 +148,31 @@ class Stats:
     _counter_handles: Dict[str, Counter] = field(
         default_factory=dict, repr=False, compare=False
     )
+    _flush_hooks: List = field(default_factory=list, repr=False, compare=False)
 
     def add(self, name: str, value: float = 1.0) -> None:
         self.counters[name] += value
 
+    def register_flush(self, hook) -> None:
+        """Register a deferred-counter flush hook.
+
+        Hot components may batch *integer-valued* counter increments in
+        locals/instance fields (n adds of a constant and one add of the
+        sum produce the same float, exactly) and fold them in on demand.
+        Every read surface — :meth:`get` and :meth:`snapshot` — runs the
+        hooks first, so batching is never observable.  Hooks must be
+        idempotent (zero their accumulators before adding).
+        """
+        self._flush_hooks.append(hook)
+
+    def flush_deferred(self) -> None:
+        """Run all registered flush hooks (see :meth:`register_flush`)."""
+        for hook in self._flush_hooks:
+            hook()
+
     def get(self, name: str, default: float = 0.0) -> float:
+        if self._flush_hooks:
+            self.flush_deferred()
         return self.counters.get(name, default)
 
     def counter(self, name: str) -> Counter:
@@ -185,6 +211,8 @@ class Stats:
         tracked extremes ``.min``/``.max``; never-recorded stats (e.g. a
         bound handle that saw no samples) are omitted.
         """
+        if self._flush_hooks:
+            self.flush_deferred()
         out = dict(self.counters)
         for name, stat in self.latencies.items():
             if stat.count == 0:

@@ -65,6 +65,18 @@ class WarpTrace:
             zip(self.gaps.tolist(), self.addrs.tolist(), self.writes.tolist())
         )
 
+    @cached_property
+    def columns(self) -> tuple[List[int], List[int], List[bool]]:
+        """The trace compiled to parallel ``(gaps, addrs, writes)`` lists.
+
+        The column form the fused warp stepper indexes directly
+        (``gaps[cursor]``/``addrs[cursor]``/``writes[cursor]``) — same
+        native-int compilation as :attr:`ops` but with no tuple per
+        access.  Cached separately so legacy tuple consumers don't
+        force both representations.
+        """
+        return (self.gaps.tolist(), self.addrs.tolist(), self.writes.tolist())
+
     def __iter__(self) -> Iterator[tuple[int, int, bool]]:
         return iter(self.ops)
 

@@ -36,6 +36,13 @@ class BufferedOp:
     is_write: bool
     ready_ps: int
 
+    @classmethod
+    def from_entry(cls, entry: tuple) -> "BufferedOp":
+        """View a queue entry as a record (the buffer itself stores bare
+        ``(addr, ready_ps)`` tuples — everything queued is a write)."""
+        addr, ready_ps = entry
+        return cls(addr=addr, is_write=True, ready_ps=ready_ps)
+
 
 class XPointController:
     """Logic-layer controller stacked on the XPoint die."""
@@ -58,7 +65,9 @@ class XPointController:
         )
         self.read_buffer_entries = read_buffer_entries
         self.write_buffer_entries = write_buffer_entries
-        self._write_buffer: Deque[BufferedOp] = deque()
+        # Bare (addr, ready_ps) tuples — everything buffered is a write,
+        # so no per-write record object is allocated on the demand path.
+        self._write_buffer: Deque[tuple] = deque()
         # Multiset of buffered addresses so the per-read write-buffer
         # membership probe is O(1) instead of scanning the deque.
         self._wbuf_addr_counts: Dict[int, int] = {}
@@ -71,33 +80,120 @@ class XPointController:
         self._c_ecc_encodes = counter(f"{name}.ecc_encodes")
         self._c_wbuf_stalls = counter(f"{name}.wbuf_stalls")
         self._c_snarfs = counter(f"{name}.snarfs")
+        # Hot-path handles: read()/write() run per demand XPoint access.
+        self._cdict = self.stats.counters
+        self._k_wbuf_hits = self._c_wbuf_hits.name
+        self._k_ecc_decodes = self._c_ecc_decodes.name
+        self._k_ecc_encodes = self._c_ecc_encodes.name
+        self._translate = self.translator.translate
+        self._media_access = self.device.access
+        # Fused-path constant pack: read()/write() inline the region
+        # translate + Start-Gap remap + media bank access (identical
+        # arithmetic to translator.translate + device.access), so the
+        # per-access constants load as one tuple unpack instead of a
+        # dozen attribute chains.  The Start-Gap registers themselves
+        # mutate, so they are read from the (stable) gap objects.
+        # Deferred fused-path counts: the media accesses performed by
+        # the fused read/drain bodies batch here and fold into the
+        # shared counters on demand (Stats.register_flush) — exact,
+        # since every one is an integer-valued +1.
+        self._k_media_acc = self.device._c_accesses.name
+        self._k_media_reads = self.device._c_reads.name
+        self._k_media_writes = self.device._c_writes.name
+        self._def_reads = 0
+        self._def_stall_writes = 0
+        self.stats.register_flush(self._flush_deferred)
+        tr = self.translator
+        dev = self.device
+        self._fp = (
+            tr.row_bytes,
+            tr.num_rows,
+            tr.region_rows,
+            tr._gaps,
+            dev._bank_busy_until,
+            dev.cfg.banks_per_device,
+            dev.capacity_bytes,
+            dev.read_ps,
+            dev.write_ps,
+            dev._c_accesses.name,
+            dev._c_reads.name,
+            dev._c_writes.name,
+            dev.write_counts,
+        )
+
+    def _flush_deferred(self) -> None:
+        """Fold batched fused-path media counts into the counters.
+
+        Idempotent; registered with the shared :class:`Stats`, which
+        runs it before any counter read (``get``/``snapshot``).
+        """
+        n = self._def_reads
+        if n:
+            self._def_reads = 0
+            cd = self._cdict
+            cd[self._k_media_acc] += n
+            cd[self._k_media_reads] += n
+            cd[self._k_ecc_decodes] += n
+        n = self._def_stall_writes
+        if n:
+            self._def_stall_writes = 0
+            cd = self._cdict
+            cd[self._k_media_acc] += n
+            cd[self._k_media_writes] += n
 
     def _drain_one_write(self, now_ps: int) -> None:
         """Retire the oldest buffered write to the media."""
-        op = self._write_buffer.popleft()
-        remaining = self._wbuf_addr_counts[op.addr] - 1
+        addr, ready_ps = self._write_buffer.popleft()
+        remaining = self._wbuf_addr_counts[addr] - 1
         if remaining:
-            self._wbuf_addr_counts[op.addr] = remaining
+            self._wbuf_addr_counts[addr] = remaining
         else:
-            del self._wbuf_addr_counts[op.addr]
-        media_addr = self.translator.translate(op.addr)
-        finish = self.device.access(media_addr, True, max(now_ps, op.ready_ps))
-        if self.translator.record_write(op.addr):
+            del self._wbuf_addr_counts[addr]
+        media_addr = self.translator.translate(addr)
+        finish = self.device.access(media_addr, True, max(now_ps, ready_ps))
+        if self.translator.record_write(addr):
             # Start-Gap rotation: one extra read+write of a media row.
             gap_finish = self.device.access(media_addr, False, finish)
             self.device.access(media_addr, True, gap_finish)
             self._c_gap_rotations.add(1)
 
     def read(self, addr: int, now_ps: int) -> int:
-        """Asynchronous (DDR-T) read; returns data-ready time (ps)."""
-        start = max(now_ps, self._busy_until_ps) + self._ctrl_latency_ps
+        """Asynchronous (DDR-T) read; returns data-ready time (ps).
+
+        The miss path fuses the translator (region decode + Start-Gap
+        remap, bounds check elided — a logical address below media
+        capacity always decodes to an in-range local line) and the
+        media bank access; arithmetic and accounting are identical to
+        ``translator.translate`` + ``device.access``.
+        """
+        busy = self._busy_until_ps
+        start = (now_ps if now_ps > busy else busy) + self._ctrl_latency_ps
         # Write buffer hit: serve from the persistent write buffer.
         if addr in self._wbuf_addr_counts:
-            self._c_wbuf_hits.add(1)
+            self._cdict[self._k_wbuf_hits] += 1
             return start
-        media_addr = self.translator.translate(addr)
-        finish = self.device.access(media_addr, False, start)
-        self._c_ecc_decodes.add(1)
+        (
+            row_bytes, num_rows, region_rows, gaps,
+            bank_busy, num_banks, capacity, read_ps, _write_ps,
+            k_acc, k_reads, _k_writes, _wcounts,
+        ) = self._fp
+        row = (addr // row_bytes) % num_rows
+        region = row // region_rows
+        gap = gaps[region]
+        physical = (row - region * region_rows + gap.start) % gap.num_lines
+        if physical >= gap.gap:
+            physical += 1
+        media_addr = (
+            (region * (region_rows + 1) + physical) * row_bytes
+            + addr % row_bytes
+        )
+        bank = (media_addr % capacity) // row_bytes % num_banks
+        t = bank_busy[bank]
+        if start > t:
+            t = start
+        finish = t + read_ps
+        bank_busy[bank] = finish
+        self._def_reads += 1  # media access + read + ECC decode, batched
         self._busy_until_ps = start
         return finish
 
@@ -106,16 +202,72 @@ class XPointController:
 
         The persistent write buffer absorbs the 763 ns media write — the
         channel sees only the buffer-insert latency unless the buffer is
-        full, in which case the caller stalls for one drain.
+        full, in which case the caller stalls for one drain.  The
+        buffer-full branch fuses the drained write's translate + media
+        access and the incoming write's stall-point translate
+        (arithmetic identical to :meth:`_drain_one_write` followed by
+        ``device.bank_busy_until(translator.translate(addr))``).
         """
-        start = max(now_ps, self._busy_until_ps) + self._ctrl_latency_ps
-        self._c_ecc_encodes.add(1)
+        busy = self._busy_until_ps
+        start = (now_ps if now_ps > busy else busy) + self._ctrl_latency_ps
+        self._cdict[self._k_ecc_encodes] += 1
         if len(self._write_buffer) >= self.write_buffer_entries:
-            self._drain_one_write(start)
+            (
+                row_bytes, num_rows, region_rows, gaps,
+                bank_busy, num_banks, capacity, _read_ps, write_ps,
+                k_acc, _k_reads, k_writes, wcounts,
+            ) = self._fp
+            # Retire the oldest buffered write to the media.
+            drained_addr, ready_ps = self._write_buffer.popleft()
+            wbuf_counts = self._wbuf_addr_counts
+            remaining = wbuf_counts[drained_addr] - 1
+            if remaining:
+                wbuf_counts[drained_addr] = remaining
+            else:
+                del wbuf_counts[drained_addr]
+            row = (drained_addr // row_bytes) % num_rows
+            region = row // region_rows
+            gap = gaps[region]
+            physical = (row - region * region_rows + gap.start) % gap.num_lines
+            if physical >= gap.gap:
+                physical += 1
+            media_addr = (
+                (region * (region_rows + 1) + physical) * row_bytes
+                + drained_addr % row_bytes
+            )
+            media_row = (media_addr % capacity) // row_bytes
+            bank = media_row % num_banks
+            t = start if start > ready_ps else ready_ps
+            b = bank_busy[bank]
+            if b > t:
+                t = b
+            finish = t + write_ps
+            bank_busy[bank] = finish
+            self._def_stall_writes += 1  # media access + write, batched
+            wcounts[media_row] += 1
+            if gap.record_write():
+                # Start-Gap rotation: one extra read+write of a media row.
+                gap_finish = self.device.access(media_addr, False, finish)
+                self.device.access(media_addr, True, gap_finish)
+                self._c_gap_rotations.add(1)
             self._c_wbuf_stalls.add(1)
-            # Stall the channel until the drained write's slot frees.
-            start = max(start, self.device.bank_busy_until(self.translator.translate(addr)))
-        self._write_buffer.append(BufferedOp(addr=addr, is_write=True, ready_ps=start))
+            # Stall the channel until the drained write's slot frees:
+            # translate the *incoming* address (post-rotation registers)
+            # and read its media bank's horizon.
+            row = (addr // row_bytes) % num_rows
+            region = row // region_rows
+            gap = gaps[region]
+            physical = (row - region * region_rows + gap.start) % gap.num_lines
+            if physical >= gap.gap:
+                physical += 1
+            in_media = (
+                (region * (region_rows + 1) + physical) * row_bytes
+                + addr % row_bytes
+            )
+            horizon = bank_busy[(in_media % capacity) // row_bytes % num_banks]
+            if horizon > start:
+                start = horizon
+        self._write_buffer.append((addr, start))
         counts = self._wbuf_addr_counts
         counts[addr] = counts.get(addr, 0) + 1
         self._busy_until_ps = start

@@ -127,6 +127,25 @@ class TestValidatingEngine:
         eng.run(max_events=1)
         assert eng.pending() == 0 or eng.events_processed == 3
 
+    def test_warp_lane_drains_through_guarded_loop(self):
+        # A validating engine never enters the fused lane drain: lane
+        # events pop one at a time through the guarded merged loop, in
+        # the exact (time, seq) order, with monotonicity checked.
+        a = Auditor()
+        eng = ValidatingEngine(a)
+        seen = []
+        eng.attach_warp_lane(4, lambda warp, phase: seen.append(("L", warp, phase)))
+        eng.schedule(5, lambda: seen.append(("G", 5)))
+        eng.lane_schedule(0, 3, 7)
+        eng.lane_schedule(1, 5, 8)  # ties with the generic event at t=5
+        eng.schedule(9, lambda: seen.append(("G", 9)))
+        eng.run()
+        # The generic t=5 event was scheduled before lane warp 1's, so
+        # schedule order breaks the tie.
+        assert seen == [("L", 0, 7), ("G", 5), ("L", 1, 8), ("G", 9)]
+        assert eng.events_processed == 4
+        assert not a.violations
+
 
 CLEAN_CASES = [
     ("Origin", "pagerank", MemoryMode.PLANAR),

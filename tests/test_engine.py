@@ -200,3 +200,135 @@ class TestEngineEdgeCases:
         eng.schedule(10, cb)
         eng.run()
         assert failures == [10]
+
+
+class TestWarpLane:
+    """The typed warp lane merged against the generic heap."""
+
+    def _lane_engine(self, num_warps=4):
+        eng = Engine()
+        seen = []
+
+        def step(warp, phase):
+            seen.append((eng.now, warp, phase))
+
+        eng.attach_warp_lane(num_warps, step)
+        return eng, seen
+
+    def test_lane_event_exactly_at_until_ps_still_runs(self):
+        eng, seen = self._lane_engine()
+        eng.lane_schedule(0, 100, 1)
+        eng.lane_schedule(1, 101, 2)
+        eng.run(until_ps=100)
+        assert seen == [(100, 0, 1)]
+        assert eng.events_processed == 1
+        assert eng.lane_pending() == 1
+        eng.run()
+        assert seen == [(100, 0, 1), (101, 1, 2)]
+
+    def test_max_events_caps_merged_lane_and_generic(self):
+        eng, seen = self._lane_engine()
+        order = []
+        eng.lane_schedule(0, 10, 1)          # seq 0
+        eng.at(20, lambda: order.append("g20"))   # seq 1
+        eng.lane_schedule(1, 30, 2)          # seq 2
+        eng.at(40, lambda: order.append("g40"))   # seq 3
+        eng.run(max_events=3)
+        assert eng.events_processed == 3
+        assert seen == [(10, 0, 1), (30, 1, 2)]
+        assert order == ["g20"]
+        assert eng.pending() == 1
+        eng.run()
+        assert order == ["g20", "g40"]
+        assert eng.events_processed == 4
+
+    def test_equal_time_merge_follows_schedule_order(self):
+        eng, seen = self._lane_engine()
+        order = []
+        eng.at(50, lambda: order.append(("g", 50)))  # seq 0
+        eng.lane_schedule(0, 50, 7)                  # seq 1
+        eng.at(50, lambda: order.append(("g2", 50)))  # seq 2
+        eng.run()
+        # The lane event (seq 1) lands between the two generic events.
+        assert order == [("g", 50), ("g2", 50)]
+        assert seen == [(50, 0, 7)]
+        assert eng.events_processed == 3
+
+    def test_one_pending_event_per_warp_enforced(self):
+        eng, _ = self._lane_engine()
+        eng.lane_schedule(0, 10, 1)
+        with pytest.raises(RuntimeError):
+            eng.lane_schedule(0, 20, 2)
+
+    def test_lane_scheduling_into_the_past_rejected(self):
+        eng, _ = self._lane_engine()
+        eng.lane_schedule(0, 10, 1)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.lane_schedule(0, 5, 1)
+
+
+class TestEventsProcessedOnRaise:
+    """A raising callback still counts as processed, on every drain path."""
+
+    def test_generic_full_drain(self):
+        eng = Engine()
+        eng.schedule(1, lambda: None)
+
+        def boom():
+            raise RuntimeError("boom")
+
+        eng.schedule(2, boom)
+        eng.schedule(3, lambda: None)
+        with pytest.raises(RuntimeError):
+            eng.run()
+        assert eng.events_processed == 2  # the raising event is counted
+        assert eng.pending() == 1
+        eng.run()
+        assert eng.events_processed == 3
+
+    def test_lane_full_drain(self):
+        eng = Engine()
+
+        def step(warp, phase):
+            if phase == 9:
+                raise RuntimeError("boom")
+
+        eng.attach_warp_lane(2, step)
+        eng.lane_schedule(0, 10, 1)
+        eng.lane_schedule(1, 20, 9)
+        with pytest.raises(RuntimeError):
+            eng.run()
+        assert eng.events_processed == 2
+        assert eng.lane_pending() == 0
+
+    def test_guarded_drain_matches_full_drain_count(self):
+        def build():
+            eng = Engine()
+
+            def boom():
+                raise RuntimeError("boom")
+
+            eng.schedule(1, lambda: None)
+            eng.schedule(2, boom)
+            return eng
+
+        full = build()
+        with pytest.raises(RuntimeError):
+            full.run()
+        guarded = build()
+        with pytest.raises(RuntimeError):
+            guarded.run(max_events=10)
+        assert guarded.events_processed == full.events_processed == 2
+
+
+class TestAtErrorMessage:
+    def test_includes_requested_and_current_timestamps(self):
+        eng = Engine()
+        eng.schedule(100, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError) as exc:
+            eng.at(50, lambda: None)
+        message = str(exc.value)
+        assert "50" in message  # requested
+        assert "100" in message  # current

@@ -84,8 +84,8 @@ class TestCache:
         c = SetAssocCache(4 * 64, 2, 64)  # 2 sets x 2 ways
         for line in lines:
             c.access(line * 64, False)
-        for ways in c._sets:
-            assert len(ways) <= 2
+        for set_index in range(c.num_sets):
+            assert c.set_occupancy(set_index) <= 2
 
 
 class TestInterconnect:

@@ -103,7 +103,9 @@ class TestStatsConservation:
             s, local = ms.route(i * cfg.hetero.page_bytes)
             s.serve(local, False, now)
             now += 100_000
+        # snapshot() is the read surface: it folds in any counts the
+        # fast serves batched in deferred accumulators.
         total_demand_bits = sum(
-            v for k, v in stats.counters.items() if k.endswith(".bits.demand")
+            v for k, v in stats.snapshot().items() if k.endswith(".bits.demand")
         )
         assert total_demand_bits == n * (line_bits + 64)
