@@ -299,8 +299,38 @@ def _record_to(path: str, args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_stdin_trace(args: argparse.Namespace) -> int:
+    """`repro run --stdin-trace`: simulate a trace piped on stdin.
+
+    The terminal stage of a ``repro trace ...`` pipeline: the stream is
+    replayed directly off the pipe (single pass, never materialized),
+    under the spec recorded in the trace header.
+    """
+    from repro.config import default_config
+    from repro.gpu.gpu import GpuModel
+
+    source = _trace_source_arg("-")
+    cfg = default_config(_mode(args.mode))
+    run_cfg = _run_config(args)
+    if run_cfg.waveguides != 1:
+        cfg = cfg.with_waveguides(run_cfg.waveguides)
+    auditor = None
+    if run_cfg.validate:
+        from repro.sim.audit import Auditor
+
+        auditor = Auditor(strict=True)
+    result = GpuModel(
+        PLATFORMS[args.platform], cfg, source.meta.spec, source, auditor=auditor
+    ).run()
+    _print_result(result)
+    print(f"fingerprint     : {result.fingerprint()}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """`repro run`: one simulation (optionally profiled/recorded)."""
+    if args.stdin_trace:
+        return _run_stdin_trace(args)
     if args.record_trace:
         return _record_to(args.record_trace, args)
     runner = _make_runner(args)
@@ -448,11 +478,15 @@ def cmd_perf(args: argparse.Namespace) -> int:
         SMOKE_CASES,
         bench_payload,
         compare_bench,
+        compare_bench_memory,
         git_revision,
         load_bench,
         run_suite,
         write_bench,
     )
+
+    def _mib(n):
+        return f"{n / 2**20:.1f}" if n is not None else "n/a"
 
     cases = SMOKE_CASES if args.smoke else PERF_CASES
     if args.journal:
@@ -472,11 +506,22 @@ def cmd_perf(args: argparse.Namespace) -> int:
                 m.events_per_sec,
                 m.baseline_events_per_sec or 0.0,
                 f"{speedup:.2f}x" if speedup else "n/a",
+                _mib(m.trace_peak_bytes),
+                _mib(m.peak_rss_bytes),
             )
         )
     print(
         format_table(
-            ["case", "events", "wall_ms", "events_per_sec", "baseline_eps", "speedup"],
+            [
+                "case",
+                "events",
+                "wall_ms",
+                "events_per_sec",
+                "baseline_eps",
+                "speedup",
+                "trace_peak_mib",
+                "peak_rss_mib",
+            ],
             rows,
             title="simulation-core performance (best of "
             f"{args.repeats} runs per case)",
@@ -520,8 +565,33 @@ def cmd_perf(args: argparse.Namespace) -> int:
                 title=f"perf comparison vs {args.compare} (gate: >10% loss)",
             )
         )
-        if regressions:
-            names = ", ".join(c.case for c in regressions)
+        mem_comparisons, mem_regressions = compare_bench_memory(old, payload)
+        if mem_comparisons:
+            print(
+                format_table(
+                    ["case", "field", "old_mib", "new_mib", "ratio", "verdict"],
+                    [
+                        (
+                            c.case,
+                            c.field,
+                            _mib(c.old_bytes),
+                            _mib(c.new_bytes),
+                            f"{c.ratio:.3f}",
+                            "REGRESSION" if c in mem_regressions else "ok",
+                        )
+                        for c in mem_comparisons
+                    ],
+                    title=f"peak-memory comparison vs {args.compare} "
+                    "(gate: >25% growth)",
+                )
+            )
+        if regressions or mem_regressions:
+            names = ", ".join(
+                dict.fromkeys(
+                    [c.case for c in regressions]
+                    + [c.case for c in mem_regressions]
+                )
+            )
             print(f"repro perf: regression gate FAILED: {names}", file=sys.stderr)
             return 1
     return 0
@@ -581,6 +651,234 @@ def cmd_workloads_replay(args: argparse.Namespace) -> int:
     print(f"fingerprint     : {result.fingerprint()}")
     _finish(runner)
     return 0
+
+
+# --------------------------------------------------------------------
+# `repro trace` — composable NDJSON pipeline stages
+# --------------------------------------------------------------------
+
+def _trace_source_arg(path: str):
+    """Open a trace stage's input: a path, or ``-`` for stdin."""
+    from repro.workloads.trace import FileTraceSource
+
+    try:
+        if path == "-":
+            return FileTraceSource(sys.stdin, label="<stdin>")
+        return FileTraceSource(path)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"repro: trace file not found: {exc.filename or exc}")
+    except TraceFormatError as exc:
+        raise SystemExit(f"repro: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot read trace: {exc}")
+
+
+def _pump_stage(source, transform=None) -> int:
+    """Round-robin a source's blocks through ``transform`` onto stdout.
+
+    The stage skeleton every ``repro trace`` subcommand shares: pull one
+    block per live warp per round (so downstream readers park at most
+    one round), apply ``transform(warp_id, stream, block) -> block |
+    None`` (``None`` drops the warp — its stream is ended immediately,
+    preserving the warp count and therefore SM placement), and emit the
+    chunked v2 format.  Peak memory is one block per warp regardless of
+    trace length.
+    """
+    from repro.workloads.trace import ChunkedTraceWriter
+
+    writer = ChunkedTraceWriter(sys.stdout, source.meta)
+    live = source.streams()
+    # Dropped warps keep being pulled one block per round (discarded,
+    # never written): their records would otherwise park unboundedly in
+    # the shared demultiplexer while the surviving warps stream past
+    # them.  Once no warp is being *written* any more the stage exits
+    # without draining — early termination, upstream sees SIGPIPE.
+    drains: list = []
+    try:
+        while live:
+            still = []
+            for stream in live:
+                block = stream.next_block()
+                if block is None:
+                    writer.end_warp(stream.warp_id)
+                    continue
+                if transform is not None:
+                    block = transform(stream.warp_id, stream, block)
+                    if block is None:
+                        writer.end_warp(stream.warp_id)
+                        drains.append(stream)
+                        continue
+                writer.write_block(stream.warp_id, *block, tenant=stream.tenant)
+                still.append(stream)
+            live = still
+            drains = [s for s in drains if s.next_block() is not None]
+        writer.finish()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream (e.g. `repro trace head`) stopped reading: normal
+        # pipeline early termination, not an error.  Point stdout at
+        # /dev/null so interpreter shutdown doesn't re-raise on flush.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # conventional 128 + SIGPIPE
+    return 0
+
+
+def _parse_warp_set(text: str, num_warps: int) -> set:
+    """``"0,2-5,9"`` -> {0, 2, 3, 4, 5, 9}, validated against the count."""
+    out: set = set()
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        lo, _, hi = part.partition("-")
+        try:
+            a = int(lo)
+            b = int(hi) if hi else a
+        except ValueError:
+            raise SystemExit(f"repro: bad warp range {part!r}")
+        if a > b or a < 0 or b >= num_warps:
+            raise SystemExit(
+                f"repro: warp range {part!r} outside 0..{num_warps - 1}"
+            )
+        out.update(range(a, b + 1))
+    if not out:
+        raise SystemExit("repro: --warps selected no warps")
+    return out
+
+
+def cmd_trace_cat(args: argparse.Namespace) -> int:
+    """`repro trace cat`: normalize any trace to chunked NDJSON."""
+    return _pump_stage(_trace_source_arg(args.trace))
+
+
+def cmd_trace_filter(args: argparse.Namespace) -> int:
+    """`repro trace filter`: keep selected warps, empty out the rest.
+
+    Dropped warps stay in the file as legitimately empty streams (an
+    end marker and nothing else), so the warp count — and with it each
+    surviving warp's SM placement — is preserved on replay.
+    """
+    source = _trace_source_arg(args.trace)
+    keep_warps = (
+        _parse_warp_set(args.warps, source.num_warps) if args.warps else None
+    )
+    keep_tenant = args.tenant
+
+    def transform(warp_id, stream, block):
+        if keep_warps is not None and warp_id not in keep_warps:
+            return None
+        # The tenant label rides the warp's first record, so by the
+        # time a block arrives the stream knows it.
+        if keep_tenant is not None and stream.tenant != keep_tenant:
+            return None
+        return block
+
+    return _pump_stage(source, transform)
+
+
+def cmd_trace_remap(args: argparse.Namespace) -> int:
+    """`repro trace remap`: shift (and optionally wrap) every address."""
+    offset = args.offset
+    wrap = args.wrap
+
+    def transform(warp_id, stream, block):
+        gaps, addrs, writes = block
+        if wrap:
+            addrs = [(a + offset) % wrap for a in addrs]
+        else:
+            addrs = [a + offset for a in addrs]
+            if offset < 0 and min(addrs) < 0:
+                raise SystemExit(
+                    "repro: remap produced a negative address "
+                    "(offset too negative; add --wrap)"
+                )
+        return (gaps, addrs, writes)
+
+    return _pump_stage(_trace_source_arg(args.trace), transform)
+
+
+def cmd_trace_scale(args: argparse.Namespace) -> int:
+    """`repro trace scale`: stretch compute gaps / repeat the stream.
+
+    ``--gaps F`` rescales arithmetic intensity; ``--repeat N`` replays
+    each warp's stream N times end to end (the cheap way to make a
+    long-running trace out of a short recording).  ``--repeat`` needs a
+    re-streamable input, i.e. a file path — stdin can only be read
+    once and buffering it whole would defeat the streaming pipeline.
+    """
+    from repro.workloads.trace import ChunkedTraceWriter
+
+    factor = args.gaps
+    repeat = args.repeat
+    if repeat < 1:
+        raise SystemExit("repro: --repeat must be >= 1")
+    if repeat > 1 and args.trace == "-":
+        raise SystemExit(
+            "repro: --repeat needs a file path (stdin is single-pass); "
+            "write the upstream stage to a file first"
+        )
+
+    def transform(warp_id, stream, block):
+        if factor == 1.0:
+            return block
+        gaps, addrs, writes = block
+        return ([max(0, int(g * factor)) for g in gaps], addrs, writes)
+
+    if repeat == 1:
+        return _pump_stage(_trace_source_arg(args.trace), transform)
+    source = _trace_source_arg(args.trace)
+    writer = ChunkedTraceWriter(sys.stdout, source.meta)
+    try:
+        for _rep in range(repeat):
+            live = source.streams()
+            while live:
+                still = []
+                for stream in live:
+                    block = stream.next_block()
+                    if block is None:
+                        continue
+                    block = transform(stream.warp_id, stream, block)
+                    writer.write_block(
+                        stream.warp_id, *block, tenant=stream.tenant
+                    )
+                    still.append(stream)
+                live = still
+        writer.finish()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+    return 0
+
+
+def cmd_trace_head(args: argparse.Namespace) -> int:
+    """`repro trace head`: first N ops of every warp, then stop reading.
+
+    Ends each warp once its budget is spent and exits as soon as every
+    warp is done — an upstream stage blocked on the pipe sees SIGPIPE,
+    which is how the pipeline terminates early without draining the
+    whole input.
+    """
+    budget = args.ops
+    if budget < 0:
+        raise SystemExit("repro: --ops must be >= 0")
+    remaining = {}
+
+    def transform(warp_id, stream, block):
+        left = remaining.setdefault(warp_id, budget)
+        if left <= 0:
+            return None
+        gaps, addrs, writes = block
+        if len(addrs) > left:
+            gaps, addrs, writes = gaps[:left], addrs[:left], writes[:left]
+        remaining[warp_id] = left - len(addrs)
+        return (gaps, addrs, writes)
+
+    return _pump_stage(_trace_source_arg(args.trace), transform)
 
 
 def _batch_cache(args: argparse.Namespace, root) -> ResultCache:
@@ -745,10 +1043,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one platform/workload")
     p_run.add_argument("--platform", choices=list(PLATFORMS), required=True)
-    p_run.add_argument(
-        "--workload", type=_workload, required=True,
+    run_src = p_run.add_mutually_exclusive_group(required=True)
+    run_src.add_argument(
+        "--workload", type=_workload,
         help="a registered workload name (see `repro workloads list`) "
         "or trace:<path> to replay a recorded trace",
+    )
+    run_src.add_argument(
+        "--stdin-trace", action="store_true",
+        help="replay a trace piped on stdin (the terminal stage of a "
+        "`repro trace ...` pipeline); sizing flags are ignored, the "
+        "stream fixes the warp count and access streams",
     )
     p_run.add_argument("--mode", choices=[m.value for m in MemoryMode], default="planar")
     p_run.add_argument(
@@ -763,6 +1068,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sizing(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="composable NDJSON trace pipeline stages "
+        "(cat/filter/remap/scale/head; pipe into `repro run --stdin-trace`)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_cmd", required=True)
+
+    def add_trace_input(p) -> None:
+        p.add_argument(
+            "trace", nargs="?", default="-",
+            help="input trace file (v1 or v2, .jsonl/.jsonl.gz); "
+            "default `-` reads NDJSON from stdin",
+        )
+
+    p_t_cat = trace_sub.add_parser(
+        "cat", help="normalize any trace to the chunked NDJSON stream format"
+    )
+    add_trace_input(p_t_cat)
+    p_t_cat.set_defaults(fn=cmd_trace_cat)
+
+    p_t_filter = trace_sub.add_parser(
+        "filter",
+        help="keep selected warps (others stay as empty streams, "
+        "preserving warp count and SM placement)",
+    )
+    add_trace_input(p_t_filter)
+    p_t_filter.add_argument(
+        "--warps", default=None, metavar="SPEC",
+        help="warp ids to keep, e.g. '0,2-5,9'",
+    )
+    p_t_filter.add_argument(
+        "--tenant", default=None, help="keep only this tenant's warps"
+    )
+    p_t_filter.set_defaults(fn=cmd_trace_filter)
+
+    p_t_remap = trace_sub.add_parser(
+        "remap", help="shift (and optionally wrap) every address"
+    )
+    add_trace_input(p_t_remap)
+    p_t_remap.add_argument(
+        "--offset", type=int, default=0, metavar="BYTES",
+        help="byte offset added to every address",
+    )
+    p_t_remap.add_argument(
+        "--wrap", type=int, default=0, metavar="BYTES",
+        help="wrap addresses modulo this footprint (0 = no wrap)",
+    )
+    p_t_remap.set_defaults(fn=cmd_trace_remap)
+
+    p_t_scale = trace_sub.add_parser(
+        "scale", help="rescale compute gaps and/or repeat the stream"
+    )
+    add_trace_input(p_t_scale)
+    p_t_scale.add_argument(
+        "--gaps", type=float, default=1.0, metavar="FACTOR",
+        help="multiply every compute gap by FACTOR (intensity scaling)",
+    )
+    p_t_scale.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="replay each warp's stream N times end to end "
+        "(needs a file path, not stdin)",
+    )
+    p_t_scale.set_defaults(fn=cmd_trace_scale)
+
+    p_t_head = trace_sub.add_parser(
+        "head",
+        help="first N ops of every warp; stops reading upstream early",
+    )
+    add_trace_input(p_t_head)
+    p_t_head.add_argument(
+        "--ops", type=int, required=True, metavar="N",
+        help="ops to keep per warp",
+    )
+    p_t_head.set_defaults(fn=cmd_trace_head)
 
     p_cmp = sub.add_parser("compare", help="all platforms on one workload")
     p_cmp.add_argument("--workload", type=_workload, required=True)

@@ -9,7 +9,7 @@ figure is built from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.config import SystemConfig
 from repro.core.memsystem import MemorySystem
@@ -21,6 +21,7 @@ from repro.gpu.warp import Warp, WarpLane
 from repro.sim.audit import Auditor, ValidatingEngine
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats
+from repro.workloads.source import TraceSource
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.synthetic import WarpTrace
 from repro.workloads.trace import TraceRecorder
@@ -126,13 +127,32 @@ class GpuModel:
         platform: Platform,
         cfg: SystemConfig,
         spec: WorkloadSpec,
-        traces: List[WarpTrace],
+        traces: Union[List[WarpTrace], TraceSource],
         model_caches: bool = False,
         recorder: Optional[TraceRecorder] = None,
         auditor: Optional[Auditor] = None,
     ) -> None:
-        if not traces:
+        # A TraceSource streams each warp's access blocks on demand
+        # (bounded lookahead); a trace list is the materialized classic.
+        # Both drive the same warp stepping — the golden-fingerprint
+        # parity tests pin the two paths bit-identical.
+        streams = traces.streams() if isinstance(traces, TraceSource) else None
+        if not (streams if streams is not None else traces):
             raise ValueError("need at least one warp trace")
+        if streams is not None and auditor is not None:
+            # Materialized traces are audited whole at construction
+            # (auditor.instrument); a streamed warp's problems surface
+            # at pull time, so route them to the auditor as they appear
+            # — strict mode turns the first one into an InvariantError.
+            def on_problem(warp_id: int, message: str) -> None:
+                auditor.record(
+                    "workload.trace_wellformed", f"warp{warp_id}", message
+                )
+                if auditor.strict:
+                    auditor.raise_if_violations()
+
+            for stream in streams:
+                stream.on_problem = on_problem
         self.platform = platform
         self.cfg = cfg
         self.spec = spec
@@ -169,7 +189,7 @@ class GpuModel:
         ]
         self._warps: List[Warp] = []
         self._remaining = 0
-        for w, trace in enumerate(traces):
+        for w, trace in enumerate(streams if streams is not None else traces):
             sm = self.sms[w % len(self.sms)]
             self._warps.append(Warp(w, sm, trace, self._warp_done, recorder))
         self._remaining = len(self._warps)

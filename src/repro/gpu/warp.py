@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import heapq
 from array import array
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 from repro.sim.engine import (
     LANE_IDLE,
@@ -40,6 +40,7 @@ from repro.sim.engine import (
     Engine,
 )
 from repro.sim.stats import Stats
+from repro.workloads.source import WarpStream
 from repro.workloads.synthetic import WarpTrace
 
 if TYPE_CHECKING:
@@ -69,7 +70,15 @@ _SM_METHODS = _capture_sm_methods()
 
 
 class Warp:
-    """Replays one WarpTrace through its SM and the memory system.
+    """Replays one warp's access stream through its SM and memory.
+
+    ``trace`` is either a materialized :class:`WarpTrace` or a
+    :class:`~repro.workloads.source.WarpStream` (bounded-lookahead
+    block iterator).  Both are kept on ``self.trace`` — the audit layer
+    duck-types against it (``tenant`` / ``len`` / ``well_formed``).
+    Block pulls are lazy, so a Warp and the :class:`WarpLane` can share
+    one stream: only whichever of the two actually drives the warp
+    consumes it.
 
     An optional :class:`~repro.workloads.trace.TraceRecorder` captures
     every executed ``(gap, addr, write)`` at memory-issue time — the
@@ -82,8 +91,12 @@ class Warp:
         "sm",
         "trace",
         "on_done",
-        "_ops",
+        "_stream",
+        "_gaps",
+        "_addrs",
+        "_writes",
         "_num_ops",
+        "_base",
         "_at",
         "_cursor",
         "_recorder",
@@ -95,7 +108,7 @@ class Warp:
         self,
         warp_id: int,
         sm: "StreamingMultiprocessor",
-        trace: WarpTrace,
+        trace: Union[WarpTrace, WarpStream],
         on_done: Callable[["Warp"], None],
         recorder: Optional["TraceRecorder"] = None,
     ) -> None:
@@ -103,10 +116,20 @@ class Warp:
         self.sm = sm
         self.trace = trace
         self.on_done = on_done
-        self._ops = trace.ops  # compiled (gap, addr, write) tuples
-        self._num_ops = len(self._ops)
+        if isinstance(trace, WarpStream):
+            # Lazy: the first burst pulls the first block.
+            self._stream: Optional[WarpStream] = trace
+            self._gaps: List[int] = []
+            self._addrs: List[int] = []
+            self._writes: List[bool] = []
+            self._num_ops = 0
+        else:
+            self._stream = None
+            self._gaps, self._addrs, self._writes = trace.columns
+            self._num_ops = len(self._addrs)
+        self._base = 0  # ops consumed in earlier blocks
         self._at = sm.engine.at
-        self._cursor = 0
+        self._cursor = 0  # index within the current block
         self._recorder = recorder
         self.instructions_retired = 0
         self.finished = False
@@ -114,23 +137,41 @@ class Warp:
     def start(self) -> None:
         self._next_burst()
 
+    def _advance(self) -> bool:
+        """Pull the next block; False when the stream is exhausted."""
+        if self._stream is None:
+            return False
+        block = self._stream.next_block()
+        if block is None:
+            return False
+        self._base += self._num_ops
+        self._gaps, self._addrs, self._writes = block
+        self._num_ops = len(self._addrs)
+        self._cursor = 0
+        return True
+
     def _next_burst(self) -> None:
         cursor = self._cursor
         if cursor >= self._num_ops:
-            self.finished = True
-            self.on_done(self)
-            return
-        gap = self._ops[cursor][0]
+            if self._advance():
+                cursor = 0
+            else:
+                self.finished = True
+                self._cursor = self._base + self._num_ops
+                self.on_done(self)
+                return
+        gap = self._gaps[cursor]
         burst_end = self.sm.issue_burst(gap + 1)  # +1: the memory inst
         self.instructions_retired += gap + 1
         self._at(burst_end, self._issue_memory)
 
     def _issue_memory(self) -> None:
         cursor = self._cursor
-        op = self._ops[cursor]
+        addr = self._addrs[cursor]
+        write = self._writes[cursor]
         if self._recorder is not None:
-            self._recorder.record(self.warp_id, op[0], op[1], op[2])
-        complete = self.sm.access_memory(op[1], op[2])
+            self._recorder.record(self.warp_id, self._gaps[cursor], addr, write)
+        complete = self.sm.access_memory(addr, write)
         self._cursor = cursor + 1
         self._at(complete, self._next_burst)
 
@@ -156,6 +197,8 @@ class WarpLane:
         "_cursor",
         "_retired",
         "_nops",
+        "_base",
+        "_streams",
         "_gaps",
         "_addrs",
         "_writes",
@@ -182,9 +225,11 @@ class WarpLane:
         self._warps = warps
         n = len(warps)
         self._num_warps = n
-        self._cursor = array("q", bytes(8 * n))
+        self._cursor = array("q", bytes(8 * n))  # index within the block
         self._retired = array("q", bytes(8 * n))
+        self._base = array("q", bytes(8 * n))  # ops consumed before it
         self._nops: List[int] = []
+        self._streams: List[Optional[WarpStream]] = []
         self._gaps: List[List[int]] = []
         self._addrs: List[List[int]] = []
         self._writes: List[List[bool]] = []
@@ -232,11 +277,24 @@ class WarpLane:
                 mem_fp = base
         self._mem_fp = mem_fp
         for w in warps:
-            gaps, addrs, writes = w.trace.columns
-            self._nops.append(len(addrs))
-            self._gaps.append(gaps)
-            self._addrs.append(addrs)
-            self._writes.append(writes)
+            trace = w.trace
+            if isinstance(trace, WarpStream):
+                # Streamed warp: start empty, the first burst pulls the
+                # first block (lazy, so the Warp object sharing this
+                # stream never double-consumes it — only one of the two
+                # drives the warp).
+                self._streams.append(trace)
+                self._nops.append(0)
+                self._gaps.append([])
+                self._addrs.append([])
+                self._writes.append([])
+            else:
+                self._streams.append(None)
+                gaps, addrs, writes = trace.columns
+                self._nops.append(len(addrs))
+                self._gaps.append(gaps)
+                self._addrs.append(addrs)
+                self._writes.append(writes)
         self._recorder = recorder
         self._on_done = on_done
         self._cdict = stats.counters
@@ -254,12 +312,38 @@ class WarpLane:
         for w in range(self._num_warps):
             self._burst(w, self._engine.now)
 
+    def _advance(self, w: int) -> bool:
+        """Swap warp ``w``'s next block in; False when exhausted.
+
+        The swap is in-place on the per-warp column slots
+        (``self._gaps[w] = ...``), so the fused drain's local aliases of
+        the *outer* lists observe it mid-loop.  Runs once per block
+        boundary — every ``block_ops`` events, not per event.
+        """
+        stream = self._streams[w]
+        if stream is None:
+            return False
+        block = stream.next_block()
+        if block is None:
+            return False
+        gaps, addrs, writes = block
+        self._base[w] += self._nops[w]
+        self._gaps[w] = gaps
+        self._addrs[w] = addrs
+        self._writes[w] = writes
+        self._nops[w] = len(addrs)
+        self._cursor[w] = 0
+        return True
+
     def _burst(self, w: int, now: int) -> None:
         """One burst phase for warp ``w`` (or its finish)."""
         cursor = self._cursor[w]
         if cursor >= self._nops[w]:
-            self._finish(w)
-            return
+            if self._advance(w):
+                cursor = 0
+            else:
+                self._finish(w)
+                return
         gap = self._gaps[w][cursor]
         n = gap + 1
         if self._inline_burst:
@@ -291,7 +375,7 @@ class WarpLane:
         warp = self._warps[w]
         warp.finished = True
         warp.instructions_retired = self._retired[w]
-        warp._cursor = self._cursor[w]
+        warp._cursor = self._base[w] + self._cursor[w]
         self._on_done(warp)
 
     def _step_one(self, w: int, phase: int) -> None:
@@ -305,9 +389,10 @@ class WarpLane:
         """Mirror lane columns back into the :class:`Warp` objects."""
         cursors = self._cursor
         retired = self._retired
+        base = self._base
         for w, warp in enumerate(self._warps):
             warp.instructions_retired = retired[w]
-            warp._cursor = cursors[w]
+            warp._cursor = base[w] + cursors[w]
 
     # -- fused drain ----------------------------------------------------
 
@@ -357,6 +442,7 @@ class WarpLane:
         phases = eng._lane_phase
         cursors = self._cursor
         retired = self._retired
+        base = self._base
         nops = self._nops
         gaps = self._gaps
         addrs = self._addrs
@@ -448,38 +534,44 @@ class WarpLane:
                         heap, ((complete << seq_bits) | seq) << warp_bits | w
                     )
                     seq += 1
-                else:  # PHASE_BURST (or finish)
+                else:  # PHASE_BURST (block advance, or finish)
                     cursor = cursors[w]
                     if cursor >= nops[w]:
-                        heappop(heap)
-                        phases[w] = -1  # LANE_IDLE
-                        warp = warps[w]
-                        warp.finished = True
-                        warp.instructions_retired = retired[w]
-                        warp._cursor = cursor
-                        self._on_done(warp)
-                    else:
-                        gap = gaps[w][cursor]
-                        n = gap + 1
-                        if inline_burst:
-                            if n < 1:
-                                raise ValueError(
-                                    "a burst needs at least one instruction"
-                                )
-                            sm = sms[w]
-                            free = sm._issue_free_at
-                            start = t if t > free else free
-                            end = start + n * periods[w]
-                            sm._issue_free_at = end
-                            burst_insns += n
+                        if self._advance(w):
+                            # _advance swapped the column slots in place
+                            # (the local aliases of the outer lists see
+                            # the new block) and zeroed cursors[w].
+                            cursor = 0
                         else:
-                            end = issue[w](n)
-                        retired[w] += n
-                        phases[w] = 1  # PHASE_MEM
-                        heapreplace(
-                            heap, ((end << seq_bits) | seq) << warp_bits | w
-                        )
-                        seq += 1
+                            heappop(heap)
+                            phases[w] = -1  # LANE_IDLE
+                            warp = warps[w]
+                            warp.finished = True
+                            warp.instructions_retired = retired[w]
+                            warp._cursor = base[w] + cursor
+                            self._on_done(warp)
+                            continue  # no successor event, seq unchanged
+                    gap = gaps[w][cursor]
+                    n = gap + 1
+                    if inline_burst:
+                        if n < 1:
+                            raise ValueError(
+                                "a burst needs at least one instruction"
+                            )
+                        sm = sms[w]
+                        free = sm._issue_free_at
+                        start = t if t > free else free
+                        end = start + n * periods[w]
+                        sm._issue_free_at = end
+                        burst_insns += n
+                    else:
+                        end = issue[w](n)
+                    retired[w] += n
+                    phases[w] = 1  # PHASE_MEM
+                    heapreplace(
+                        heap, ((end << seq_bits) | seq) << warp_bits | w
+                    )
+                    seq += 1
                 if seq >= LANE_SEQ_LIMIT:
                     raise OverflowError("event sequence space exhausted")
         finally:

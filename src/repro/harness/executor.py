@@ -15,17 +15,29 @@ choice is purely a wall-clock knob.
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+import json
 import os
+import shutil
+import tempfile
 from concurrent import futures
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import MemoryMode, SystemConfig, default_config
 from repro.core.platforms import PLATFORMS
 from repro.gpu.gpu import GpuModel, RunResult
-from repro.workloads.registry import build_traces, get_workload_def
+from repro.workloads.registry import build_source, build_traces, get_workload_def
+from repro.workloads.source import TraceSource
 from repro.workloads.synthetic import WarpTrace
-from repro.workloads.trace import TraceRecorder
+from repro.workloads.trace import (
+    FileTraceSource,
+    TraceMeta,
+    TraceRecorder,
+    save_stream,
+)
 
 
 @dataclass(frozen=True)
@@ -146,22 +158,57 @@ class SimulationJob:
 _TRACE_MEMO: Dict[Tuple, List[WarpTrace]] = {}
 _TRACE_MEMO_MAX = 64
 
+#: Per-process trace-pipeline counters: how many distinct trace sets
+#: were generated (``memo_builds``), how often the memo served one back
+#: (``memo_hits``), how many oversized sets were spilled to disk once
+#: (``spill_builds``) and then re-streamed (``spill_hits``), and how
+#: many jobs streamed straight off a recorded file (``replay_streams``).
+#: A sweep whose builds stay near its distinct (workload, sizing, seed)
+#: count — not its job count — is reusing traces as intended.
+TRACE_STATS: Dict[str, int] = {
+    "memo_builds": 0,
+    "memo_hits": 0,
+    "spill_builds": 0,
+    "spill_hits": 0,
+    "replay_streams": 0,
+}
 
-def traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
-    """Materialize (memoized) the warp traces a job simulates over.
+#: Above this many total ops (``num_warps * accesses_per_warp``) a job
+#: streams its workload instead of materializing it through the memo:
+#: the trace set is generated once per process into a chunked spill
+#: file, and every job over it replays that file with bounded memory.
+#: Override with the ``REPRO_STREAM_OPS_THRESHOLD`` environment
+#: variable (0 streams everything).
+DEFAULT_STREAM_OPS_THRESHOLD = 262_144
 
-    Resolution goes through the workload registry, so every family —
-    Table II, the parametric families, composed scenarios and
-    ``trace:<path>`` replays — shares this one path and its memo.
+_SPILL_DIR: Optional[Path] = None
+_SPILL_FILES: Dict[str, Path] = {}
 
-    The resolved :class:`WorkloadDef` itself is part of the memo key:
+
+def stream_ops_threshold() -> int:
+    return int(
+        os.environ.get(
+            "REPRO_STREAM_OPS_THRESHOLD", str(DEFAULT_STREAM_OPS_THRESHOLD)
+        )
+    )
+
+
+def trace_cache_stats() -> Dict[str, int]:
+    """Snapshot of this process's :data:`TRACE_STATS` counters."""
+    return dict(TRACE_STATS)
+
+
+def _trace_key(job: SimulationJob, cfg: SystemConfig) -> Tuple:
+    """Everything that determines a job's trace set.
+
+    The resolved :class:`WorkloadDef` itself is part of the key:
     re-registering a name with different parameters (``replace=True``)
     or re-recording a trace file (its digest is a def param) can never
     serve stale traces — mirroring the result cache, which fingerprints
     the resolved def for the same reason.
     """
     defn = get_workload_def(job.workload)
-    key = (
+    return (
         defn,
         cfg.scale_down,
         job.run_cfg.num_warps,
@@ -170,9 +217,21 @@ def traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
         cfg.hetero.page_bytes,
         job.run_cfg.seed,
     )
+
+
+def traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
+    """Materialize (memoized) the warp traces a job simulates over.
+
+    Resolution goes through the workload registry, so every family —
+    Table II, the parametric families, composed scenarios and
+    ``trace:<path>`` replays — shares this one path and its memo.
+    """
+    key = _trace_key(job, cfg)
     if key not in _TRACE_MEMO:
         while len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
             _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        defn = key[0]
+        TRACE_STATS["memo_builds"] += 1
         _TRACE_MEMO[key] = build_traces(
             defn,
             defn.spec.scaled_footprint(cfg.scale_down),
@@ -182,7 +241,81 @@ def traces_for(job: SimulationJob, cfg: SystemConfig) -> List[WarpTrace]:
             page_bytes=cfg.hetero.page_bytes,
             seed=job.run_cfg.seed,
         )
+    else:
+        TRACE_STATS["memo_hits"] += 1
     return _TRACE_MEMO[key]
+
+
+def _spill_path_for(key: Tuple, defn) -> Path:
+    """Stable per-process spill path for one resolved trace-set key."""
+    global _SPILL_DIR
+    payload = json.dumps(
+        [defn.fingerprint_payload(), list(key[1:])],
+        sort_keys=True, separators=(",", ":"),
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+    if _SPILL_DIR is None:
+        _SPILL_DIR = Path(tempfile.mkdtemp(prefix="repro-trace-spill-"))
+        atexit.register(shutil.rmtree, _SPILL_DIR, ignore_errors=True)
+    return _SPILL_DIR / f"{digest}.jsonl.gz"
+
+
+def source_for(
+    job: SimulationJob, cfg: SystemConfig
+) -> Union[List[WarpTrace], TraceSource]:
+    """The access streams a job simulates over, sized for the job.
+
+    Three regimes, one per way a trace set can dominate a sweep's
+    footprint:
+
+    * ``trace:<path>`` replays always stream straight off the file
+      (never materialized — the file already holds the full stream).
+    * Generated workloads at or under :func:`stream_ops_threshold`
+      total ops use the materialized memo (identical to the classic
+      path — small traces are cheaper to keep than to re-derive).
+    * Above the threshold, the stream is generated **once per process**
+      into a chunked spill file, and this job — and every later job
+      with the same resolved (workload, sizing, seed) — replays that
+      file with peak memory bounded by O(warps x block).
+
+    All three produce bit-identical :class:`~repro.gpu.gpu.RunResult`
+    fingerprints (the streaming parity tests pin this).
+    """
+    defn = get_workload_def(job.workload)
+    if defn.family == "trace":
+        TRACE_STATS["replay_streams"] += 1
+        return FileTraceSource(dict(defn.params)["path"])
+    total_ops = job.run_cfg.num_warps * job.run_cfg.accesses_per_warp
+    if total_ops <= stream_ops_threshold():
+        return traces_for(job, cfg)
+    key = _trace_key(job, cfg)
+    cache_key = repr(key)
+    path = _SPILL_FILES.get(cache_key)
+    if path is None:
+        path = _spill_path_for(key, defn)
+        source = build_source(
+            defn,
+            defn.spec.scaled_footprint(cfg.scale_down),
+            num_warps=job.run_cfg.num_warps,
+            accesses_per_warp=job.run_cfg.accesses_per_warp,
+            line_bytes=cfg.gpu.line_bytes,
+            page_bytes=cfg.hetero.page_bytes,
+            seed=job.run_cfg.seed,
+        )
+        meta = TraceMeta(
+            workload=defn.name,
+            platform="(spill)",
+            mode="(spill)",
+            line_bytes=cfg.gpu.line_bytes,
+            num_warps=job.run_cfg.num_warps,
+            spec=defn.spec,
+        )
+        save_stream(path, meta, source)
+        _SPILL_FILES[cache_key] = path
+        TRACE_STATS["spill_builds"] += 1
+    else:
+        TRACE_STATS["spill_hits"] += 1
+    return FileTraceSource(path)
 
 
 def execute_job(job: SimulationJob) -> RunResult:
@@ -195,7 +328,7 @@ def execute_job(job: SimulationJob) -> RunResult:
     """
     cfg = job.resolved_config()
     defn = get_workload_def(job.workload)
-    traces = traces_for(job, cfg)
+    traces = source_for(job, cfg)
     auditor = None
     if job.run_cfg.validate:
         from repro.sim.audit import Auditor

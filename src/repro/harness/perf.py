@@ -83,7 +83,17 @@ BASELINE_EVENTS_PER_SEC: Dict[str, float] = {
 
 @dataclass(frozen=True)
 class PerfMeasurement:
-    """Best-of-N timing of one case on this machine."""
+    """Best-of-N timing of one case on this machine.
+
+    ``peak_rss_bytes`` is the process's high-water resident set after
+    the case ran (monotone across cases — it can only report the max so
+    far) and ``trace_peak_bytes`` is the tracemalloc allocation peak of
+    regenerating the case's trace set through the *streaming* pipeline
+    (memo-bypassing, so it tracks what the pipeline actually costs, not
+    what the memo already holds).  Both are ``None`` on platforms or
+    call sites that don't measure memory — history records and the
+    compare gate just skip such cases.
+    """
 
     case: str
     platform: str
@@ -94,6 +104,8 @@ class PerfMeasurement:
     wall_s: float
     events_per_sec: float
     repeats: int
+    peak_rss_bytes: Optional[int] = None
+    trace_peak_bytes: Optional[int] = None
 
     @property
     def baseline_events_per_sec(self) -> Optional[float]:
@@ -115,6 +127,8 @@ class PerfMeasurement:
             "wall_s": self.wall_s,
             "events_per_sec": self.events_per_sec,
             "repeats": self.repeats,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "trace_peak_bytes": self.trace_peak_bytes,
             "baseline_events_per_sec": self.baseline_events_per_sec,
             "speedup_vs_baseline": self.speedup_vs_baseline,
         }
@@ -132,7 +146,59 @@ class PerfMeasurement:
             wall_s=data["wall_s"],
             events_per_sec=data["events_per_sec"],
             repeats=data["repeats"],
+            peak_rss_bytes=data.get("peak_rss_bytes"),
+            trace_peak_bytes=data.get("trace_peak_bytes"),
         )
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """The process's lifetime peak resident set, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux; platforms without the
+    ``resource`` module (Windows) report ``None``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def _trace_peak_bytes(case: PerfCase, cfg) -> Optional[int]:
+    """Allocation peak of streaming the case's trace set, per tracemalloc.
+
+    Builds a fresh streamed source and consumes it block by block
+    without materializing — the number the constant-memory pipeline is
+    accountable for.  Tracemalloc slows allocation, so this runs
+    outside every timed region.
+    """
+    import tracemalloc
+
+    from repro.workloads.registry import build_source, get_workload_def
+
+    defn = get_workload_def(case.workload)
+    if defn.family == "trace":
+        return None  # replay streams a file; nothing is generated
+    if tracemalloc.is_tracing():  # don't fight an outer profiler
+        return None
+    tracemalloc.start()
+    try:
+        source = build_source(
+            defn,
+            defn.spec.scaled_footprint(cfg.scale_down),
+            num_warps=case.run_cfg.num_warps,
+            accesses_per_warp=case.run_cfg.accesses_per_warp,
+            line_bytes=cfg.gpu.line_bytes,
+            page_bytes=cfg.hetero.page_bytes,
+            seed=case.run_cfg.seed,
+        )
+        for stream in source.streams():
+            while stream.next_block() is not None:
+                pass
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
 
 
 def measure_case(case: PerfCase, repeats: int = 3) -> PerfMeasurement:
@@ -165,6 +231,8 @@ def measure_case(case: PerfCase, repeats: int = 3) -> PerfMeasurement:
         wall_s=best_dt,
         events_per_sec=events / best_dt if best_dt else 0.0,
         repeats=repeats,
+        peak_rss_bytes=peak_rss_bytes(),
+        trace_peak_bytes=_trace_peak_bytes(case, cfg),
     )
 
 
@@ -276,11 +344,28 @@ def history_entry(
     The timestamp is passed in by the caller (the CLI stamps wall-clock
     time; tests pass fixed strings so records stay deterministic).
     """
-    return {
+    entry = {
         "timestamp": timestamp,
         "git_rev": git_rev,
         "events_per_sec": {m.case: m.events_per_sec for m in measurements},
     }
+    rss = {
+        m.case: m.peak_rss_bytes
+        for m in measurements
+        if m.peak_rss_bytes is not None
+    }
+    trace_peak = {
+        m.case: m.trace_peak_bytes
+        for m in measurements
+        if m.trace_peak_bytes is not None
+    }
+    # Memory maps ride along only when measured, so records written by
+    # older versions (or memory-less stubs) stay shaped as before.
+    if rss:
+        entry["peak_rss_bytes"] = rss
+    if trace_peak:
+        entry["trace_peak_bytes"] = trace_peak
+    return entry
 
 
 def bench_payload(
@@ -387,5 +472,69 @@ def compare_bench(
         for case in sorted(old_eps)
         if case in new_eps
     ]
+    regressions = [c for c in comparisons if c.is_regression(threshold)]
+    return comparisons, regressions
+
+
+def current_memory_bytes(payload: dict, field: str) -> Dict[str, int]:
+    """``case -> bytes`` of one memory field from a bench ``current``."""
+    out: Dict[str, int] = {}
+    for rec in payload.get("current", []):
+        value = rec.get(field) if isinstance(rec, dict) else None
+        if value is None:
+            continue
+        try:
+            out[rec["case"]] = int(value)
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+@dataclass(frozen=True)
+class MemoryComparison:
+    """One case's peak-memory delta between two bench documents."""
+
+    case: str
+    field: str
+    old_bytes: int
+    new_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        if self.old_bytes <= 0:
+            return float("inf")
+        return self.new_bytes / self.old_bytes
+
+    def is_regression(self, threshold: float) -> bool:
+        """True if peak memory *grew* by more than ``threshold``."""
+        return (
+            self.old_bytes > 0
+            and self.new_bytes > self.old_bytes * (1.0 + threshold)
+        )
+
+
+def compare_bench_memory(
+    old_payload: dict,
+    new_payload: dict,
+    threshold: float = 0.25,
+) -> tuple[List[MemoryComparison], List[MemoryComparison]]:
+    """Diff peak-memory columns of two bench documents.
+
+    Mirrors :func:`compare_bench` but in the growth direction: a case
+    regresses when either its ``trace_peak_bytes`` (the streaming
+    pipeline's allocation peak — the sensitive signal) or its
+    ``peak_rss_bytes`` grew by more than ``threshold`` (default 25%).
+    Cases lacking memory data on either side — older bench files, or
+    platforms that can't measure — are skipped, never failed.
+    """
+    comparisons: List[MemoryComparison] = []
+    for field in ("trace_peak_bytes", "peak_rss_bytes"):
+        old_mem = current_memory_bytes(old_payload, field)
+        new_mem = current_memory_bytes(new_payload, field)
+        comparisons.extend(
+            MemoryComparison(case, field, old_mem[case], new_mem[case])
+            for case in sorted(old_mem)
+            if case in new_mem
+        )
     regressions = [c for c in comparisons if c.is_regression(threshold)]
     return comparisons, regressions

@@ -9,11 +9,16 @@ Layers (see docs/WORKLOADS.md for the authoring tutorial):
                   graph-replay generators.
 * ``families``  — parametric families (tiled GEMM, pointer chase,
                   streaming scan).
+* ``source``    — the bounded-lookahead streaming interface every
+                  producer and consumer speaks (:class:`TraceSource`,
+                  :class:`WarpStream`; DESIGN.md section 12).
 * ``compose``   — sequential phases and multi-tenant mixes.
-* ``trace``     — record-and-replay memory-trace format.
+* ``trace``     — record-and-replay memory-trace format (streaming
+                  reader/writer, chunked v2 format).
 * ``registry``  — name -> def resolution and family dispatch
-                  (:func:`build_traces` is the one entry point the
-                  execution backend uses).
+                  (:func:`build_traces` materializes,
+                  :func:`build_source` streams; the execution backend
+                  uses both through one resolution path).
 """
 
 from repro.workloads.compose import make_multi_tenant, make_phased
@@ -27,18 +32,30 @@ from repro.workloads.registry import (
     FAMILIES,
     REGISTRY,
     WORKLOADS,
+    build_source,
     build_traces,
     get_workload,
     get_workload_def,
     register_workload,
     workload_names,
 )
+from repro.workloads.source import (
+    DEFAULT_BLOCK_OPS,
+    GeneratedTraceSource,
+    MaterializedTraceSource,
+    TraceSource,
+    WarpStream,
+    materialize,
+)
 from repro.workloads.spec import WorkloadDef, WorkloadSpec, make_def
 from repro.workloads.synthetic import SyntheticTraceGenerator, WarpTrace
 from repro.workloads.trace import (
+    ChunkedTraceWriter,
+    FileTraceSource,
     TraceMeta,
     TraceRecorder,
     load_traces,
+    save_stream,
     save_traces,
 )
 
@@ -54,6 +71,13 @@ __all__ = [
     "register_workload",
     "workload_names",
     "build_traces",
+    "build_source",
+    "TraceSource",
+    "WarpStream",
+    "GeneratedTraceSource",
+    "MaterializedTraceSource",
+    "materialize",
+    "DEFAULT_BLOCK_OPS",
     "SyntheticTraceGenerator",
     "GraphTraceGenerator",
     "TiledGemmGenerator",
@@ -64,6 +88,9 @@ __all__ = [
     "WarpTrace",
     "TraceMeta",
     "TraceRecorder",
+    "FileTraceSource",
+    "ChunkedTraceWriter",
     "load_traces",
+    "save_stream",
     "save_traces",
 ]

@@ -32,10 +32,12 @@ registering process.  Register in a module the workers import (as
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from itertools import chain
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.workloads.source import Block, TraceSource
 from repro.workloads.spec import WorkloadDef, WorkloadSpec, make_def
 from repro.workloads.synthetic import WarpTrace
 
@@ -248,3 +250,72 @@ def multi_tenant_traces(
             )
         )
     return out
+
+
+# --------------------------------------------------------------------
+# Lazy stream composition (the TraceSource mirrors of the builders)
+# --------------------------------------------------------------------
+
+class PhasedTraceSource(TraceSource):
+    """Sequential phases, merged lazily: chain each warp's member blocks.
+
+    Per-warp RNG independence makes per-warp chaining value-identical
+    to :func:`phased_traces`' concatenation — the member sources were
+    built with the same per-phase access counts, so block boundaries
+    are the only difference, and consumers don't observe those.
+    """
+
+    def __init__(self, members: Sequence[TraceSource]) -> None:
+        if not members:
+            raise ValueError("need at least one phase source")
+        counts = {m.num_warps for m in members}
+        if len(counts) != 1:
+            raise ValueError(f"phase warp counts disagree: {sorted(counts)}")
+        self.members = list(members)
+        self.num_warps = self.members[0].num_warps
+
+    def blocks(self, warp_id: int) -> Iterator[Block]:
+        return chain.from_iterable(m.blocks(warp_id) for m in self.members)
+
+
+class MultiTenantTraceSource(TraceSource):
+    """WRR tenant interleave, merged lazily.
+
+    Warp ``w`` streams tenant ``assignment[w]``'s member source at that
+    tenant's local warp index (the same local-id mapping
+    :func:`multi_tenant_traces` uses), labelled with the tenant — so a
+    streamed mix attributes per-tenant counters identically to the
+    materialized interleave.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[str],
+        members: Sequence[TraceSource],
+        assignment: Sequence[int],
+    ) -> None:
+        if len(labels) != len(members):
+            raise ValueError("one member source per tenant label")
+        self.labels = list(labels)
+        self.members = list(members)
+        self.assignment = list(assignment)
+        self.num_warps = len(self.assignment)
+        # Global warp index -> local index within its tenant's source.
+        self._local: List[int] = []
+        cursors = [0] * len(members)
+        for t in self.assignment:
+            self._local.append(cursors[t])
+            cursors[t] += 1
+        for t, (member, used) in enumerate(zip(self.members, cursors)):
+            if member.num_warps != used:
+                raise ValueError(
+                    f"tenant {self.labels[t]!r}: member source has "
+                    f"{member.num_warps} warps, assignment uses {used}"
+                )
+
+    def tenant_of(self, warp_id: int) -> Optional[str]:
+        return self.labels[self.assignment[warp_id]]
+
+    def blocks(self, warp_id: int) -> Iterator[Block]:
+        t = self.assignment[warp_id]
+        return self.members[t].blocks(self._local[warp_id])

@@ -25,7 +25,7 @@ workers resolve the same names.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List
 
 import numpy as np
 
@@ -100,17 +100,25 @@ class TiledGemmGenerator:
         start = base + tile * self.tile_lines * self.line_bytes
         return range(start, start + self.tile_lines * self.line_bytes, self.line_bytes)
 
-    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
-        """Deterministic trace for one warp."""
+    def warp_blocks(
+        self, warp_global_id: int, num_accesses: int, block_ops: int = 2048
+    ) -> Iterator[tuple]:
+        """One warp's stream as ``(gaps, addrs, writes)`` native blocks.
+
+        Generation path (``warp_trace`` concatenates it); the gap
+        vector is drawn whole up front to keep the frozen digests' RNG
+        consumption order, the tile walk streams in blocks.
+        """
         if num_accesses < 1:
             raise ValueError("need at least one access")
         rng = np.random.default_rng((self.seed, warp_global_id))
         gaps = _apki_gaps(rng, self.spec.apki, num_accesses)
-        addrs = np.empty(num_accesses, dtype=np.int64)
-        writes = np.zeros(num_accesses, dtype=bool)
         n_tiles = self.tiles_per_region
         # Each warp owns a distinct diagonal walk over the (i, j) grid.
         step = warp_global_id * 2_654_435_761  # Fibonacci-hash spread
+        a_buf: list[int] = []
+        w_buf: list[bool] = []
+        emitted = 0
         filled = 0
         k = 0
         while filled < num_accesses:
@@ -122,7 +130,8 @@ class TiledGemmGenerator:
                     for addr in self._tile_lines_addrs(region_base, tile):
                         if filled >= num_accesses:
                             break
-                        addrs[filled] = addr
+                        a_buf.append(addr)
+                        w_buf.append(False)
                         filled += 1
                     if filled >= num_accesses:
                         break
@@ -132,11 +141,24 @@ class TiledGemmGenerator:
             for addr in self._tile_lines_addrs(self.base_c, (i + j) % n_tiles):
                 if filled >= num_accesses:
                     break
-                addrs[filled] = addr
-                writes[filled] = rng.random() < self.update_writes
+                a_buf.append(addr)
+                w_buf.append(rng.random() < self.update_writes)
                 filled += 1
             k += 1
-        return WarpTrace(gaps=gaps, addrs=addrs, writes=writes)
+            while len(a_buf) >= block_ops:
+                a_block, a_buf = a_buf[:block_ops], a_buf[block_ops:]
+                w_block, w_buf = w_buf[:block_ops], w_buf[block_ops:]
+                end = emitted + block_ops
+                yield (gaps[emitted:end].tolist(), a_block, w_block)
+                emitted = end
+        if a_buf:
+            yield (gaps[emitted:].tolist(), a_buf, w_buf)
+
+    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
+        """Deterministic trace for one warp (materialized adapter)."""
+        from repro.workloads.source import trace_from_blocks
+
+        return trace_from_blocks(self.warp_blocks(warp_global_id, num_accesses))
 
     def traces(self, num_warps: int, accesses_per_warp: int) -> List[WarpTrace]:
         """Traces for ``num_warps`` warps, ``accesses_per_warp`` each."""
@@ -213,36 +235,57 @@ class PointerChaseGenerator:
         # an order no stride predictor can follow.
         return (node * 2_654_435_761 + 0x9E3779B9) % self.num_nodes
 
-    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
-        """Deterministic trace for one warp."""
+    def warp_blocks(
+        self, warp_global_id: int, num_accesses: int, block_ops: int = 2048
+    ) -> Iterator[tuple]:
+        """One warp's stream as ``(gaps, addrs, writes)`` native blocks.
+
+        Generation path (``warp_trace`` concatenates it); the gap
+        vector is drawn whole up front to keep the frozen digests' RNG
+        consumption order, the chase loop streams in blocks.
+        """
         if num_accesses < 1:
             raise ValueError("need at least one access")
         rng = np.random.default_rng((self.seed, warp_global_id))
         gaps = _apki_gaps(rng, self.spec.apki, num_accesses)
-        addrs = np.empty(num_accesses, dtype=np.int64)
-        writes = np.zeros(num_accesses, dtype=bool)
         node = (warp_global_id * 48_271 + 1) % self.num_nodes
         frontier_cursor = (warp_global_id * 40_503) % self.frontier_lines
+        a_buf: list[int] = []
+        w_buf: list[bool] = []
+        emitted = 0
         hops = 0
         filled = 0
         while filled < num_accesses:
             if rng.random() < self.frontier_fraction:
-                addrs[filled] = self.frontier_base + frontier_cursor * self.line_bytes
-                writes[filled] = rng.random() < self.frontier_write_ratio
+                a_buf.append(self.frontier_base + frontier_cursor * self.line_bytes)
+                w_buf.append(rng.random() < self.frontier_write_ratio)
                 frontier_cursor = (frontier_cursor + 1) % self.frontier_lines
                 filled += 1
-                continue
-            line = int(rng.integers(self.node_lines))
-            addrs[filled] = node * self.node_stride + line * self.line_bytes
-            filled += 1
-            hops += 1
-            if hops >= self.chain_length:
-                rank = int(rng.choice(len(self._hub_pmf), p=self._hub_pmf))
-                node = int(self._hub_of_rank[rank])
-                hops = 0
             else:
-                node = self._next_node(node)
-        return WarpTrace(gaps=gaps, addrs=addrs, writes=writes)
+                line = int(rng.integers(self.node_lines))
+                a_buf.append(node * self.node_stride + line * self.line_bytes)
+                w_buf.append(False)
+                filled += 1
+                hops += 1
+                if hops >= self.chain_length:
+                    rank = int(rng.choice(len(self._hub_pmf), p=self._hub_pmf))
+                    node = int(self._hub_of_rank[rank])
+                    hops = 0
+                else:
+                    node = self._next_node(node)
+            if len(a_buf) >= block_ops:
+                end = emitted + block_ops
+                yield (gaps[emitted:end].tolist(), a_buf, w_buf)
+                a_buf, w_buf = [], []
+                emitted = end
+        if a_buf:
+            yield (gaps[emitted:].tolist(), a_buf, w_buf)
+
+    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
+        """Deterministic trace for one warp (materialized adapter)."""
+        from repro.workloads.source import trace_from_blocks
+
+        return trace_from_blocks(self.warp_blocks(warp_global_id, num_accesses))
 
     def traces(self, num_warps: int, accesses_per_warp: int) -> List[WarpTrace]:
         """Traces for ``num_warps`` warps, ``accesses_per_warp`` each."""
@@ -295,13 +338,20 @@ class StreamingScanGenerator:
         self.stride_lines = stride_lines
         self.region_lines = footprint_bytes // line_bytes // num_streams
 
-    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
-        """Deterministic trace for one warp."""
+    def warp_blocks(
+        self, warp_global_id: int, num_accesses: int, block_ops: int = 2048
+    ) -> Iterator[tuple]:
+        """One warp's stream as ``(gaps, addrs, writes)`` native blocks.
+
+        Generation path (``warp_trace`` concatenates it); the gap and
+        write vectors are drawn whole up front to keep the frozen
+        digests' RNG consumption order, the cursor sweep streams in
+        blocks.
+        """
         if num_accesses < 1:
             raise ValueError("need at least one access")
         rng = np.random.default_rng((self.seed, warp_global_id))
         gaps = _apki_gaps(rng, self.spec.apki, num_accesses)
-        addrs = np.empty(num_accesses, dtype=np.int64)
         # The write mix is exact in expectation: a Bernoulli draw per
         # access keeps warps decorrelated while tracking read_fraction.
         writes = rng.random(num_accesses) >= self.read_fraction
@@ -309,12 +359,30 @@ class StreamingScanGenerator:
             (warp_global_id * 40_503 + s * 7_919) % self.region_lines
             for s in range(self.num_streams)
         ]
+        a_buf: list[int] = []
+        emitted = 0
         for idx in range(num_accesses):
             s = idx % self.num_streams
             region_base = s * self.region_lines * self.line_bytes
-            addrs[idx] = region_base + cursors[s] * self.line_bytes
+            a_buf.append(region_base + cursors[s] * self.line_bytes)
             cursors[s] = (cursors[s] + self.stride_lines) % self.region_lines
-        return WarpTrace(gaps=gaps, addrs=addrs, writes=writes)
+            if len(a_buf) >= block_ops:
+                end = emitted + block_ops
+                yield (
+                    gaps[emitted:end].tolist(),
+                    a_buf,
+                    writes[emitted:end].tolist(),
+                )
+                a_buf = []
+                emitted = end
+        if a_buf:
+            yield (gaps[emitted:].tolist(), a_buf, writes[emitted:].tolist())
+
+    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
+        """Deterministic trace for one warp (materialized adapter)."""
+        from repro.workloads.source import trace_from_blocks
+
+        return trace_from_blocks(self.warp_blocks(warp_global_id, num_accesses))
 
     def traces(self, num_warps: int, accesses_per_warp: int) -> List[WarpTrace]:
         """Traces for ``num_warps`` warps, ``accesses_per_warp`` each."""

@@ -13,7 +13,7 @@ irregular gather that gives graph workloads their high APKI and skew
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Iterator, List
 
 import networkx as nx
 import numpy as np
@@ -127,14 +127,16 @@ class GraphTraceGenerator:
         pages, offsets = np.divmod(addrs, self.page_bytes)
         return self._page_scatter[pages] * self.page_bytes + offsets
 
-    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
-        """One warp sweeps its share of the vertex range in order.
+    def warp_blocks(
+        self, warp_global_id: int, num_accesses: int, block_ops: int = 2048
+    ) -> Iterator[tuple]:
+        """One warp's stream as ``(gaps, addrs, writes)`` native blocks.
 
-        This is the vertex-centric kernel pattern: the sweep itself
-        drifts sequentially through vertex properties and adjacency
-        lists (so the hot working set moves over time, sustaining
-        migrations), while neighbour-property gathers concentrate on
-        high-degree hubs (stationary skew, bounded by edge counts).
+        Generation path (``warp_trace`` concatenates it).  The gap
+        vector is drawn whole up front to keep the frozen digests' RNG
+        consumption order; the vertex sweep streams in blocks, with the
+        page scatter applied per block (it is elementwise, so chunked
+        application is value-identical to scattering the whole array).
         """
         rng = np.random.default_rng((self.seed, warp_global_id))
         # Total instructions per access (gap + the memory instruction)
@@ -143,8 +145,6 @@ class GraphTraceGenerator:
         gaps = (
             rng.geometric(p=min(1.0, self.spec.apki / 1000.0), size=num_accesses) - 1
         ).astype(np.int64)
-        addrs = np.empty(num_accesses, dtype=np.int64)
-        writes = np.zeros(num_accesses, dtype=bool)
         write_p = 1.0 - self.spec.read_ratio
         n_vertices = self.csr.num_vertices
         v = (warp_global_id * 65_537) % n_vertices  # spread warp starts
@@ -154,45 +154,73 @@ class GraphTraceGenerator:
         scratch_lines = max(1, (self._footprint_bytes - scratch_base) // self.line_bytes)
         stride_lines = max(1, self.page_bytes // self.line_bytes)
         scratch_cursor = (warp_global_id * 40_503) % scratch_lines
+        a_buf: list[int] = []
+        w_buf: list[bool] = []
+        emitted = 0
         filled = 0
         while filled < num_accesses:
             if rng.random() < self.spec.stream_fraction:
-                addrs[filled] = scratch_base + scratch_cursor * self.line_bytes
-                writes[filled] = rng.random() < 0.5  # queues are written too
+                a_buf.append(scratch_base + scratch_cursor * self.line_bytes)
+                w_buf.append(rng.random() < 0.5)  # queues are written too
                 scratch_cursor = (scratch_cursor + stride_lines + 1) % scratch_lines
                 filled += 1
-                continue
-            # 1. Read this vertex's property line.
-            addrs[filled] = self.csr.vertex_addr(v)
-            filled += 1
-            if filled >= num_accesses:
-                break
-            # 2. Stream the adjacency list (line granular).
-            lo, hi = int(self.csr.indptr[v]), int(self.csr.indptr[v + 1])
-            first = self.csr.edge_addr(lo) // self.line_bytes
-            last = self.csr.edge_addr(max(lo, hi - 1)) // self.line_bytes
-            for line in range(first, last + 1):
-                addrs[filled] = line * self.line_bytes
+            else:
+                # 1. Read this vertex's property line.
+                a_buf.append(self.csr.vertex_addr(v))
+                w_buf.append(False)
                 filled += 1
-                if filled >= num_accesses:
-                    break
-            if filled >= num_accesses:
-                break
-            # 3. Gather a few neighbour properties (hub-biased: low ids
-            #    are the BA graph's oldest, highest-degree vertices).
-            for n in self.csr.indices[lo:hi][:4]:
-                addrs[filled] = self.csr.vertex_addr(int(n))
-                filled += 1
-                if filled >= num_accesses:
-                    break
-            if filled >= num_accesses:
-                break
-            # 4. Update this vertex's entry in the output property array.
-            addrs[filled] = self.csr.aux_addr(v)
-            writes[filled] = rng.random() < min(1.0, write_p * 8)
-            filled += 1
-            v = (v + 1) % n_vertices
-        return WarpTrace(gaps=gaps, addrs=self._scatter(addrs), writes=writes)
+                if filled < num_accesses:
+                    # 2. Stream the adjacency list (line granular).
+                    lo, hi = int(self.csr.indptr[v]), int(self.csr.indptr[v + 1])
+                    first = self.csr.edge_addr(lo) // self.line_bytes
+                    last = self.csr.edge_addr(max(lo, hi - 1)) // self.line_bytes
+                    for line in range(first, last + 1):
+                        a_buf.append(line * self.line_bytes)
+                        w_buf.append(False)
+                        filled += 1
+                        if filled >= num_accesses:
+                            break
+                if filled < num_accesses:
+                    # 3. Gather a few neighbour properties (hub-biased:
+                    #    low ids are the BA graph's oldest,
+                    #    highest-degree vertices).
+                    for n in self.csr.indices[lo:hi][:4]:
+                        a_buf.append(self.csr.vertex_addr(int(n)))
+                        w_buf.append(False)
+                        filled += 1
+                        if filled >= num_accesses:
+                            break
+                if filled < num_accesses:
+                    # 4. Update this vertex's entry in the output
+                    #    property array.
+                    a_buf.append(self.csr.aux_addr(v))
+                    w_buf.append(rng.random() < min(1.0, write_p * 8))
+                    filled += 1
+                    v = (v + 1) % n_vertices
+            while len(a_buf) >= block_ops:
+                a_block, a_buf = a_buf[:block_ops], a_buf[block_ops:]
+                w_block, w_buf = w_buf[:block_ops], w_buf[block_ops:]
+                end = emitted + block_ops
+                scattered = self._scatter(np.asarray(a_block, dtype=np.int64))
+                yield (gaps[emitted:end].tolist(), scattered.tolist(), w_block)
+                emitted = end
+        if a_buf:
+            scattered = self._scatter(np.asarray(a_buf, dtype=np.int64))
+            yield (gaps[emitted:].tolist(), scattered.tolist(), w_buf)
+
+    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
+        """One warp sweeps its share of the vertex range in order.
+
+        This is the vertex-centric kernel pattern: the sweep itself
+        drifts sequentially through vertex properties and adjacency
+        lists (so the hot working set moves over time, sustaining
+        migrations), while neighbour-property gathers concentrate on
+        high-degree hubs (stationary skew, bounded by edge counts).
+        Materialized adapter over :meth:`warp_blocks`.
+        """
+        from repro.workloads.source import trace_from_blocks
+
+        return trace_from_blocks(self.warp_blocks(warp_global_id, num_accesses))
 
     def traces(self, num_warps: int, accesses_per_warp: int) -> List[WarpTrace]:
         return [self.warp_trace(w, accesses_per_warp) for w in range(num_warps)]

@@ -34,10 +34,16 @@ from repro.workloads.families import (
     TiledGemmGenerator,
 )
 from repro.workloads.graphs import GraphTraceGenerator
+from repro.workloads.source import (
+    GeneratedTraceSource,
+    MaterializedTraceSource,
+    TraceSource,
+)
 from repro.workloads.spec import TABLE2, WorkloadDef, WorkloadSpec, make_def
 from repro.workloads.synthetic import SyntheticTraceGenerator, WarpTrace
 from repro.workloads.trace import (
     TRACE_PREFIX,
+    FileTraceSource,
     load_traces,
     read_trace_meta,
     trace_file_digest,
@@ -257,6 +263,149 @@ def build_traces(
         defn, footprint_bytes, num_warps, accesses_per_warp,
         line_bytes, page_bytes, seed,
     )
+
+
+# --------------------------------------------------------------------
+# Streaming resolution: name -> TraceSource (bounded-memory mirror of
+# build_traces; every family streams except where noted)
+# --------------------------------------------------------------------
+
+#: Families whose generator class is instantiated with def params.
+_GENERATOR_CLASSES = {
+    "gemm": TiledGemmGenerator,
+    "pointer": PointerChaseGenerator,
+    "stream": StreamingScanGenerator,
+}
+
+
+def build_source(
+    name_or_def: Union[str, WorkloadDef],
+    footprint_bytes: int,
+    num_warps: int,
+    accesses_per_warp: int,
+    line_bytes: int = 128,
+    page_bytes: int = 4096,
+    seed: int = 7,
+    block_ops: int = None,
+    _depth: int = 0,
+) -> TraceSource:
+    """Resolve a workload to a lazy :class:`TraceSource`.
+
+    The streaming mirror of :func:`build_traces`: same resolution, same
+    family dispatch, but the result yields ``(gaps, addrs, writes)``
+    blocks on demand instead of materialized arrays — peak memory is
+    bounded by per-warp generator state plus one block, not trace
+    length.  Streamed and materialized paths produce value-identical
+    access streams (the golden-fingerprint parity tests pin this).
+
+    ``block_ops`` bounds the lookahead per warp; ``None`` means each
+    source's default (:data:`~repro.workloads.source.DEFAULT_BLOCK_OPS`
+    for generated streams, whole-file record chunks for replays).
+    """
+    defn = (
+        name_or_def
+        if isinstance(name_or_def, WorkloadDef)
+        else get_workload_def(name_or_def)
+    )
+    family = defn.family
+    if family == "trace":
+        # A replay IS the recorded stream: sizing parameters are
+        # ignored by design, and blocks come straight off the file.
+        return FileTraceSource(dict(defn.params)["path"])
+    if family in ("synthetic", "graph"):
+        gen = make_generator(
+            defn.spec, footprint_bytes, line_bytes, page_bytes, seed
+        )
+        return GeneratedTraceSource(
+            gen, num_warps, accesses_per_warp,
+            **({} if block_ops is None else {"block_ops": block_ops}),
+        )
+    if family in _GENERATOR_CLASSES:
+        gen = _GENERATOR_CLASSES[family](
+            defn.spec, footprint_bytes, line_bytes, page_bytes, seed,
+            **defn.param_dict,
+        )
+        return GeneratedTraceSource(
+            gen, num_warps, accesses_per_warp,
+            **({} if block_ops is None else {"block_ops": block_ops}),
+        )
+    if family == "compose":
+        return _compose_source(
+            defn, footprint_bytes, num_warps, accesses_per_warp,
+            line_bytes, page_bytes, seed, block_ops, _depth,
+        )
+    # A family registered with a custom builder but no streaming
+    # counterpart: fall back to materializing through its builder.
+    return MaterializedTraceSource(
+        FAMILIES[family].build(
+            defn, footprint_bytes, num_warps, accesses_per_warp,
+            line_bytes, page_bytes, seed,
+        ),
+        block_ops=block_ops,
+    )
+
+
+def _compose_source(
+    defn: WorkloadDef, footprint_bytes, num_warps, accesses_per_warp,
+    line_bytes, page_bytes, seed, block_ops, _depth,
+) -> TraceSource:
+    """Lazy composition: chain phases / interleave tenants as sources."""
+    if _depth >= _MAX_COMPOSE_DEPTH:
+        raise ValueError(
+            f"{defn.name}: composition nested deeper than {_MAX_COMPOSE_DEPTH} "
+            "(cycle?)"
+        )
+
+    def member_source(name, m_warps, m_accesses):
+        member = get_workload_def(name)
+        if member.family == "trace":
+            # A file member would pay one file pass per composed warp
+            # through blocks(); composed replays are small, so
+            # materialize the member once instead.
+            _meta, traces = load_traces(dict(member.params)["path"])
+            return MaterializedTraceSource(traces, block_ops=block_ops)
+        return build_source(
+            member, footprint_bytes, m_warps, m_accesses,
+            line_bytes, page_bytes, seed,
+            block_ops=block_ops, _depth=_depth + 1,
+        )
+
+    params = defn.param_dict
+    if params["kind"] == "phased":
+        members = params["members"]
+        counts = _compose._split_accesses(
+            [f for _, f in members], accesses_per_warp
+        )
+        sources = [
+            member_source(name, num_warps, count)
+            for (name, _), count in zip(members, counts)
+            if count
+        ]
+        return _compose.PhasedTraceSource(sources)
+    if params["kind"] == "multi_tenant":
+        tenants = params["tenants"]
+        if num_warps < len(tenants):
+            raise ValueError(
+                f"need at least {len(tenants)} warps for {len(tenants)} tenants"
+            )
+        assignment = _compose.tenant_assignment(
+            [s for _, _, s in tenants], num_warps
+        )
+        warps_per_tenant = [assignment.count(i) for i in range(len(tenants))]
+        for (label, _, share), count in zip(tenants, warps_per_tenant):
+            if count == 0:
+                raise ValueError(
+                    f"tenant {label!r} (share {share}) received 0 of "
+                    f"{num_warps} warps — increase num_warps or its share"
+                )
+        sources = [
+            member_source(member, count, accesses_per_warp)
+            for (_, member, _), count in zip(tenants, warps_per_tenant)
+        ]
+        return _compose.MultiTenantTraceSource(
+            [label for label, _, _ in tenants], sources, assignment
+        )
+    raise ValueError(f"{defn.name}: unknown composition kind {params['kind']!r}")
 
 
 # --------------------------------------------------------------------

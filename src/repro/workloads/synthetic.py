@@ -156,8 +156,18 @@ class SyntheticTraceGenerator:
             rng.permutation(self.num_pages) for _ in range(self.num_epochs)
         ]
 
-    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
-        """Deterministic trace for one warp."""
+    def warp_blocks(
+        self, warp_global_id: int, num_accesses: int, block_ops: int = 2048
+    ) -> Iterator[tuple]:
+        """One warp's stream as ``(gaps, addrs, writes)`` native blocks.
+
+        This is the generation path; :meth:`warp_trace` concatenates it.
+        The gap and write vectors are drawn whole up front — the frozen
+        workload digests pin the RNG consumption order (all gaps, then
+        all writes, then the address loop), which per-chunk regeneration
+        would reorder — so the per-warp transient is ~9 B/access; the
+        address loop itself streams in ``block_ops``-sized slices.
+        """
         if num_accesses < 1:
             raise ValueError("need at least one access")
         rng = np.random.default_rng((self.seed, warp_global_id))
@@ -167,7 +177,6 @@ class SyntheticTraceGenerator:
         gaps = (
             rng.geometric(p=min(1.0, self.spec.apki / 1000.0), size=num_accesses) - 1
         ).astype(np.int64)
-        addrs = np.empty(num_accesses, dtype=np.int64)
         writes = rng.random(num_accesses) >= self.spec.read_ratio
         run_p = min(1.0, 1.0 / self.spec.seq_run_mean)
         epoch_len = max(1, num_accesses // self.num_epochs)
@@ -179,33 +188,51 @@ class SyntheticTraceGenerator:
         total_lines = self.footprint_bytes // self.line_bytes
         stride_lines = max(1, self.page_bytes // self.line_bytes)
         stream_cursor = (warp_global_id * 40_503) % total_lines
+        buf: list[int] = []
+        emitted = 0
         filled = 0
         while filled < num_accesses:
             if rng.random() < self.spec.stream_fraction:
-                addrs[filled] = stream_cursor * self.line_bytes
+                buf.append(stream_cursor * self.line_bytes)
                 stream_cursor = (stream_cursor + stride_lines + 1) % total_lines
                 filled += 1
-                continue
             # Temporal locality that survived the on-chip caches: revisit
             # a recently touched line.
-            if history and rng.random() < self.spec.temporal_reuse:
-                addrs[filled] = history[int(rng.integers(len(history)))]
+            elif history and rng.random() < self.spec.temporal_reuse:
+                buf.append(history[int(rng.integers(len(history)))])
                 filled += 1
-                continue
-            epoch = min(filled // epoch_len, self.num_epochs - 1)
-            rank = rng.choice(self.num_pages, p=self._pmf)
-            page = int(self._page_of_rank_by_epoch[epoch][rank])
-            run = min(int(rng.geometric(run_p)), num_accesses - filled)
-            start_line = int(rng.integers(self.lines_per_page))
-            base = page * self.page_bytes
-            for i in range(run):
-                line = (start_line + i) % self.lines_per_page
-                addrs[filled] = base + line * self.line_bytes
-                history.append(addrs[filled])
-                filled += 1
-            if len(history) > 32:
-                del history[: len(history) - 32]
-        return WarpTrace(gaps=gaps, addrs=addrs, writes=writes)
+            else:
+                epoch = min(filled // epoch_len, self.num_epochs - 1)
+                rank = rng.choice(self.num_pages, p=self._pmf)
+                page = int(self._page_of_rank_by_epoch[epoch][rank])
+                run = min(int(rng.geometric(run_p)), num_accesses - filled)
+                start_line = int(rng.integers(self.lines_per_page))
+                base = page * self.page_bytes
+                for i in range(run):
+                    line = (start_line + i) % self.lines_per_page
+                    addr = base + line * self.line_bytes
+                    buf.append(addr)
+                    history.append(addr)
+                    filled += 1
+                if len(history) > 32:
+                    del history[: len(history) - 32]
+            while len(buf) >= block_ops:
+                block, buf = buf[:block_ops], buf[block_ops:]
+                end = emitted + block_ops
+                yield (
+                    gaps[emitted:end].tolist(),
+                    block,
+                    writes[emitted:end].tolist(),
+                )
+                emitted = end
+        if buf:
+            yield (gaps[emitted:].tolist(), buf, writes[emitted:].tolist())
+
+    def warp_trace(self, warp_global_id: int, num_accesses: int) -> WarpTrace:
+        """Deterministic trace for one warp (materialized adapter)."""
+        from repro.workloads.source import trace_from_blocks
+
+        return trace_from_blocks(self.warp_blocks(warp_global_id, num_accesses))
 
     def traces(self, num_warps: int, accesses_per_warp: int) -> List[WarpTrace]:
         return [self.warp_trace(w, accesses_per_warp) for w in range(num_warps)]

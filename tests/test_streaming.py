@@ -1,0 +1,451 @@
+"""Streaming trace pipeline: parity, edge cases, stages, memory.
+
+The contract under test (DESIGN.md section 12): every producer and
+consumer of warp accesses speaks the bounded-lookahead block iterator
+(``TraceSource`` / ``WarpStream``), and the streamed path is
+**bit-identical** to the materialized one — same access values, same
+``RunResult`` fingerprints — while holding O(warps x block) memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import MemoryMode, default_config
+from repro.harness import executor
+from repro.harness.executor import RunConfig, SimulationJob, execute_job
+from repro.workloads.registry import (
+    REGISTRY,
+    build_source,
+    build_traces,
+    get_workload_def,
+)
+from repro.workloads.source import (
+    GeneratedTraceSource,
+    MaterializedTraceSource,
+    TraceSource,
+    WarpStream,
+    materialize,
+)
+from repro.workloads.trace import (
+    ChunkedTraceWriter,
+    FileTraceSource,
+    TraceFormatError,
+    TraceMeta,
+    load_traces,
+    save_stream,
+)
+
+ROOT = pathlib.Path(__file__).parent.parent
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_fingerprints.json"
+
+#: Small sizing shared by the parity sweep: big enough that chunked
+#: generation crosses several block boundaries at ``block_ops=7``.
+WARPS, ACCESSES = 6, 25
+
+
+def _small_source(name, block_ops=7):
+    defn = get_workload_def(name)
+    cfg = default_config()
+    return build_source(
+        defn,
+        defn.spec.scaled_footprint(cfg.scale_down),
+        num_warps=WARPS,
+        accesses_per_warp=ACCESSES,
+        line_bytes=cfg.gpu.line_bytes,
+        page_bytes=cfg.hetero.page_bytes,
+        seed=7,
+        block_ops=block_ops,
+    )
+
+
+def _small_traces(name):
+    defn = get_workload_def(name)
+    cfg = default_config()
+    return build_traces(
+        defn,
+        defn.spec.scaled_footprint(cfg.scale_down),
+        num_warps=WARPS,
+        accesses_per_warp=ACCESSES,
+        line_bytes=cfg.gpu.line_bytes,
+        page_bytes=cfg.hetero.page_bytes,
+        seed=7,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Streamed vs materialized parity — every registered family
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_streamed_equals_materialized(name):
+    """materialize(build_source(...)) == build_traces(...), per warp.
+
+    ``block_ops=7`` forces many small blocks (25 accesses -> 4 blocks
+    per warp), so any RNG-order or chunk-boundary divergence between
+    the streamed generators and the classic builders shows up.
+    """
+    classic = _small_traces(name)
+    streamed = materialize(_small_source(name))
+    assert len(streamed) == len(classic)
+    for got, want in zip(streamed, classic):
+        assert got.digest() == want.digest()
+        assert got.tenant == want.tenant
+
+
+def test_source_is_restreamable():
+    """A second streams() call replays the identical trace."""
+    source = _small_source("pagerank")
+    first = [t.digest() for t in materialize(source)]
+    second = [t.digest() for t in materialize(source)]
+    assert first == second
+
+
+def test_golden_jobs_streamed_parity(monkeypatch):
+    """Forced streaming (threshold 0: spill + file replay) reproduces
+    the checked-in golden fingerprints bit-identically."""
+    golden = json.loads(GOLDEN.read_text())
+    monkeypatch.setenv("REPRO_STREAM_OPS_THRESHOLD", "0")
+    run = RunConfig(num_warps=24, accesses_per_warp=24)
+    for key in ("Origin/pagerank/planar", "Ohm-BW/backp/two_level"):
+        platform, workload, mode = key.split("/")
+        result = execute_job(
+            SimulationJob(platform, workload, MemoryMode(mode), run)
+        )
+        assert result.fingerprint() == golden[key]
+
+
+# ---------------------------------------------------------------------------
+# WarpStream edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_empty_stream_reports_problem():
+    stream = WarpStream(0, iter([]))
+    assert stream.next_block() is None
+    assert len(stream) == 0
+    assert stream.well_formed()  # "ends without a single op"
+
+
+def test_single_op_stream():
+    stream = WarpStream(0, iter([([3], [128], [True])]))
+    assert stream.next_block() == ([3], [128], [True])
+    assert stream.next_block() is None
+    assert len(stream) == 1
+    assert not stream.well_formed()
+
+
+def test_misaligned_block_truncates_to_aligned_prefix():
+    problems = []
+    stream = WarpStream(0, iter([([1, 2], [10, 20, 30], [False, False])]))
+    stream.on_problem = lambda w, msg: problems.append((w, msg))
+    gaps, addrs, writes = stream.next_block()
+    assert len(gaps) == len(addrs) == len(writes) == 2
+    assert problems and problems[0][0] == 0
+
+
+def test_empty_warp_simulates_as_finished():
+    """A source containing an empty warp (what `trace filter` leaves
+    behind) runs: the empty warp retires nothing, the rest proceed."""
+    from repro.core.platforms import PLATFORMS
+    from repro.gpu.gpu import GpuModel
+
+    class OneEmpty(TraceSource):
+        num_warps = 2
+
+        def blocks(self, warp_id):
+            if warp_id == 0:
+                return iter([])
+            return iter([([0, 1], [0, 128], [False, True])])
+
+    defn = get_workload_def("pagerank")
+    cfg = default_config()
+    result = GpuModel(PLATFORMS["Hetero"], cfg, defn.spec, OneEmpty()).run()
+    assert result.instructions == 3  # gaps (0+1) + 2 memory ops
+
+
+def test_early_termination_raises_with_unfinished_warps():
+    from repro.core.platforms import PLATFORMS
+    from repro.gpu.gpu import GpuModel
+
+    defn = get_workload_def("pagerank")
+    cfg = default_config()
+    model = GpuModel(
+        PLATFORMS["Hetero"], cfg, defn.spec, _small_source("pagerank")
+    )
+    with pytest.raises(RuntimeError, match="unfinished"):
+        model.run(max_events=3)
+
+
+# ---------------------------------------------------------------------------
+# Chunked (v2) file round trip
+# ---------------------------------------------------------------------------
+
+
+def _meta(num_warps, workload="pagerank"):
+    defn = get_workload_def(workload)
+    return TraceMeta(
+        workload=workload,
+        platform="T",
+        mode="planar",
+        line_bytes=128,
+        num_warps=num_warps,
+        spec=defn.spec,
+    )
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".jsonl.gz"])
+def test_save_stream_round_trip(tmp_path, suffix):
+    """save_stream -> FileTraceSource reproduces the exact trace,
+    plain and gzipped."""
+    path = tmp_path / f"t{suffix}"
+    source = _small_source("pagerank")
+    save_stream(path, _meta(WARPS), source)
+    meta, traces = load_traces(path)
+    classic = _small_traces("pagerank")
+    assert meta.num_warps == WARPS
+    assert [t.digest() for t in traces] == [t.digest() for t in classic]
+
+
+def test_round_trip_preserves_tenants(tmp_path):
+    path = tmp_path / "mix.jsonl"
+    source = _small_source("mix_gemm_chase")
+    save_stream(path, _meta(WARPS, "mix_gemm_chase"), source)
+    _, traces = load_traces(path)
+    classic = _small_traces("mix_gemm_chase")
+    assert [t.tenant for t in traces] == [t.tenant for t in classic]
+    assert any(t.tenant for t in traces)
+
+
+def test_truncated_v2_file_is_an_error(tmp_path):
+    path = tmp_path / "cut.jsonl"
+    source = _small_source("pagerank")
+    save_stream(path, _meta(WARPS), source)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-2]) + "\n")  # drop end markers
+    with pytest.raises(TraceFormatError, match="no end marker"):
+        materialize(FileTraceSource(path))
+
+
+def test_stdin_source_is_single_shot(tmp_path):
+    path = tmp_path / "t.jsonl"
+    save_stream(path, _meta(WARPS), _small_source("pagerank"))
+    with open(path) as fh:
+        source = FileTraceSource(fh, label="<pipe>")
+        source.streams()
+        with pytest.raises(RuntimeError, match="once"):
+            source.streams()
+
+
+# ---------------------------------------------------------------------------
+# Executor regimes: memo, spill, replay
+# ---------------------------------------------------------------------------
+
+
+def _fresh_stats(monkeypatch):
+    for k in executor.TRACE_STATS:
+        monkeypatch.setitem(executor.TRACE_STATS, k, 0)
+
+
+def test_spill_built_once_then_reused(monkeypatch):
+    _fresh_stats(monkeypatch)
+    monkeypatch.setenv("REPRO_STREAM_OPS_THRESHOLD", "0")
+    monkeypatch.setattr(executor, "_SPILL_FILES", {})
+    run = RunConfig(num_warps=8, accesses_per_warp=16)
+    job = SimulationJob("Hetero", "pagerank", MemoryMode.PLANAR, run)
+    a = execute_job(job)
+    b = execute_job(job)
+    assert a.fingerprint() == b.fingerprint()
+    assert executor.TRACE_STATS["spill_builds"] == 1
+    assert executor.TRACE_STATS["spill_hits"] == 1
+
+
+def test_small_jobs_use_the_memo(monkeypatch):
+    _fresh_stats(monkeypatch)
+    monkeypatch.setattr(executor, "_TRACE_MEMO", {})
+    run = RunConfig(num_warps=8, accesses_per_warp=16)
+    job = SimulationJob("Hetero", "pagerank", MemoryMode.PLANAR, run)
+    execute_job(job)
+    execute_job(job)
+    assert executor.TRACE_STATS["memo_builds"] == 1
+    assert executor.TRACE_STATS["memo_hits"] == 1
+
+
+def test_trace_replay_streams_off_the_file(tmp_path, monkeypatch):
+    _fresh_stats(monkeypatch)
+    path = tmp_path / "replay.jsonl"
+    save_stream(path, _meta(WARPS), _small_source("pagerank"))
+    run = RunConfig(num_warps=WARPS, accesses_per_warp=ACCESSES)
+    job = SimulationJob("Hetero", f"trace:{path}", MemoryMode.PLANAR, run)
+    streamed = execute_job(job)
+    assert executor.TRACE_STATS["replay_streams"] == 1
+    # and the replay equals simulating the generated workload directly
+    direct = execute_job(
+        SimulationJob("Hetero", "pagerank", MemoryMode.PLANAR, run)
+    )
+    assert streamed.instructions == direct.instructions
+    assert streamed.exec_time_ps == direct.exec_time_ps
+
+
+# ---------------------------------------------------------------------------
+# `repro trace` pipeline stages (subprocess, real pipes)
+# ---------------------------------------------------------------------------
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return env
+
+
+def _record(tmp_path):
+    path = tmp_path / "rec.jsonl"
+    save_stream(path, _meta(WARPS), _small_source("pagerank"))
+    return path
+
+
+def test_stage_pipeline_through_real_pipes(tmp_path):
+    """cat | filter | remap | head | run --stdin-trace exits 0 and
+    prints a fingerprint — the full composable-pipeline contract."""
+    path = _record(tmp_path)
+    shell = (
+        f"{sys.executable} -m repro.cli trace cat {path}"
+        f" | {sys.executable} -m repro.cli trace filter --warps 0-3"
+        f" | {sys.executable} -m repro.cli trace remap --offset 4096 --wrap 1048576"
+        f" | {sys.executable} -m repro.cli trace head --ops 10"
+        f" | {sys.executable} -m repro.cli run --platform Hetero --stdin-trace"
+    )
+    proc = subprocess.run(
+        ["sh", "-c", shell], capture_output=True, text=True, env=_cli_env()
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "fingerprint" in proc.stdout
+
+
+def test_cat_stdin_trace_reproduces_recorded_fingerprint(tmp_path):
+    """Identity pipeline: cat piped into run --stdin-trace simulates
+    the exact recorded stream (same fingerprint both invocations)."""
+    path = _record(tmp_path)
+    shell = (
+        f"{sys.executable} -m repro.cli trace cat {path}"
+        f" | {sys.executable} -m repro.cli run --platform Hetero --stdin-trace"
+    )
+    outs = []
+    for _ in range(2):
+        proc = subprocess.run(
+            ["sh", "-c", shell], capture_output=True, text=True, env=_cli_env()
+        )
+        assert proc.returncode == 0, proc.stderr
+        line = [l for l in proc.stdout.splitlines() if "fingerprint" in l]
+        outs.append(line[0])
+    assert outs[0] == outs[1]
+
+
+def test_scale_repeat_multiplies_ops(tmp_path):
+    path = _record(tmp_path)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", "scale",
+         "--repeat", "3", str(path)],
+        capture_output=True, text=True, env=_cli_env(),
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = tmp_path / "x3.jsonl"
+    out.write_text(proc.stdout)
+    _, traces = load_traces(out)
+    assert sum(len(t) for t in traces) == 3 * WARPS * ACCESSES
+
+
+def test_filter_drops_warps_but_keeps_count(tmp_path):
+    path = _record(tmp_path)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", "filter",
+         "--warps", "0,2", str(path)],
+        capture_output=True, text=True, env=_cli_env(),
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = tmp_path / "f.jsonl"
+    out.write_text(proc.stdout)
+    meta, traces = load_traces(out)
+    assert meta.num_warps == WARPS  # SM placement preserved
+    assert [len(t) for t in traces] == [
+        ACCESSES if w in (0, 2) else 0 for w in range(WARPS)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Memory: streaming consumes less than materializing
+# ---------------------------------------------------------------------------
+
+
+def test_streaming_peak_allocation_below_materialized():
+    """tracemalloc peak of block-by-block consumption sits well under
+    the peak of materializing the same trace (32 warps x 2000 ops)."""
+    import tracemalloc
+
+    def measure(fn):
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    defn = get_workload_def("stream_scan")
+    cfg = default_config()
+    kwargs = dict(
+        num_warps=32,
+        accesses_per_warp=2000,
+        line_bytes=cfg.gpu.line_bytes,
+        page_bytes=cfg.hetero.page_bytes,
+        seed=7,
+    )
+    footprint = defn.spec.scaled_footprint(cfg.scale_down)
+
+    def streamed():
+        for stream in build_source(defn, footprint, **kwargs).streams():
+            while stream.next_block() is not None:
+                pass
+
+    def materialized():
+        build_traces(defn, footprint, **kwargs)
+
+    peak_streamed = measure(streamed)
+    peak_materialized = measure(materialized)
+    assert peak_streamed < 0.8 * peak_materialized, (
+        f"streamed peak {peak_streamed} not below materialized "
+        f"{peak_materialized}"
+    )
+
+
+def test_filtered_trace_validates_cleanly(tmp_path):
+    """v2-declared empty warps (filter output) pass strict validation;
+    generated empty streams still flag a problem."""
+    from repro.core.platforms import PLATFORMS
+    from repro.gpu.gpu import GpuModel
+    from repro.sim.audit import Auditor
+
+    path = tmp_path / "f.jsonl"
+    save_stream(path, _meta(WARPS), _small_source("pagerank"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", "filter",
+         "--warps", "0-2", str(path)],
+        capture_output=True, text=True, env=_cli_env(),
+    )
+    assert proc.returncode == 0, proc.stderr
+    filtered = tmp_path / "half.jsonl"
+    filtered.write_text(proc.stdout)
+    defn = get_workload_def("pagerank")
+    cfg = default_config()
+    auditor = Auditor(strict=True)
+    GpuModel(
+        PLATFORMS["Hetero"], cfg, defn.spec,
+        FileTraceSource(filtered), auditor=auditor,
+    ).run()  # must not raise: emptiness was declared by end markers
