@@ -60,6 +60,7 @@ fingerprints show.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from pathlib import Path
@@ -1008,6 +1009,137 @@ def cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_SERVICE_ROOT = ".repro-service"
+DEFAULT_SERVICE_SOCKET = str(Path(DEFAULT_SERVICE_ROOT) / "serve.sock")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """`repro serve`: the simulation service daemon (blocking)."""
+    from repro.harness.service import ServiceError, serve
+
+    _enable_log("repro.service")
+    _enable_log("repro.batch")
+    address = args.socket or str(Path(args.root) / "serve.sock")
+    try:
+        return serve(
+            args.root, address, ttl_s=args.lease_ttl, poll_s=args.poll
+        )
+    except (ServiceError, OSError) as exc:
+        raise SystemExit(f"repro: serve: {exc}")
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """`repro worker`: lease and execute shards from a service root."""
+    from repro.harness.service import run_worker
+
+    _enable_log("repro.service")
+    _enable_log("repro.batch")
+    cache = None
+    if args.cache_dir:
+        try:
+            cache = ResultCache(args.cache_dir)
+        except OSError as exc:
+            raise SystemExit(f"repro: --cache-dir: {exc}")
+    stats = run_worker(
+        args.root,
+        args.owner,
+        ttl_s=args.lease_ttl,
+        poll_s=args.poll,
+        drain=args.drain,
+        throttle_s=args.throttle,
+        executor=make_executor(args.jobs),
+        cache=cache,
+        max_shards=args.max_shards,
+    )
+    print(stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _submit_jobs(args: argparse.Namespace) -> list:
+    """The job list a `repro submit` invocation describes."""
+    from repro.harness.executor import SimulationJob
+    from repro.harness.experiments import batch_jobs_for
+
+    if args.stdin_jobs:
+        jobs = []
+        for lineno, line in enumerate(sys.stdin, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                jobs.append(SimulationJob.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise SystemExit(
+                    f"repro: --stdin-jobs line {lineno}: {exc}"
+                )
+        return jobs
+    return batch_jobs_for(tuple(args.experiments), _run_config(args))
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """`repro submit`: send a job list to the service daemon."""
+    from repro.harness.service import ServiceClient, ServiceError
+
+    jobs = _submit_jobs(args)
+    if not jobs:
+        raise SystemExit(
+            "repro: nothing to submit (analytic experiments have no "
+            "simulations; pipe NDJSON job records with --stdin-jobs)"
+        )
+    client = ServiceClient(args.connect)
+    try:
+        resp = client.submit(
+            jobs,
+            shard_size=args.shard_size,
+            label=args.label or ",".join(args.experiments),
+        )
+    except (OSError, ServiceError) as exc:
+        raise SystemExit(f"repro: cannot reach service at {args.connect}: {exc}")
+    if not resp.get("ok"):
+        err = resp.get("error", {})
+        raise SystemExit(
+            f"repro: submit rejected ({err.get('type')}): {err.get('message')}"
+        )
+    state = "attached to existing batch" if resp.get("existing") else "submitted"
+    print(
+        f"{state} {resp['batch'][:16]} "
+        f"({resp['jobs']} jobs, {resp['shards']} shards, "
+        f"{resp['done']} shards already done)",
+        file=sys.stderr,
+    )
+    print(resp["batch"])
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """`repro watch`: tail a batch's completed shards as NDJSON."""
+    from repro.harness.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.connect)
+    last = None
+    try:
+        for rec in client.watch(
+            args.batch,
+            results=not args.no_results,
+            timeout_s=args.timeout,
+        ):
+            last = rec
+            print(json.dumps(rec, sort_keys=True), flush=True)
+    except (OSError, ServiceError) as exc:
+        raise SystemExit(f"repro: cannot reach service at {args.connect}: {exc}")
+    except BrokenPipeError:
+        # Downstream stage (head, jq) closed the pipe: a clean exit,
+        # matching the `repro trace` stage conventions.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    if last is None or last.get("ok") is False:
+        return 1
+    return 0 if last.get("event") == "done" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Assemble the argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -1279,6 +1411,132 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what would be removed without removing it",
     )
     p_s_gc.set_defaults(fn=cmd_store_gc)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="simulation service daemon: NDJSON submissions over a socket",
+    )
+    p_serve.add_argument(
+        "--root", default=DEFAULT_SERVICE_ROOT,
+        help="batch root shared with the workers "
+        f"(default: {DEFAULT_SERVICE_ROOT})",
+    )
+    p_serve.add_argument(
+        "--socket", default=None,
+        help="listen address: a unix socket path, unix:<path>, or "
+        "host:port / tcp:host:port (default: <root>/serve.sock)",
+    )
+    p_serve.add_argument(
+        "--lease-ttl", type=float, default=30.0,
+        help="seconds a worker lease survives without a heartbeat "
+        "before its shard is reclaimable (default: 30)",
+    )
+    p_serve.add_argument(
+        "--poll", type=float, default=0.2,
+        help="journal poll interval for watch streams (default: 0.2s)",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="execute leased shards from a shared service root",
+    )
+    p_worker.add_argument(
+        "--root", default=DEFAULT_SERVICE_ROOT,
+        help="batch root shared with the daemon and other workers "
+        f"(default: {DEFAULT_SERVICE_ROOT})",
+    )
+    p_worker.add_argument(
+        "--owner", default=None,
+        help="lease owner id (default: host-pid-random, always unique)",
+    )
+    p_worker.add_argument(
+        "--lease-ttl", type=float, default=30.0,
+        help="lease TTL in seconds; must match the fleet's (default: 30)",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="idle poll interval between root scans (default: 0.5s)",
+    )
+    p_worker.add_argument(
+        "--drain", action="store_true",
+        help="exit once every discovered batch is complete instead of "
+        "polling for new submissions forever",
+    )
+    p_worker.add_argument(
+        "--throttle", type=float, default=0.0,
+        help="sleep this many seconds after every executed job "
+        "(rate-limit on shared machines; default: 0)",
+    )
+    p_worker.add_argument(
+        "--jobs", type=int, default=1,
+        help="executor processes for each leased shard (default: 1)",
+    )
+    p_worker.add_argument(
+        "--max-shards", type=_positive_int, default=None,
+        help="stop after executing this many shards",
+    )
+    p_worker.add_argument(
+        "--cache-dir", default=None,
+        help="override the shared result cache (default: <root>/cache)",
+    )
+    p_worker.set_defaults(fn=cmd_worker)
+
+    p_submit = sub.add_parser(
+        "submit", help="send a job matrix to the service daemon"
+    )
+    p_submit.add_argument(
+        "--experiment", dest="experiments", nargs="+", default=[],
+        choices=list(EXPERIMENTS), metavar="NAME",
+        help="experiments whose simulation matrices to submit "
+        "(union, deduplicated)",
+    )
+    p_submit.add_argument(
+        "--stdin-jobs", action="store_true",
+        help="read NDJSON job records (SimulationJob.to_dict shape) "
+        "from stdin instead of expanding experiments",
+    )
+    p_submit.add_argument(
+        "--connect", default=DEFAULT_SERVICE_SOCKET,
+        help="daemon address: socket path, unix:<path> or host:port "
+        f"(default: {DEFAULT_SERVICE_SOCKET})",
+    )
+    p_submit.add_argument(
+        "--shard-size", type=_positive_int, default=DEFAULT_SHARD_SIZE,
+        help=f"jobs per leased shard (default: {DEFAULT_SHARD_SIZE})",
+    )
+    p_submit.add_argument("--label", default=None, help="batch label")
+    p_submit.add_argument("--warps", type=int, default=96)
+    p_submit.add_argument("--accesses", type=int, default=64)
+    p_submit.add_argument("--quick", action="store_true", help="small fast run")
+    p_submit.add_argument(
+        "--validate", action="store_true",
+        help="submit the jobs with the invariant audit armed",
+    )
+    p_submit.set_defaults(fn=cmd_submit)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="stream a batch's completed shards as NDJSON (tails live)",
+    )
+    p_watch.add_argument(
+        "batch", help="batch id (any unambiguous prefix) or b-<dir> name"
+    )
+    p_watch.add_argument(
+        "--connect", default=DEFAULT_SERVICE_SOCKET,
+        help="daemon address: socket path, unix:<path> or host:port "
+        f"(default: {DEFAULT_SERVICE_SOCKET})",
+    )
+    p_watch.add_argument(
+        "--no-results", action="store_true",
+        help="emit only shard records, not per-job result rows",
+    )
+    p_watch.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up (exit 1) after this many seconds without "
+        "completion (default: wait forever)",
+    )
+    p_watch.set_defaults(fn=cmd_watch)
 
     p_exp = sub.add_parser("experiment", help="regenerate a figure/table")
     p_exp.add_argument("name", choices=list(EXPERIMENTS))

@@ -1,8 +1,9 @@
-"""Experiment harness: a four-layer service (executors -> persistent
-cache -> declarative registry -> sharded batch scheduler) that runs
-platform x workload x mode matrices, regenerates every table and figure
-of the paper's evaluation, and survives being killed mid-batch.  See
-DESIGN.md."""
+"""Experiment harness: a five-layer service (executors -> persistent
+cache -> declarative registry -> sharded batch scheduler -> simulation
+service daemon) that runs platform x workload x mode matrices,
+regenerates every table and figure of the paper's evaluation, survives
+being killed mid-batch, and serves live job traffic over a socket with
+leased multi-process workers.  See DESIGN.md."""
 
 from repro.harness.batch import (
     BatchError,
@@ -28,6 +29,17 @@ from repro.harness.registry import (
 )
 from repro.harness.report import emit_csv, emit_json, format_table
 from repro.harness.runner import Runner
+from repro.harness.service import (
+    LeaseLost,
+    LeaseManager,
+    ReproService,
+    ServiceClient,
+    ServiceError,
+    WorkerStats,
+    run_worker,
+    serve,
+    service_status,
+)
 from repro.harness.store import ResultStore, StoreEntry
 
 __all__ = [
@@ -39,6 +51,15 @@ __all__ = [
     "plan_shards",
     "ResultStore",
     "StoreEntry",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "LeaseManager",
+    "LeaseLost",
+    "WorkerStats",
+    "run_worker",
+    "serve",
+    "service_status",
     "RunConfig",
     "SimulationJob",
     "SerialExecutor",

@@ -383,7 +383,102 @@ class BatchRun:
             completed_jobs=sum(len(self.shards[i]) for i in done),
         )
 
+    def pending_shards(self) -> List[int]:
+        """Shard indices the journal does not cover yet, in plan order."""
+        done = self.completed_shards()
+        return [i for i in range(len(self.shards)) if i not in done]
+
     # -- execution ----------------------------------------------------
+
+    def run_shard(
+        self,
+        idx: int,
+        executor: Optional[object] = None,
+        cache: Optional[ResultCache] = None,
+        *,
+        collect: Optional[Dict[SimulationJob, RunResult]] = None,
+        annotate: Optional[dict] = None,
+        on_result: Optional[Callable[[SimulationJob, RunResult], None]] = None,
+        journaled: bool = False,
+    ) -> Optional[ShardDone]:
+        """Execute one shard (cache-probe first) and journal it.
+
+        This is the single shard-execution primitive shared by
+        :meth:`run` and the service worker (``harness/service.py``),
+        which executes exactly the one shard it holds a lease on.
+
+        Jobs the cache already holds are skipped (a shard whose
+        executor died mid-way re-runs only its missing jobs); the rest
+        go through ``executor.run_jobs``, each result is persisted to
+        ``cache`` as it lands, and only then is the shard journaled —
+        a journal record means "all results of this shard are durable".
+        With ``journaled=True`` (the caller saw a journal record for
+        this shard) and every result still cached, the shard is skipped
+        entirely and ``None`` is returned.
+
+        ``collect`` gathers every result (probed or executed) so the
+        caller merges without a second cache read per job.  ``annotate``
+        merges extra fields (worker id, reclaim provenance) into the
+        journal record.  ``on_result(job, result)`` fires after each
+        *executed* job's result is persisted — the worker's lease
+        heartbeat lives there; an exception from it (e.g. the lease was
+        lost) aborts the shard *before* the journal append, so a
+        half-run shard is never marked done.
+        """
+        executor = executor or SerialExecutor()
+        cache = cache if cache is not None else self.default_cache()
+        shard = self.shards[idx]
+        total = len(self.shards)
+        t0 = time.perf_counter()
+        pending = []
+        for job in shard:
+            result = cache.get(job)
+            if result is None:
+                pending.append(job)
+            elif collect is not None:
+                collect[job] = result
+        if journaled and not pending:
+            log.info("batch %s: shard %d/%d already journaled; skipping",
+                     self.batch_id[:12], idx + 1, total)
+            return None
+        if journaled:
+            log.warning(
+                "batch %s: shard %d journaled but %d result(s) missing "
+                "from cache %s; re-running the shard",
+                self.batch_id[:12], idx, len(pending), cache.cache_dir,
+            )
+        if pending:
+            def _persist(job: SimulationJob, result: RunResult) -> None:
+                cache.put(job, result)
+                if collect is not None:
+                    collect[job] = result
+                if on_result is not None:
+                    on_result(job, result)
+
+            if on_result is None:
+                # Classic path: executors that predate the on_result
+                # hook (tests subclass them) keep working unchanged.
+                for job, result in zip(pending, executor.run_jobs(pending)):
+                    _persist(job, result)
+            else:
+                executor.run_jobs(pending, on_result=_persist)
+        wall = time.perf_counter() - t0
+        record = {
+            "shard": idx,
+            "jobs": len(shard),
+            "executed": len(pending),
+            "digest": self._shard_digests[idx],
+            "wall_s": round(wall, 6),
+        }
+        if annotate:
+            record.update(annotate)
+        append_jsonl(self.journal_path, record)
+        log.info(
+            "batch %s: shard %d/%d done (%d jobs, %d executed, %.2fs)",
+            self.batch_id[:12], idx + 1, total, len(shard),
+            len(pending), wall,
+        )
+        return ShardDone(idx, total, len(shard), len(pending), wall)
 
     def run(
         self,
@@ -393,14 +488,9 @@ class BatchRun:
     ) -> Dict[SimulationJob, RunResult]:
         """Execute every shard the journal does not already cover.
 
-        Per shard: jobs the cache already holds are skipped (a shard
-        whose executor died mid-way re-runs only its missing jobs), the
-        rest go through ``executor.run_jobs`` as one chunk, every result
-        is persisted to ``cache``, and only then is the shard journaled
-        — the journal is strictly write-ahead of nothing: a record means
-        "all results of this shard are durable".  A journaled shard is
-        skipped only after a cache probe confirms its results are still
-        present — a pruned or mismatched cache directory forces a
+        Per shard this is exactly :meth:`run_shard`; journaled shards
+        are skipped only after a cache probe confirms their results are
+        still present — a pruned or mismatched cache directory forces a
         re-run instead of leaving the batch permanently unresumable.
         Returns the merged results of the whole batch.
         """
@@ -410,50 +500,13 @@ class BatchRun:
         # would strand every result outside the caller's directory.
         cache = cache if cache is not None else self.default_cache()
         done = self.completed_shards()
-        total = len(self.shards)
         merged: Dict[SimulationJob, RunResult] = {}
-        for idx, shard in enumerate(self.shards):
-            journaled = idx in done
-            t0 = time.perf_counter()
-            pending = []
-            for job in shard:
-                result = cache.get(job)
-                if result is None:
-                    pending.append(job)
-                else:
-                    merged[job] = result
-            if journaled and not pending:
-                log.info("batch %s: shard %d/%d already journaled; skipping",
-                         self.batch_id[:12], idx + 1, total)
-                continue
-            if journaled:
-                log.warning(
-                    "batch %s: shard %d journaled but %d result(s) missing "
-                    "from cache %s; re-running the shard",
-                    self.batch_id[:12], idx, len(pending), cache.cache_dir,
-                )
-            if pending:
-                for job, result in zip(pending, executor.run_jobs(pending)):
-                    cache.put(job, result)
-                    merged[job] = result
-            wall = time.perf_counter() - t0
-            append_jsonl(
-                self.journal_path,
-                {
-                    "shard": idx,
-                    "jobs": len(shard),
-                    "executed": len(pending),
-                    "digest": self._shard_digests[idx],
-                    "wall_s": round(wall, 6),
-                },
+        for idx in range(len(self.shards)):
+            shard_done = self.run_shard(
+                idx, executor, cache, collect=merged, journaled=idx in done
             )
-            log.info(
-                "batch %s: shard %d/%d done (%d jobs, %d executed, %.2fs)",
-                self.batch_id[:12], idx + 1, total, len(shard),
-                len(pending), wall,
-            )
-            if progress is not None:
-                progress(ShardDone(idx, total, len(shard), len(pending), wall))
+            if shard_done is not None and progress is not None:
+                progress(shard_done)
         # Every result was collected on the way through (probe or
         # execution) — no second read of N cache files.
         return {job: merged[job] for job in self.jobs}

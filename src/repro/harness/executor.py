@@ -365,18 +365,28 @@ def execute_job_recorded(
 class SerialExecutor:
     """Evaluate jobs one after the other in the calling process."""
 
-    def run_jobs(self, jobs: Sequence[SimulationJob], fn=execute_job) -> List:
+    def run_jobs(
+        self, jobs: Sequence[SimulationJob], fn=execute_job, on_result=None
+    ) -> List:
         """``fn(job)`` per job, in job order; duplicates evaluated once.
 
         ``fn`` defaults to :func:`execute_job`; the audit sweep passes
         :func:`repro.harness.audit.execute_job_audited` to reuse this
         layer for outcome objects other than :class:`RunResult`.
+
+        ``on_result(job, result)``, when given, fires once per *unique*
+        job as its result lands — the service worker uses it to persist
+        each result and refresh its lease heartbeat mid-shard, so a
+        killed worker loses at most one job of progress.  An exception
+        raised by the callback aborts the remaining jobs.
         """
         memo: Dict[SimulationJob, object] = {}
         out = []
         for job in jobs:
             if job not in memo:
                 memo[job] = fn(job)
+                if on_result is not None:
+                    on_result(job, memo[job])
             out.append(memo[job])
         return out
 
@@ -396,19 +406,35 @@ class ParallelExecutor:
             raise ValueError("need at least one worker")
         self.max_workers = max_workers
 
-    def run_jobs(self, jobs: Sequence[SimulationJob], fn=execute_job) -> List:
+    def run_jobs(
+        self, jobs: Sequence[SimulationJob], fn=execute_job, on_result=None
+    ) -> List:
         """``fn(job)`` per job, in job order; duplicates evaluated once.
 
         ``fn`` must be a picklable top-level callable (it crosses the
         process boundary); results must be picklable too.
+
+        ``on_result(job, result)`` fires in the *calling* process as
+        each unique job's result arrives (completion order, not job
+        order).  A callback exception stops consuming results; jobs
+        already in flight run to completion but their results are
+        discarded.
         """
         unique = list(dict.fromkeys(jobs))
         if len(unique) <= 1 or self.max_workers == 1:
-            return SerialExecutor().run_jobs(jobs, fn)
+            return SerialExecutor().run_jobs(jobs, fn, on_result)
         with futures.ProcessPoolExecutor(
             max_workers=min(self.max_workers, len(unique))
         ) as pool:
-            results = dict(zip(unique, pool.map(fn, unique)))
+            if on_result is None:
+                results = dict(zip(unique, pool.map(fn, unique)))
+            else:
+                futs = {pool.submit(fn, job): job for job in unique}
+                results = {}
+                for fut in futures.as_completed(futs):
+                    job = futs[fut]
+                    results[job] = fut.result()
+                    on_result(job, results[job])
         return [results[job] for job in jobs]
 
 

@@ -1,0 +1,935 @@
+"""Simulation-as-a-service: daemon, worker leasing, NDJSON streaming.
+
+Layer 5 of the experiment service (see DESIGN.md section 13).  The
+batch WAL (``harness/batch.py``) already gives exactly-once, crash-safe
+shard semantics for one process; this module turns it into
+infrastructure:
+
+* :func:`serve` — a long-running daemon that accepts job submissions as
+  NDJSON over a Unix or TCP socket, enqueues them through
+  :class:`~repro.harness.batch.BatchRun` (duplicate submissions attach
+  to the existing batch), reports queued/leased/done/crashed counts,
+  and streams completed-shard and per-job result records to ``watch``
+  clients incrementally.
+* :func:`run_worker` — a worker process loop that pulls shards from
+  every batch under a shared root directory.  Workers need no daemon
+  connection at all: coordination is entirely through the filesystem
+  (manifest + WAL + lease files), so any number of workers on this or
+  other hosts sharing the root can drain the same queue.
+* :class:`LeaseManager` — the lease file protocol that makes the above
+  safe.  A lease is acquired with an atomic ``O_CREAT|O_EXCL`` create
+  (one winner per shard, arbitration by the filesystem), kept alive by
+  refreshing the file's mtime, and — once its TTL lapses without a
+  heartbeat — retired by an atomic rename to a crash tombstone, after
+  which the shard is re-leased through the same exclusive-create gate.
+  A SIGKILLed worker's shard is therefore re-executed exactly once, and
+  because every result is persisted through the fingerprint-keyed
+  :class:`~repro.harness.cache.ResultCache` (idempotent atomic writes)
+  even a pathological double-execution converges to identical bits.
+
+Wire protocol (one JSON object per line, both directions)::
+
+    -> {"op": "ping"}
+    <- {"ok": true, "op": "ping", ...}
+    -> {"op": "submit", "jobs": [<job dict>, ...], "shard_size": 16}
+    <- {"ok": true, "op": "submit", "batch": "<id>", "existing": false, ...}
+    -> {"op": "status", "batch": "<prefix, optional>"}
+    <- {"ok": true, "op": "status", "batches": [{queued, leased, ...}]}
+    -> {"op": "watch", "batch": "<prefix>"}
+    <- {"ok": true, "op": "watch", ...}            # header
+    <- {"event": "shard", "shard": 3, ...}         # one per completed shard
+    <- {"event": "result", "fingerprint": ...}     # one per job of the shard
+    <- {"event": "done", ...}                      # stream terminator
+    -> {"op": "shutdown"}
+    <- {"ok": true, "op": "shutdown"}
+
+A malformed request line yields a structured error record
+(``{"ok": false, "error": {"type": ..., "message": ...}}``) on the same
+connection — never a daemon crash — and the connection keeps serving
+subsequent lines.  A client that disconnects mid-``watch`` takes down
+only its own handler thread.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import socket
+import socketserver
+import stat as stat_mod
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.harness.batch import (
+    DEFAULT_SHARD_SIZE,
+    MANIFEST_NAME,
+    BatchError,
+    BatchRun,
+    append_jsonl,
+    batch_id,
+)
+from repro.harness.cache import ResultCache, job_fingerprint
+from repro.harness.executor import SerialExecutor, SimulationJob
+from repro.harness.store import ResultStore
+
+log = logging.getLogger("repro.service")
+
+#: Protocol schema spoken on the socket; responses echo it as "v".
+PROTOCOL_VERSION = 1
+
+#: Default lease time-to-live.  A worker heartbeats after every job, so
+#: the TTL only needs to exceed one job's wall time with margin; a
+#: worker that goes this long without refreshing its lease is presumed
+#: dead and its shard is reclaimed.
+LEASE_TTL_S = 30.0
+
+#: Per-batch NDJSON log of every job a worker actually *executed*
+#: (cache hits are absent).  Appended after the result is durable in
+#: the cache, so a fingerprint can never appear twice: a worker killed
+#: between cache-put and log-append leaves a cached result the
+#: reclaimer reuses instead of re-executing.
+EXECUTIONS_NAME = "executions.jsonl"
+
+_LEASE_DIR = "leases"
+
+
+class ServiceError(RuntimeError):
+    """Service configuration or protocol failure (CLI-reportable)."""
+
+
+class LeaseLost(RuntimeError):
+    """A worker's heartbeat found its lease gone or owned by another."""
+
+
+# --------------------------------------------------------------------
+# Addresses
+# --------------------------------------------------------------------
+
+def parse_address(text: Union[str, Path]) -> Tuple[str, object]:
+    """``("unix", Path)`` or ``("tcp", (host, port))`` from one string.
+
+    Accepted forms: ``unix:/path``, ``tcp:host:port``, ``host:port``
+    (port all digits, no path separators), and anything else is a Unix
+    socket path.  An empty TCP host means loopback.
+    """
+    text = str(text)
+    if text.startswith("unix:"):
+        return ("unix", Path(text[len("unix:"):]))
+    if text.startswith("tcp:"):
+        host, _, port = text[len("tcp:"):].rpartition(":")
+        try:
+            return ("tcp", (host or "127.0.0.1", int(port)))
+        except ValueError:
+            raise ServiceError(f"bad tcp address {text!r}") from None
+    host, sep, port = text.rpartition(":")
+    if sep and port.isdigit() and os.sep not in text:
+        return ("tcp", (host or "127.0.0.1", int(port)))
+    return ("unix", Path(text))
+
+
+def format_address(address: Tuple[str, object]) -> str:
+    kind, target = address
+    if kind == "unix":
+        return f"unix:{target}"
+    host, port = target
+    return f"tcp:{host}:{port}"
+
+
+def default_owner() -> str:
+    """A worker identity unique across hosts, processes and restarts."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+# --------------------------------------------------------------------
+# Lease file protocol
+# --------------------------------------------------------------------
+
+class LeaseManager:
+    """File-based shard leases for one batch directory.
+
+    State machine per shard (files under ``<batch>/leases/``)::
+
+        free     --acquire (O_CREAT|O_EXCL)-->  leased(owner)
+        leased   --heartbeat (mtime refresh)--> leased(owner)
+        leased   --release (owner unlink)---->  free
+        leased   --TTL since last mtime------>  expired(owner)
+        expired  --reclaim (atomic rename to
+                   a crash tombstone)-------->  free   (then re-acquire)
+
+    Arbitration points are all atomic filesystem operations: exactly
+    one creator wins ``O_EXCL``, and exactly one reclaimer's rename of
+    an expired lease succeeds (the losers get ``FileNotFoundError``).
+    A stalled-but-alive owner discovers the loss at its next
+    :meth:`heartbeat` (owner mismatch / file gone) and must abandon the
+    shard without journaling it.
+
+    ``clock`` is injectable (and lease mtimes are *written* from it via
+    ``os.utime``), so the property tests drive arbitrary interleavings
+    of acquire/heartbeat/expire/reclaim under a simulated clock.
+    """
+
+    def __init__(
+        self,
+        batch_dir: Union[str, Path],
+        owner: str,
+        ttl_s: float = LEASE_TTL_S,
+        clock: Callable[[], float] = time.time,
+        create: bool = True,
+    ) -> None:
+        if ttl_s <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.lease_dir = Path(batch_dir) / _LEASE_DIR
+        if create:
+            self.lease_dir.mkdir(parents=True, exist_ok=True)
+        self.owner = owner
+        self.ttl_s = ttl_s
+        self.clock = clock
+
+    def _path(self, shard: int) -> Path:
+        return self.lease_dir / f"shard-{shard:05d}.lease"
+
+    def acquire(self, shard: int) -> bool:
+        """Try to become the shard's single owner; False if leased."""
+        path = self._path(shard)
+        now = self.clock()
+        payload = json.dumps(
+            {"owner": self.owner, "shard": shard, "acquired": now},
+            sort_keys=True,
+        ).encode("utf-8")
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+        try:
+            os.utime(path, (now, now))
+        except FileNotFoundError:
+            # Reclaimed between create and utime — only possible when
+            # the injected clock already says we are past the TTL.
+            return False
+        return True
+
+    def owner_of(self, shard: int) -> Optional[str]:
+        """The lease file's recorded owner, or ``None`` when free."""
+        try:
+            data = json.loads(self._path(shard).read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        owner = data.get("owner")
+        return owner if isinstance(owner, str) else None
+
+    def heartbeat(self, shard: int) -> bool:
+        """Refresh the lease mtime; False means the lease was lost.
+
+        Verify-refresh-verify: if the lease was reclaimed and re-owned
+        between our read and our ``utime``, the second read catches it
+        — we may have gifted the new owner one mtime refresh (which
+        only *extends* their lease), but we never keep believing the
+        shard is ours.
+        """
+        path = self._path(shard)
+        if self.owner_of(shard) != self.owner:
+            return False
+        now = self.clock()
+        try:
+            os.utime(path, (now, now))
+        except FileNotFoundError:
+            return False
+        return self.owner_of(shard) == self.owner
+
+    def expired(self, shard: int) -> bool:
+        """True when the lease exists but its TTL lapsed un-refreshed."""
+        try:
+            st = os.stat(self._path(shard))
+        except FileNotFoundError:
+            return False
+        return self.clock() - st.st_mtime > self.ttl_s
+
+    def reclaim(self, shard: int) -> bool:
+        """Atomically retire an expired lease; True if we won the race.
+
+        The expired lease is renamed to a uniquely-named crash
+        tombstone (kept for accounting — :meth:`crash_count`), so of N
+        concurrent reclaimers exactly one rename succeeds and the rest
+        observe ``FileNotFoundError``.  The winner still has to
+        :meth:`acquire` through the normal exclusive-create gate.
+        """
+        path = self._path(shard)
+        try:
+            st = os.stat(path)
+        except FileNotFoundError:
+            return False
+        if self.clock() - st.st_mtime <= self.ttl_s:
+            return False
+        tomb = self.lease_dir / f"{path.name}.crashed-{uuid.uuid4().hex[:8]}"
+        try:
+            os.rename(path, tomb)
+        except FileNotFoundError:
+            return False
+        log.warning("lease: reclaimed expired shard %d (%s)", shard, path.name)
+        return True
+
+    def release(self, shard: int) -> None:
+        """Free the shard iff we still own it (lost leases are no-ops)."""
+        if self.owner_of(shard) != self.owner:
+            return
+        try:
+            self._path(shard).unlink()
+        except FileNotFoundError:
+            pass
+
+    def state(self, shard: int) -> Tuple[str, Optional[str]]:
+        """``("free"|"leased"|"expired", owner)`` for one shard."""
+        try:
+            st = os.stat(self._path(shard))
+        except FileNotFoundError:
+            return ("free", None)
+        owner = self.owner_of(shard)
+        if self.clock() - st.st_mtime > self.ttl_s:
+            return ("expired", owner)
+        return ("leased", owner)
+
+    def crash_count(self) -> int:
+        """How many leases were ever reclaimed in this batch."""
+        if not self.lease_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.lease_dir.glob("*.crashed-*"))
+
+
+# --------------------------------------------------------------------
+# Status
+# --------------------------------------------------------------------
+
+def service_status(
+    batch: BatchRun,
+    ttl_s: float = LEASE_TTL_S,
+    clock: Callable[[], float] = time.time,
+) -> dict:
+    """Queued/leased/done/crashed shard counts for one batch.
+
+    Every shard is classified exactly once, so
+    ``queued + leased + done + crashed == shards`` at any instant —
+    the stress tests poll this invariant mid-drain.
+    """
+    done = batch.completed_shards()
+    lm = LeaseManager(batch.batch_dir, owner="", ttl_s=ttl_s, clock=clock,
+                      create=False)
+    queued = leased = crashed = 0
+    for idx in range(len(batch.shards)):
+        if idx in done:
+            continue
+        kind, _owner = lm.state(idx)
+        if kind == "leased":
+            leased += 1
+        elif kind == "expired":
+            crashed += 1
+        else:
+            queued += 1
+    return {
+        "batch": batch.batch_id,
+        "dir": batch.batch_dir.name,
+        "label": batch.label,
+        "shards": len(batch.shards),
+        "jobs": len(batch.jobs),
+        "queued": queued,
+        "leased": leased,
+        "done": len(done),
+        "crashed": crashed,
+        "jobs_done": sum(len(batch.shards[i]) for i in done),
+        "executed": sum(int(r.get("executed", 0)) for r in done.values()),
+        "reclaims": lm.crash_count(),
+        "complete": len(done) == len(batch.shards),
+    }
+
+
+# --------------------------------------------------------------------
+# Worker
+# --------------------------------------------------------------------
+
+@dataclass
+class WorkerStats:
+    """What one :func:`run_worker` invocation accomplished."""
+
+    owner: str
+    shards_done: int = 0
+    jobs_executed: int = 0
+    reclaims: int = 0
+    leases_lost: int = 0
+    batches_seen: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"worker {self.owner}: {self.shards_done} shard(s), "
+            f"{self.jobs_executed} job(s) executed, "
+            f"{self.reclaims} reclaim(s), {self.leases_lost} lease(s) lost"
+        )
+
+
+def run_worker(
+    root: Union[str, Path],
+    owner: Optional[str] = None,
+    *,
+    ttl_s: float = LEASE_TTL_S,
+    poll_s: float = 0.5,
+    drain: bool = False,
+    throttle_s: float = 0.0,
+    executor: Optional[object] = None,
+    cache: Optional[ResultCache] = None,
+    max_shards: Optional[int] = None,
+    clock: Callable[[], float] = time.time,
+    stop: Optional[threading.Event] = None,
+    on_shard: Optional[Callable[[BatchRun, int], None]] = None,
+) -> WorkerStats:
+    """Pull and execute leased shards from every batch under ``root``.
+
+    The worker needs nothing but the shared root directory: it
+    discovers batches from their manifests, leases pending shards
+    through :class:`LeaseManager`, executes them through
+    :meth:`BatchRun.run_shard` (cache-probe first, so a reclaimed
+    shard re-runs only the jobs its dead owner never persisted),
+    heartbeats after every executed job, and journals the shard —
+    annotated with its owner id and reclaim provenance — only once all
+    its results are durable.  A lost lease (another worker reclaimed
+    us while we stalled) aborts the shard *before* the journal append.
+
+    ``drain=True`` returns once every discovered batch is complete;
+    otherwise the worker polls forever (service mode) until ``stop``
+    is set.  ``throttle_s`` sleeps after every executed job — a
+    rate-limit for shared boxes that also widens fault-injection
+    windows in the test tier.  ``max_shards`` caps how many shards
+    this call will execute (testing hook).
+    """
+    root = Path(root)
+    owner = owner or default_owner()
+    executor = executor if executor is not None else SerialExecutor()
+    stats = WorkerStats(owner=owner)
+    while not (stop is not None and stop.is_set()):
+        batches = BatchRun.discover(root)
+        stats.batches_seen = max(stats.batches_seen, len(batches))
+        progressed = False
+        incomplete = False
+        for batch in batches:
+            bcache = cache if cache is not None else batch.default_cache()
+            lm = LeaseManager(batch.batch_dir, owner, ttl_s=ttl_s, clock=clock)
+            exec_log = batch.batch_dir / EXECUTIONS_NAME
+            for idx in batch.pending_shards():
+                if stop is not None and stop.is_set():
+                    return stats
+                reclaimed = False
+                if not lm.acquire(idx):
+                    if lm.reclaim(idx):
+                        reclaimed = True
+                        stats.reclaims += 1
+                        if not lm.acquire(idx):
+                            continue  # another worker re-leased first
+                    else:
+                        continue  # validly leased elsewhere (or raced)
+                try:
+                    # Raced: someone journaled this shard between our
+                    # pending scan and our acquire — nothing to do.
+                    if idx in batch.completed_shards():
+                        continue
+
+                    def _on_result(job, result, _idx=idx, _lm=lm):
+                        append_jsonl(exec_log, {
+                            "fp": job_fingerprint(job),
+                            "shard": _idx,
+                            "worker": owner,
+                            "platform": job.platform,
+                            "workload": job.workload,
+                            "mode": job.mode.value,
+                            "seed": job.run_cfg.seed,
+                        })
+                        stats.jobs_executed += 1
+                        if throttle_s > 0:
+                            time.sleep(throttle_s)
+                        if not _lm.heartbeat(_idx):
+                            raise LeaseLost(
+                                f"shard {_idx} lease lost by {owner}"
+                            )
+
+                    annotate = {"worker": owner}
+                    if reclaimed:
+                        annotate["reclaimed"] = True
+                    batch.run_shard(
+                        idx, executor, bcache,
+                        annotate=annotate, on_result=_on_result,
+                    )
+                except LeaseLost as exc:
+                    stats.leases_lost += 1
+                    log.warning("worker %s: %s; abandoning shard", owner, exc)
+                    continue
+                finally:
+                    lm.release(idx)
+                stats.shards_done += 1
+                progressed = True
+                if on_shard is not None:
+                    on_shard(batch, idx)
+                if max_shards is not None and stats.shards_done >= max_shards:
+                    return stats
+            if batch.pending_shards():
+                incomplete = True
+        if drain and not incomplete:
+            # Every discovered batch is fully journaled (or there are
+            # no batches at all): the queue is drained.
+            return stats
+        if not progressed:
+            if stop is not None:
+                if stop.wait(poll_s):
+                    return stats
+            else:
+                time.sleep(poll_s)
+    return stats
+
+
+# --------------------------------------------------------------------
+# Daemon
+# --------------------------------------------------------------------
+
+def _error(err_type: str, message: str, op: Optional[str] = None) -> dict:
+    rec = {"ok": False, "error": {"type": err_type, "message": message}}
+    if op:
+        rec["op"] = op
+    return rec
+
+
+class _Shutdown(Exception):
+    """Raised through dispatch to stop the server loop."""
+
+
+class ReproService:
+    """Request dispatcher for the ``repro serve`` daemon.
+
+    Owns no execution state of its own — every answer is derived from
+    the on-disk batch root (manifests, WAL journals, lease files), so
+    a SIGKILLed daemon restarts exactly where the WAL says the world
+    is: submissions, progress and results all survive.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        ttl_s: float = LEASE_TTL_S,
+        poll_s: float = 0.2,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.ttl_s = ttl_s
+        self.poll_s = poll_s
+        self.started = time.time()
+        self._submit_lock = threading.Lock()
+        self.stopping = threading.Event()
+
+    # -- helpers ------------------------------------------------------
+
+    def _cache_dir(self) -> Path:
+        return self.root / "cache"
+
+    def _resolve_batch(self, prefix) -> Tuple[Optional[BatchRun], Optional[dict]]:
+        if not isinstance(prefix, str) or not prefix:
+            return None, _error("protocol", "a non-empty 'batch' id is required")
+        matches = [
+            b for b in BatchRun.discover(self.root)
+            if b.batch_id.startswith(prefix)
+            or b.batch_dir.name in (prefix, f"b-{prefix}")
+        ]
+        if not matches:
+            return None, _error("unknown-batch", f"no batch matches {prefix!r}")
+        if len(matches) > 1:
+            return None, _error(
+                "ambiguous-batch",
+                f"{len(matches)} batches match {prefix!r}; give more digits",
+            )
+        return matches[0], None
+
+    # -- request handlers (each yields response records) --------------
+
+    def dispatch(self, req: dict) -> Iterator[dict]:
+        op = req.get("op")
+        if op == "ping":
+            yield {
+                "ok": True, "op": "ping", "v": PROTOCOL_VERSION,
+                "root": str(self.root),
+                "uptime_s": round(time.time() - self.started, 3),
+            }
+        elif op == "submit":
+            yield self._submit(req)
+        elif op == "status":
+            yield self._status(req)
+        elif op == "watch":
+            yield from self._watch(req)
+        elif op == "shutdown":
+            raise _Shutdown()
+        else:
+            yield _error("unknown-op", f"unknown op {op!r}")
+
+    def _submit(self, req: dict) -> dict:
+        raw = req.get("jobs")
+        if not isinstance(raw, list) or not raw:
+            return _error("submit", "'jobs' must be a non-empty list", "submit")
+        shard_size = req.get("shard_size", DEFAULT_SHARD_SIZE)
+        if not isinstance(shard_size, int) or shard_size < 1:
+            return _error("submit", "'shard_size' must be an int >= 1", "submit")
+        try:
+            jobs = [SimulationJob.from_dict(d) for d in raw]
+        except Exception as exc:
+            return _error("bad-job", f"unparseable job description: {exc}",
+                          "submit")
+        label = str(req.get("label", ""))
+        try:
+            with self._submit_lock:
+                # Fingerprinting resolves every workload — unknown
+                # names or missing trace files surface here, as a
+                # structured error record, not a daemon crash.
+                bid = batch_id(jobs, shard_size)
+                existing = (
+                    self.root / f"b-{bid[:16]}" / MANIFEST_NAME
+                ).exists()
+                batch = BatchRun.open(
+                    self.root, jobs, shard_size=shard_size, label=label
+                )
+        except (BatchError, KeyError, ValueError, TypeError, OSError) as exc:
+            return _error("submit", str(exc), "submit")
+        status = service_status(batch, ttl_s=self.ttl_s)
+        log.info("submit: batch %s (%d jobs, %d shards, existing=%s)",
+                 batch.batch_id[:12], len(batch.jobs), len(batch.shards),
+                 existing)
+        return {
+            "ok": True, "op": "submit", "v": PROTOCOL_VERSION,
+            "batch": batch.batch_id, "dir": batch.batch_dir.name,
+            "jobs": len(batch.jobs), "shards": len(batch.shards),
+            "existing": existing, "done": status["done"],
+        }
+
+    def _status(self, req: dict) -> dict:
+        prefix = req.get("batch")
+        if prefix is not None:
+            batch, err = self._resolve_batch(prefix)
+            if err:
+                return err
+            batches = [batch]
+        else:
+            batches = BatchRun.discover(self.root)
+        return {
+            "ok": True, "op": "status", "v": PROTOCOL_VERSION,
+            "batches": [
+                service_status(b, ttl_s=self.ttl_s) for b in batches
+            ],
+        }
+
+    def _watch(self, req: dict) -> Iterator[dict]:
+        batch, err = self._resolve_batch(req.get("batch"))
+        if err:
+            yield err
+            return
+        with_results = bool(req.get("results", True))
+        timeout_s = req.get("timeout_s")
+        deadline = (
+            None if timeout_s is None
+            else time.monotonic() + float(timeout_s)
+        )
+        store = ResultStore(self._cache_dir())
+        total = len(batch.shards)
+        yield {
+            "ok": True, "op": "watch", "v": PROTOCOL_VERSION,
+            "batch": batch.batch_id, "shards": total,
+            "jobs": len(batch.jobs),
+        }
+        seen: set = set()
+        shard_keys = ("shard", "jobs", "executed", "wall_s", "worker",
+                      "reclaimed")
+        while True:
+            # completed_shards() digest-checks and dedups the journal,
+            # so a torn line or a foreign record can never stream as a
+            # completion event.
+            for idx, rec in batch.completed_shards().items():
+                if idx in seen:
+                    continue
+                seen.add(idx)
+                yield {
+                    "event": "shard",
+                    **{k: rec[k] for k in shard_keys if k in rec},
+                }
+                if with_results:
+                    for job in batch.shards[idx]:
+                        fp = job_fingerprint(job)
+                        entry = store.entry_for(fp)
+                        row = (
+                            entry.to_row() if entry is not None
+                            else {"fingerprint": fp}
+                        )
+                        yield {"event": "result", "shard": idx, **row}
+            if len(seen) >= total:
+                yield {"event": "done", "batch": batch.batch_id,
+                       "shards": total}
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                yield {"event": "timeout", "done": len(seen),
+                       "shards": total}
+                return
+            if self.stopping.wait(self.poll_s):
+                yield {"event": "stopped", "done": len(seen),
+                       "shards": total}
+                return
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: NDJSON request lines in, NDJSON records out."""
+
+    def _emit(self, rec: dict) -> bool:
+        try:
+            self.wfile.write(
+                json.dumps(rec, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8") + b"\n"
+            )
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False  # client went away; only this handler dies
+
+    def handle(self) -> None:
+        service: ReproService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                req = json.loads(line)
+                if not isinstance(req, dict):
+                    raise ValueError("request must be a JSON object")
+            except (json.JSONDecodeError, ValueError) as exc:
+                if not self._emit(_error("protocol", f"bad request line: {exc}")):
+                    return
+                continue
+            try:
+                for rec in service.dispatch(req):
+                    if not self._emit(rec):
+                        return
+            except _Shutdown:
+                self._emit({"ok": True, "op": "shutdown",
+                            "v": PROTOCOL_VERSION})
+                service.stopping.set()
+                # shutdown() must not be called from the handler thread
+                # it would deadlock waiting for.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+            except Exception as exc:  # pragma: no cover - defensive
+                log.exception("service: request failed: %r", req)
+                if not self._emit(_error("internal", repr(exc), str(req.get("op")))):
+                    return
+
+
+class _ServerMixin:
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def handle_error(self, request, client_address):  # noqa: D102
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            return  # watch client hung up mid-stream: routine
+        log.warning("service: connection error from %s: %r",
+                    client_address, exc)
+
+
+class _TCPServer(_ServerMixin, socketserver.ThreadingTCPServer):
+    pass
+
+
+class _UnixServer(_ServerMixin, socketserver.ThreadingUnixStreamServer):
+    pass
+
+
+def make_server(service: ReproService, address: Union[str, Path]):
+    """Bind a threading NDJSON server for ``service`` on ``address``.
+
+    A stale Unix socket file (left by a SIGKILLed daemon) is unlinked
+    and rebound; a non-socket file at that path is refused.
+    """
+    kind, target = parse_address(address)
+    if kind == "unix":
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            if stat_mod.S_ISSOCK(os.stat(path).st_mode):
+                path.unlink()
+            else:
+                raise ServiceError(
+                    f"{path} exists and is not a socket; refusing to bind"
+                )
+        server = _UnixServer(str(path), _Handler)
+    else:
+        server = _TCPServer(target, _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    root: Union[str, Path],
+    address: Union[str, Path],
+    ttl_s: float = LEASE_TTL_S,
+    poll_s: float = 0.2,
+    ready: Optional[Callable[[object], None]] = None,
+) -> int:
+    """Run the daemon until shutdown (op or Ctrl-C).  Blocking."""
+    service = ReproService(root, ttl_s=ttl_s, poll_s=poll_s)
+    server = make_server(service, address)
+    kind, target = parse_address(address)
+    if kind == "tcp":
+        bound = server.server_address
+        log.info("serving on tcp:%s:%d root=%s", bound[0], bound[1], root)
+    else:
+        log.info("serving on unix:%s root=%s", target, root)
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stopping.set()
+        server.server_close()
+        if kind == "unix":
+            try:
+                Path(target).unlink()
+            except FileNotFoundError:
+                pass
+    return 0
+
+
+# --------------------------------------------------------------------
+# Client
+# --------------------------------------------------------------------
+
+class ServiceClient:
+    """Line-oriented NDJSON client for the service daemon.
+
+    One connection per call — requests are independent, and a broken
+    ``watch`` stream never poisons a later ``status``.
+    """
+
+    def __init__(self, address: Union[str, Path], timeout_s: float = 30.0):
+        self.address = parse_address(address)
+        self.timeout_s = timeout_s
+
+    def _connect(self, timeout_s: Optional[float]) -> socket.socket:
+        kind, target = self.address
+        if kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout_s)
+            sock.connect(str(target))
+            return sock
+        return socket.create_connection(target, timeout=timeout_s)
+
+    def request(self, payload: dict) -> dict:
+        """One request line, one response record."""
+        sock = self._connect(self.timeout_s)
+        try:
+            fh = sock.makefile("rwb")
+            fh.write(json.dumps(payload).encode("utf-8") + b"\n")
+            fh.flush()
+            line = fh.readline()
+            if not line:
+                raise ServiceError("service closed the connection")
+            return json.loads(line)
+        finally:
+            sock.close()
+
+    def stream(self, payload: dict) -> Iterator[dict]:
+        """One request line, a stream of response records until EOF."""
+        timeout_s = payload.get("timeout_s")
+        sock = self._connect(None if timeout_s is None else timeout_s + 10.0)
+        try:
+            fh = sock.makefile("rwb")
+            fh.write(json.dumps(payload).encode("utf-8") + b"\n")
+            fh.flush()
+            for line in fh:
+                yield json.loads(line)
+        finally:
+            sock.close()
+
+    # -- convenience wrappers -----------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        jobs: Sequence[Union[SimulationJob, dict]],
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        label: str = "",
+    ) -> dict:
+        dicts = [
+            j.to_dict() if isinstance(j, SimulationJob) else j for j in jobs
+        ]
+        return self.request({
+            "op": "submit", "jobs": dicts,
+            "shard_size": shard_size, "label": label,
+        })
+
+    def status(self, batch: Optional[str] = None) -> dict:
+        req: Dict[str, object] = {"op": "status"}
+        if batch is not None:
+            req["batch"] = batch
+        return self.request(req)
+
+    #: ``watch`` stream records after which no more will ever arrive.
+    TERMINAL_EVENTS = frozenset({"done", "timeout", "stopped"})
+
+    def watch(
+        self,
+        batch: str,
+        results: bool = True,
+        timeout_s: Optional[float] = None,
+    ) -> Iterator[dict]:
+        """Stream a batch's progress records until a terminal event.
+
+        The daemon keeps the connection open for further requests after
+        the stream ends, so termination is detected here: the iterator
+        stops after ``done``/``timeout``/``stopped`` or an error record.
+        """
+        req: Dict[str, object] = {
+            "op": "watch", "batch": batch, "results": results,
+        }
+        if timeout_s is not None:
+            req["timeout_s"] = timeout_s
+        for rec in self.stream(req):
+            yield rec
+            if rec.get("event") in self.TERMINAL_EVENTS or rec.get("ok") is False:
+                return
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+
+def wait_for_service(
+    address: Union[str, Path],
+    timeout_s: float = 10.0,
+    interval_s: float = 0.05,
+) -> dict:
+    """Ping until the daemon answers; raises TimeoutError otherwise."""
+    client = ServiceClient(address, timeout_s=max(interval_s, 1.0))
+    deadline = time.monotonic() + timeout_s
+    last: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            pong = client.ping()
+            if pong.get("ok"):
+                return pong
+        except (OSError, ServiceError, json.JSONDecodeError) as exc:
+            last = exc
+        time.sleep(interval_s)
+    raise TimeoutError(
+        f"no service on {format_address(parse_address(address))} "
+        f"after {timeout_s}s (last error: {last!r})"
+    )

@@ -160,6 +160,20 @@ class ResultStore:
                 out.append(entry)
         return out
 
+    def entry_for(self, fingerprint: str) -> Optional[StoreEntry]:
+        """Index exactly one entry by its job fingerprint, or ``None``.
+
+        A point lookup — no directory scan — so the service daemon can
+        stream a completed shard's per-job result rows to ``watch``
+        clients without re-indexing the whole cache per journal record.
+        """
+        if not _FINGERPRINT_RE.match(fingerprint):
+            return None
+        path = self.cache_dir / f"{fingerprint}.json"
+        if not path.is_file():
+            return None
+        return _parse_entry(path)
+
     def query(
         self,
         platform: Optional[str] = None,

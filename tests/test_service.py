@@ -1,0 +1,895 @@
+"""Service tier tests: lease protocol (unit + hypothesis interleavings),
+NDJSON wire protocol edge cases against an in-process daemon, worker
+drain semantics — and the tier-2 fault-injection suite (``slow``):
+SIGKILL a worker mid-shard, SIGKILL the daemon, a four-worker stress
+drain, and the end-to-end serve+workers+kill acceptance run."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MemoryMode
+from repro.harness.batch import BatchRun, read_jsonl
+from repro.harness.cache import ResultCache, job_fingerprint
+from repro.harness.executor import (
+    RunConfig,
+    SerialExecutor,
+    SimulationJob,
+    execute_job,
+)
+from repro.harness.service import (
+    EXECUTIONS_NAME,
+    LeaseLost,
+    LeaseManager,
+    ReproService,
+    ServiceClient,
+    make_server,
+    parse_address,
+    run_worker,
+    service_status,
+    wait_for_service,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+TTL = 10.0
+
+
+def tiny_job(seed=7, platform="Ohm-base", workload="backp"):
+    return SimulationJob(
+        platform,
+        workload,
+        MemoryMode.PLANAR,
+        RunConfig(num_warps=8, accesses_per_warp=8, seed=seed),
+    )
+
+
+def seeded_jobs(n):
+    return [tiny_job(seed=s) for s in range(n)]
+
+
+class FakeClock:
+    """Injectable clock: lease mtimes and expiry both read from here."""
+
+    def __init__(self, t=1_000_000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# --------------------------------------------------------------------
+# Addresses
+# --------------------------------------------------------------------
+
+class TestParseAddress:
+    def test_unix_prefix(self):
+        assert parse_address("unix:/tmp/x.sock") == ("unix", Path("/tmp/x.sock"))
+
+    def test_tcp_prefix(self):
+        assert parse_address("tcp:10.0.0.1:9000") == ("tcp", ("10.0.0.1", 9000))
+
+    def test_tcp_default_host(self):
+        assert parse_address("tcp::9000") == ("tcp", ("127.0.0.1", 9000))
+
+    def test_bare_host_port(self):
+        assert parse_address("localhost:8123") == ("tcp", ("localhost", 8123))
+
+    def test_plain_path(self):
+        assert parse_address("/var/run/repro.sock") == (
+            "unix", Path("/var/run/repro.sock")
+        )
+
+    def test_relative_path_with_colon_dir(self):
+        # A path separator anywhere forces the Unix interpretation.
+        assert parse_address("./odd:name/s.sock")[0] == "unix"
+
+
+# --------------------------------------------------------------------
+# Lease protocol (unit)
+# --------------------------------------------------------------------
+
+class TestLeaseManager:
+    def test_acquire_is_exclusive(self, tmp_path):
+        clock = FakeClock()
+        a = LeaseManager(tmp_path, "a", ttl_s=TTL, clock=clock)
+        b = LeaseManager(tmp_path, "b", ttl_s=TTL, clock=clock)
+        assert a.acquire(0)
+        assert not b.acquire(0)
+        assert a.owner_of(0) == "a"
+        assert b.owner_of(0) == "a"
+
+    def test_release_frees_for_reacquire(self, tmp_path):
+        clock = FakeClock()
+        a = LeaseManager(tmp_path, "a", ttl_s=TTL, clock=clock)
+        b = LeaseManager(tmp_path, "b", ttl_s=TTL, clock=clock)
+        assert a.acquire(0)
+        a.release(0)
+        assert a.owner_of(0) is None
+        assert b.acquire(0)
+
+    def test_release_of_foreign_lease_is_a_noop(self, tmp_path):
+        clock = FakeClock()
+        a = LeaseManager(tmp_path, "a", ttl_s=TTL, clock=clock)
+        b = LeaseManager(tmp_path, "b", ttl_s=TTL, clock=clock)
+        assert a.acquire(0)
+        b.release(0)  # not b's to free
+        assert a.owner_of(0) == "a"
+
+    def test_heartbeat_refreshes_expiry(self, tmp_path):
+        clock = FakeClock()
+        a = LeaseManager(tmp_path, "a", ttl_s=TTL, clock=clock)
+        assert a.acquire(0)
+        clock.advance(TTL - 1)
+        assert a.heartbeat(0)
+        clock.advance(TTL - 1)
+        assert not a.expired(0)  # refreshed at TTL-1, only TTL-1 since
+        clock.advance(2)
+        assert a.expired(0)
+
+    def test_heartbeat_fails_after_reclaim(self, tmp_path):
+        clock = FakeClock()
+        a = LeaseManager(tmp_path, "a", ttl_s=TTL, clock=clock)
+        b = LeaseManager(tmp_path, "b", ttl_s=TTL, clock=clock)
+        assert a.acquire(0)
+        clock.advance(TTL + 1)
+        assert b.reclaim(0)
+        assert b.acquire(0)
+        assert not a.heartbeat(0)  # a discovers the loss
+        assert b.owner_of(0) == "b"
+
+    def test_reclaim_requires_expiry(self, tmp_path):
+        clock = FakeClock()
+        a = LeaseManager(tmp_path, "a", ttl_s=TTL, clock=clock)
+        b = LeaseManager(tmp_path, "b", ttl_s=TTL, clock=clock)
+        assert a.acquire(0)
+        clock.advance(TTL / 2)
+        assert not b.reclaim(0)
+        assert a.owner_of(0) == "a"
+
+    def test_reclaim_race_has_one_winner(self, tmp_path):
+        clock = FakeClock()
+        a = LeaseManager(tmp_path, "a", ttl_s=TTL, clock=clock)
+        b = LeaseManager(tmp_path, "b", ttl_s=TTL, clock=clock)
+        c = LeaseManager(tmp_path, "c", ttl_s=TTL, clock=clock)
+        assert a.acquire(0)
+        clock.advance(TTL + 1)
+        won = [m.reclaim(0) for m in (b, c)]
+        assert won.count(True) == 1  # the loser saw FileNotFoundError
+        assert b.crash_count() == 1
+
+    def test_state_machine(self, tmp_path):
+        clock = FakeClock()
+        a = LeaseManager(tmp_path, "a", ttl_s=TTL, clock=clock)
+        assert a.state(0) == ("free", None)
+        assert a.acquire(0)
+        assert a.state(0) == ("leased", "a")
+        clock.advance(TTL + 1)
+        assert a.state(0) == ("expired", "a")
+        assert a.reclaim(0)
+        assert a.state(0) == ("free", None)
+
+    def test_rejects_nonpositive_ttl(self, tmp_path):
+        with pytest.raises(ValueError):
+            LeaseManager(tmp_path, "a", ttl_s=0)
+
+
+# --------------------------------------------------------------------
+# Lease protocol (hypothesis: arbitrary interleavings, simulated clock)
+# --------------------------------------------------------------------
+
+N_WORKERS = 3
+N_SHARDS = 2
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"),
+                  st.integers(0, N_WORKERS - 1), st.integers(0, N_SHARDS - 1)),
+        st.tuples(st.just("heartbeat"),
+                  st.integers(0, N_WORKERS - 1), st.integers(0, N_SHARDS - 1)),
+        st.tuples(st.just("release"),
+                  st.integers(0, N_WORKERS - 1), st.integers(0, N_SHARDS - 1)),
+        st.tuples(st.just("reclaim"),
+                  st.integers(0, N_WORKERS - 1), st.integers(0, N_SHARDS - 1)),
+        st.tuples(st.just("advance"),
+                  st.integers(1, int(1.5 * TTL)), st.just(0)),
+    ),
+    max_size=50,
+)
+
+
+class TestLeaseProperties:
+    """The protocol's two guarantees under arbitrary op interleavings.
+
+    A worker's claim on a shard is *live* when its last successful
+    acquire/heartbeat happened within the TTL.  Safety: no two workers
+    ever hold live claims on the same shard, and the lease file always
+    names the live claimant.  Liveness: whatever state an interleaving
+    leaves behind, every shard can still be leased (expired leases are
+    reclaimable, free shards acquirable).
+    """
+
+    def _drive(self, base, ops):
+        clock = FakeClock()
+        mgrs = [
+            LeaseManager(base, f"w{i}", ttl_s=TTL, clock=clock)
+            for i in range(N_WORKERS)
+        ]
+        believed = [dict() for _ in range(N_WORKERS)]  # shard -> confirm t
+        for kind, a, b in ops:
+            if kind == "advance":
+                clock.advance(a)
+            elif kind == "acquire":
+                if mgrs[a].acquire(b):
+                    believed[a][b] = clock.t
+            elif kind == "heartbeat":
+                if mgrs[a].heartbeat(b):
+                    believed[a][b] = clock.t
+                else:
+                    believed[a].pop(b, None)
+            elif kind == "release":
+                mgrs[a].release(b)
+                believed[a].pop(b, None)
+            elif kind == "reclaim":
+                if mgrs[a].reclaim(b) and mgrs[a].acquire(b):
+                    believed[a][b] = clock.t
+            for s in range(N_SHARDS):
+                live = [
+                    w for w in range(N_WORKERS)
+                    if s in believed[w] and clock.t - believed[w][s] <= TTL
+                ]
+                assert len(live) <= 1, (kind, a, b, live)
+                if live:
+                    assert mgrs[0].owner_of(s) == f"w{live[0]}"
+        return clock, mgrs
+
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_never_two_live_owners(self, ops):
+        base = Path(tempfile.mkdtemp(prefix="lease-prop-"))
+        try:
+            self._drive(base, ops)
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
+
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_every_shard_eventually_leasable(self, ops):
+        base = Path(tempfile.mkdtemp(prefix="lease-prop-"))
+        try:
+            clock, mgrs = self._drive(base, ops)
+            for s in range(N_SHARDS):
+                if mgrs[0].owner_of(s) is not None:
+                    clock.advance(TTL + 1)
+                    assert mgrs[0].reclaim(s)
+                assert mgrs[0].acquire(s)
+                assert mgrs[0].owner_of(s) == "w0"
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+# --------------------------------------------------------------------
+# Status counts
+# --------------------------------------------------------------------
+
+class TestServiceStatus:
+    def test_counts_partition_the_shards(self, tmp_path):
+        clock = FakeClock()
+        jobs = seeded_jobs(8)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)  # 4 shards
+        cache = ResultCache(tmp_path / "cache")
+        batch.run_shard(0, SerialExecutor(), cache)  # done
+        lm = LeaseManager(batch.batch_dir, "w", ttl_s=TTL, clock=clock)
+        assert lm.acquire(1)  # leased
+        lm2 = LeaseManager(batch.batch_dir, "dead", ttl_s=TTL, clock=clock)
+        assert lm2.acquire(2)
+        clock.advance(TTL + 1)  # ...but shard 1's lease expired too now
+        assert lm.heartbeat(1)  # refresh it back to leased
+        status = service_status(batch, ttl_s=TTL, clock=clock)
+        assert status["done"] == 1
+        assert status["leased"] == 1
+        assert status["crashed"] == 1
+        assert status["queued"] == 1
+        total = (status["queued"] + status["leased"]
+                 + status["done"] + status["crashed"])
+        assert total == status["shards"] == 4
+        assert not status["complete"]
+
+
+# --------------------------------------------------------------------
+# Worker (in-process)
+# --------------------------------------------------------------------
+
+class TestWorker:
+    def test_drain_completes_batch_and_matches_serial(self, tmp_path):
+        jobs = seeded_jobs(6)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        stats = run_worker(tmp_path, "w1", drain=True, poll_s=0.01)
+        assert stats.shards_done == 3
+        assert stats.jobs_executed == 6
+        assert batch.status().done
+        merged = batch.results()
+        for job in jobs:
+            assert merged[job].fingerprint() == execute_job(job).fingerprint()
+        # Lease files are all released; journal carries the worker id.
+        assert list((batch.batch_dir / "leases").glob("*.lease")) == []
+        recs = read_jsonl(batch.journal_path)
+        assert all(r["worker"] == "w1" for r in recs)
+
+    def test_execution_log_has_no_duplicates(self, tmp_path):
+        jobs = seeded_jobs(6)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        run_worker(tmp_path, "w1", drain=True, poll_s=0.01)
+        fps = [r["fp"] for r in read_jsonl(batch.batch_dir / EXECUTIONS_NAME)]
+        assert len(fps) == len(set(fps)) == 6
+
+    def test_two_workers_split_the_batch(self, tmp_path):
+        jobs = seeded_jobs(8)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        a = run_worker(tmp_path, "a", drain=True, poll_s=0.01, max_shards=2)
+        b = run_worker(tmp_path, "b", drain=True, poll_s=0.01)
+        assert a.shards_done == 2
+        assert b.shards_done == 2
+        assert batch.status().done
+        workers = {r["worker"] for r in read_jsonl(batch.journal_path)}
+        assert workers == {"a", "b"}
+
+    def test_worker_reclaims_expired_lease_and_annotates(self, tmp_path):
+        clock = FakeClock(time.time())
+        jobs = seeded_jobs(2)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        dead = LeaseManager(batch.batch_dir, "dead", ttl_s=1.0,
+                            clock=lambda: clock.t - 5)  # acquired "long ago"
+        assert dead.acquire(0)
+        stats = run_worker(
+            tmp_path, "alive", drain=True, poll_s=0.01, ttl_s=1.0,
+            clock=clock,
+        )
+        assert stats.reclaims == 1
+        assert stats.shards_done == 1
+        rec = read_jsonl(batch.journal_path)[0]
+        assert rec["worker"] == "alive"
+        assert rec["reclaimed"] is True
+        lm = LeaseManager(batch.batch_dir, "x", ttl_s=1.0, clock=clock)
+        assert lm.crash_count() == 1
+
+    def test_worker_skips_validly_leased_shards(self, tmp_path):
+        jobs = seeded_jobs(4)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        other = LeaseManager(batch.batch_dir, "other", ttl_s=60.0)
+        assert other.acquire(0)
+        stats = run_worker(tmp_path, "w", poll_s=0.01, max_shards=1)
+        assert stats.shards_done == 1
+        assert {r["shard"] for r in read_jsonl(batch.journal_path)} == {1}
+        assert other.owner_of(0) == "other"
+
+    def test_lost_lease_aborts_shard_before_journal(self, tmp_path):
+        jobs = seeded_jobs(2)
+        batch = BatchRun.open(tmp_path, jobs, shard_size=2)
+        cache = ResultCache(tmp_path / "cache")
+
+        calls = []
+
+        def lose_lease(job, result):
+            calls.append(job)
+            raise LeaseLost("simulated reclaim")
+
+        with pytest.raises(LeaseLost):
+            batch.run_shard(0, SerialExecutor(), cache, on_result=lose_lease)
+        assert len(calls) == 1
+        assert read_jsonl(batch.journal_path) == []  # never marked done
+        assert not batch.status().done
+
+    def test_drain_with_no_batches_returns_immediately(self, tmp_path):
+        stats = run_worker(tmp_path, "w", drain=True, poll_s=0.01)
+        assert stats.shards_done == 0
+        assert stats.batches_seen == 0
+
+
+# --------------------------------------------------------------------
+# Wire protocol (in-process daemon on a loopback socket)
+# --------------------------------------------------------------------
+
+@pytest.fixture()
+def daemon(tmp_path):
+    service = ReproService(tmp_path / "root", ttl_s=5.0, poll_s=0.02)
+    server = make_server(service, "127.0.0.1:0")
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.02},
+        daemon=True,
+    )
+    thread.start()
+    host, port = server.server_address
+    ns = SimpleNamespace(
+        service=service,
+        server=server,
+        address=f"{host}:{port}",
+        root=service.root,
+        client=ServiceClient(f"{host}:{port}", timeout_s=30.0),
+    )
+    yield ns
+    service.stopping.set()
+    server.shutdown()
+    server.server_close()
+
+
+def _raw_connection(address):
+    kind, target = parse_address(address)
+    sock = socket.create_connection(target, timeout=10.0)
+    return sock, sock.makefile("rwb")
+
+
+class TestProtocol:
+    def test_ping(self, daemon):
+        pong = daemon.client.ping()
+        assert pong["ok"] and pong["op"] == "ping"
+
+    def test_unknown_op_is_structured_error(self, daemon):
+        resp = daemon.client.request({"op": "frobnicate"})
+        assert resp["ok"] is False
+        assert resp["error"]["type"] == "unknown-op"
+
+    def test_malformed_line_keeps_connection_serving(self, daemon):
+        sock, fh = _raw_connection(daemon.address)
+        try:
+            fh.write(b"{not json at all\n")
+            fh.flush()
+            err = json.loads(fh.readline())
+            assert err["ok"] is False
+            assert err["error"]["type"] == "protocol"
+            # Same connection, next line: still served.
+            fh.write(json.dumps({"op": "ping"}).encode() + b"\n")
+            fh.flush()
+            assert json.loads(fh.readline())["ok"] is True
+        finally:
+            sock.close()
+
+    def test_non_object_request_is_rejected(self, daemon):
+        sock, fh = _raw_connection(daemon.address)
+        try:
+            fh.write(b"[1, 2, 3]\n")
+            fh.flush()
+            err = json.loads(fh.readline())
+            assert err["ok"] is False and err["error"]["type"] == "protocol"
+        finally:
+            sock.close()
+
+    def test_submit_and_duplicate_returns_existing_batch(self, daemon):
+        jobs = seeded_jobs(4)
+        first = daemon.client.submit(jobs, shard_size=2, label="t")
+        assert first["ok"] and first["existing"] is False
+        assert first["shards"] == 2 and first["jobs"] == 4
+        # Same job *set*, different order: attaches, never duplicates.
+        again = daemon.client.submit(list(reversed(jobs)), shard_size=2)
+        assert again["ok"] and again["existing"] is True
+        assert again["batch"] == first["batch"]
+        assert len(BatchRun.discover(daemon.root)) == 1
+
+    def test_submit_rejects_bad_job_payloads(self, daemon):
+        resp = daemon.client.request({"op": "submit", "jobs": []})
+        assert resp["ok"] is False and resp["error"]["type"] == "submit"
+        resp = daemon.client.request({"op": "submit", "jobs": "nope"})
+        assert resp["ok"] is False and resp["error"]["type"] == "submit"
+        resp = daemon.client.request(
+            {"op": "submit", "jobs": [{"platform": "Ohm-base"}]}
+        )
+        assert resp["ok"] is False and resp["error"]["type"] == "bad-job"
+        resp = daemon.client.request(
+            {"op": "submit", "jobs": [tiny_job().to_dict()], "shard_size": 0}
+        )
+        assert resp["ok"] is False and resp["error"]["type"] == "submit"
+
+    def test_submit_unknown_workload_is_error_not_crash(self, daemon):
+        bad = tiny_job().to_dict()
+        bad["workload"] = "no_such_workload"
+        resp = daemon.client.request({"op": "submit", "jobs": [bad]})
+        assert resp["ok"] is False and resp["error"]["type"] == "submit"
+        assert daemon.client.ping()["ok"]  # daemon survived
+
+    def test_status_counts(self, daemon):
+        sub = daemon.client.submit(seeded_jobs(4), shard_size=2)
+        status = daemon.client.status(sub["batch"][:12])
+        assert status["ok"]
+        row = status["batches"][0]
+        assert row["queued"] == 2 and row["done"] == 0
+        assert row["shards"] == 2 and not row["complete"]
+
+    def test_status_unknown_batch(self, daemon):
+        resp = daemon.client.status("feedfeed")
+        assert resp["ok"] is False
+        assert resp["error"]["type"] == "unknown-batch"
+
+    def test_watch_timeout_on_idle_batch(self, daemon):
+        sub = daemon.client.submit(seeded_jobs(2), shard_size=1)
+        events = list(daemon.client.watch(sub["batch"], timeout_s=0.2))
+        assert events[0]["ok"] and events[0]["op"] == "watch"
+        assert events[-1]["event"] == "timeout"
+
+    def test_watch_streams_shards_and_results_live(self, daemon):
+        sub = daemon.client.submit(seeded_jobs(4), shard_size=2)
+        worker = threading.Thread(
+            target=run_worker, args=(daemon.root, "w1"),
+            kwargs={"drain": True, "poll_s": 0.01}, daemon=True,
+        )
+        worker.start()
+        events = list(daemon.client.watch(sub["batch"], timeout_s=60))
+        worker.join(timeout=60)
+        kinds = [e.get("event") for e in events]
+        assert kinds.count("shard") == 2
+        assert kinds.count("result") == 4
+        assert kinds[-1] == "done"
+        shard_events = [e for e in events if e.get("event") == "shard"]
+        assert all(e["worker"] == "w1" for e in shard_events)
+        result_events = [e for e in events if e.get("event") == "result"]
+        assert all("exec_time_ps" in e for e in result_events)
+
+    def test_watch_without_results(self, daemon):
+        sub = daemon.client.submit(seeded_jobs(2), shard_size=1)
+        run_worker(daemon.root, "w1", drain=True, poll_s=0.01)
+        events = list(
+            daemon.client.watch(sub["batch"], results=False, timeout_s=30)
+        )
+        kinds = [e.get("event") for e in events]
+        assert kinds.count("shard") == 2
+        assert kinds.count("result") == 0
+        assert kinds[-1] == "done"
+
+    def test_client_disconnect_mid_watch_leaves_daemon_serving(self, daemon):
+        sub = daemon.client.submit(seeded_jobs(4), shard_size=2)
+        sock, fh = _raw_connection(daemon.address)
+        fh.write(json.dumps(
+            {"op": "watch", "batch": sub["batch"]}
+        ).encode() + b"\n")
+        fh.flush()
+        header = json.loads(fh.readline())
+        assert header["ok"]
+        sock.close()  # hang up mid-stream, daemon still polling for us
+        time.sleep(0.1)
+        assert daemon.client.ping()["ok"]
+        assert daemon.client.status()["ok"]
+
+    def test_cli_submit_and_watch_against_daemon(self, daemon, monkeypatch, capsys):
+        from repro.cli import main
+
+        lines = "".join(
+            json.dumps(j.to_dict()) + "\n" for j in seeded_jobs(2)
+        )
+        monkeypatch.setattr(sys, "stdin", io.StringIO(lines))
+        assert main([
+            "submit", "--stdin-jobs", "--connect", daemon.address,
+            "--shard-size", "1",
+        ]) == 0
+        batch_id_line = capsys.readouterr().out.strip()
+        assert len(batch_id_line) == 64
+        run_worker(daemon.root, "w1", drain=True, poll_s=0.01)
+        assert main([
+            "watch", batch_id_line, "--connect", daemon.address,
+            "--timeout", "30",
+        ]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert json.loads(out[-1])["event"] == "done"
+
+    def test_cli_watch_times_out_nonzero(self, daemon, capsys):
+        from repro.cli import main
+
+        sub = daemon.client.submit(seeded_jobs(2), shard_size=1)
+        assert main([
+            "watch", sub["batch"], "--connect", daemon.address,
+            "--timeout", "0.2",
+        ]) == 1
+
+
+# --------------------------------------------------------------------
+# Tier-2 fault injection (slow): SIGKILL workers/daemon, stress.
+# --------------------------------------------------------------------
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn(*args, log_to=None):
+    out = open(log_to, "wb") if log_to else subprocess.DEVNULL
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=_env(), stdout=out, stderr=out,
+    )
+
+
+def _wait_for_owned_lease(root: Path, owner: str, timeout_s=60.0) -> Path:
+    """Poll until ``owner`` holds some lease; return the lease path."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        for lease in root.glob("b-*/leases/*.lease"):
+            try:
+                data = json.loads(lease.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # mid-create; next poll sees it whole
+            if data.get("owner") == owner:
+                return lease
+        time.sleep(0.005)
+    raise AssertionError(f"worker {owner!r} never held a lease")
+
+
+def _assert_exactly_once_and_serial_identical(root: Path, jobs):
+    """The ISSUE's acceptance bar, shared by every kill/stress test."""
+    batches = BatchRun.discover(root)
+    assert len(batches) == 1
+    batch = batches[0]
+    assert batch.status().done
+
+    # Exactly-once: no job fingerprint was ever executed twice, across
+    # every worker that touched the batch (the reclaimed shard re-ran
+    # only work its dead owner never persisted).
+    exec_recs = read_jsonl(batch.batch_dir / EXECUTIONS_NAME)
+    fps = [r["fp"] for r in exec_recs]
+    assert len(fps) == len(set(fps)), "a job was executed twice"
+
+    # The journal covers every shard exactly once and every line is
+    # whole (no torn concurrent appends).
+    recs = read_jsonl(batch.journal_path)
+    raw_lines = [
+        ln for ln in
+        batch.journal_path.read_text().splitlines() if ln.strip()
+    ]
+    assert len(raw_lines) == len(recs), "torn journal line"
+    assert sorted(r["shard"] for r in recs) == list(range(len(batch.shards)))
+
+    # Merged results are RunResult-fingerprint-identical to a serial,
+    # single-process run of the same job list.
+    merged = batch.results()
+    serial = dict(zip(jobs, SerialExecutor().run_jobs(jobs)))
+    for job in jobs:
+        assert merged[job].fingerprint() == serial[job].fingerprint()
+        assert merged[job] == serial[job]
+    return batch
+
+
+@pytest.mark.slow
+class TestWorkerKill:
+    def test_sigkilled_worker_lease_reclaimed_exactly_once(self, tmp_path):
+        """Kill a worker mid-shard: lease expiry -> reclaim -> re-run,
+        merged results bit-identical, zero duplicate executions."""
+        root = tmp_path / "svc"
+        jobs = seeded_jobs(16)
+        BatchRun.open(root, jobs, shard_size=1)
+
+        victim = _spawn(
+            "worker", "--root", str(root), "--owner", "victim",
+            "--lease-ttl", "1.0", "--throttle", "0.25", "--poll", "0.05",
+            "--drain", log_to=tmp_path / "victim.log",
+        )
+        survivor = None
+        try:
+            lease = _wait_for_owned_lease(root, "victim")
+            shard_idx = int(lease.name.split("-")[1].split(".")[0])
+            victim.kill()  # SIGKILL: no release, no cleanup
+            victim.wait()
+            journaled_at_kill = {
+                r["shard"]
+                for r in read_jsonl(lease.parent.parent / "journal.jsonl")
+            }
+            survivor = _spawn(
+                "worker", "--root", str(root), "--owner", "survivor",
+                "--lease-ttl", "1.0", "--poll", "0.05", "--drain",
+                log_to=tmp_path / "survivor.log",
+            )
+            assert survivor.wait(timeout=300) == 0
+        finally:
+            victim.kill()
+            if survivor is not None:
+                survivor.kill()
+
+        batch = _assert_exactly_once_and_serial_identical(root, jobs)
+
+        if shard_idx not in journaled_at_kill:
+            # The common case: the kill landed mid-shard, so the
+            # orphaned lease had to be reclaimed and the shard is
+            # journaled with reclaim provenance by the survivor.
+            lm = LeaseManager(batch.batch_dir, "x", ttl_s=1.0)
+            assert lm.crash_count() >= 1
+            recs = {r["shard"]: r for r in read_jsonl(batch.journal_path)}
+            assert recs[shard_idx]["worker"] == "survivor"
+            assert recs[shard_idx].get("reclaimed") is True
+
+
+@pytest.mark.slow
+class TestDaemonKill:
+    def test_sigkilled_daemon_restart_resumes_from_wal(self, tmp_path):
+        """SIGKILL `repro serve`; a restart serves the same WAL state:
+        nothing lost, nothing re-run, duplicate submit attaches."""
+        root = tmp_path / "svc"
+        sock = str(tmp_path / "serve.sock")
+        jobs = seeded_jobs(8)
+        client = ServiceClient(sock)
+
+        daemon = _spawn(
+            "serve", "--root", str(root), "--socket", sock,
+            "--poll", "0.05", log_to=tmp_path / "serve1.log",
+        )
+        try:
+            wait_for_service(sock, timeout_s=30)
+            sub = client.submit(jobs, shard_size=1, label="restart")
+            assert sub["ok"] and sub["shards"] == 8
+
+            # Partially drain, then SIGKILL the daemon mid-service.
+            worker = _spawn(
+                "worker", "--root", str(root), "--max-shards", "3",
+                "--poll", "0.05", log_to=tmp_path / "worker1.log",
+            )
+            assert worker.wait(timeout=300) == 0
+            before = client.status(sub["batch"])["batches"][0]
+            assert before["done"] == 3
+        finally:
+            daemon.kill()
+            daemon.wait()
+
+        batch_dir = next(root.glob("b-*"))
+        journal_before = read_jsonl(batch_dir / "journal.jsonl")
+
+        daemon = _spawn(
+            "serve", "--root", str(root), "--socket", sock,
+            "--poll", "0.05", log_to=tmp_path / "serve2.log",
+        )
+        try:
+            wait_for_service(sock, timeout_s=30)  # stale socket rebound
+            after = client.status(sub["batch"])["batches"][0]
+            assert after["done"] == 3  # no lost shards
+            again = client.submit(jobs, shard_size=1)
+            assert again["existing"] is True
+            assert again["batch"] == sub["batch"]
+
+            worker = _spawn(
+                "worker", "--root", str(root), "--drain", "--poll", "0.05",
+                log_to=tmp_path / "worker2.log",
+            )
+            assert worker.wait(timeout=300) == 0
+            events = list(client.watch(sub["batch"], results=False,
+                                       timeout_s=60))
+            assert events[-1]["event"] == "done"
+        finally:
+            daemon.kill()
+            daemon.wait()
+
+        # The pre-kill journal prefix is preserved verbatim and no
+        # shard was re-run: 8 records, one per shard.
+        journal_after = read_jsonl(batch_dir / "journal.jsonl")
+        assert journal_after[: len(journal_before)] == journal_before
+        _assert_exactly_once_and_serial_identical(root, jobs)
+
+
+@pytest.mark.slow
+class TestStress:
+    def test_four_workers_drain_64_shards_exactly_once(self, tmp_path):
+        """4 worker processes race one 64-shard batch over a shared
+        cache dir: no torn WAL lines, exactly-once execution, and the
+        status counts partition the shard total at every poll."""
+        root = tmp_path / "svc"
+        jobs = seeded_jobs(64)
+        batch = BatchRun.open(root, jobs, shard_size=1)
+
+        workers = [
+            _spawn(
+                "worker", "--root", str(root), "--owner", f"w{i}",
+                "--poll", "0.02", "--drain",
+                log_to=tmp_path / f"w{i}.log",
+            )
+            for i in range(4)
+        ]
+        try:
+            deadline = time.monotonic() + 300
+            while any(w.poll() is None for w in workers):
+                status = service_status(batch)
+                total = (status["queued"] + status["leased"]
+                         + status["done"] + status["crashed"])
+                assert total == status["shards"] == 64
+                assert time.monotonic() < deadline, "workers never drained"
+                time.sleep(0.05)
+            assert all(w.wait() == 0 for w in workers)
+        finally:
+            for w in workers:
+                w.kill()
+
+        _assert_exactly_once_and_serial_identical(root, jobs)
+        # All four workers actually participated (not one hog): with 64
+        # one-job shards and a 20ms poll this is deterministic enough.
+        owners = {r["worker"] for r in read_jsonl(batch.journal_path)}
+        assert len(owners) >= 2
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_serve_two_workers_one_sigkilled_mid_run(self, tmp_path):
+        """The acceptance run: `repro serve` + 2 `repro worker`
+        processes complete a 64-shard batch with one worker SIGKILLed
+        mid-run; merged results are fingerprint-identical to
+        SerialExecutor with zero duplicate executions."""
+        root = tmp_path / "svc"
+        sock = str(tmp_path / "serve.sock")
+        jobs = seeded_jobs(64)
+        client = ServiceClient(sock)
+
+        daemon = _spawn(
+            "serve", "--root", str(root), "--socket", sock,
+            "--poll", "0.05", log_to=tmp_path / "serve.log",
+        )
+        victim = survivor = None
+        try:
+            wait_for_service(sock, timeout_s=30)
+            sub = client.submit(jobs, shard_size=1, label="e2e")
+            assert sub["ok"] and sub["shards"] == 64
+
+            victim = _spawn(
+                "worker", "--root", str(root), "--owner", "victim",
+                "--lease-ttl", "1.0", "--throttle", "0.15",
+                "--poll", "0.02", "--drain", log_to=tmp_path / "victim.log",
+            )
+            survivor = _spawn(
+                "worker", "--root", str(root), "--owner", "survivor",
+                "--lease-ttl", "1.0", "--poll", "0.02", "--drain",
+                log_to=tmp_path / "survivor.log",
+            )
+
+            # Let the victim work a while, then SIGKILL it while it
+            # provably holds a lease (mid-shard).
+            _wait_for_owned_lease(root, "victim")
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                done = {r["shard"] for r in read_jsonl(
+                    next(root.glob("b-*")) / "journal.jsonl")}
+                if len(done) >= 8:
+                    break
+                time.sleep(0.02)
+            lease = _wait_for_owned_lease(root, "victim")
+            victim.kill()
+            victim.wait()
+
+            # Stream the rest of the batch to completion over the wire.
+            events = list(client.watch(sub["batch"], results=False,
+                                       timeout_s=300))
+            assert events[-1]["event"] == "done"
+            assert survivor.wait(timeout=300) == 0
+
+            status = client.status(sub["batch"])["batches"][0]
+            assert status["complete"] and status["done"] == 64
+        finally:
+            daemon.kill()
+            for proc in (victim, survivor):
+                if proc is not None:
+                    proc.kill()
+
+        batch = _assert_exactly_once_and_serial_identical(root, jobs)
+        # The orphaned lease was reclaimed (not silently forgotten):
+        # the survivor's journal record carries the reclaim provenance.
+        shard_idx = int(lease.name.split("-")[1].split(".")[0])
+        recs = {r["shard"]: r for r in read_jsonl(batch.journal_path)}
+        if recs[shard_idx]["worker"] == "survivor":
+            lm = LeaseManager(batch.batch_dir, "x", ttl_s=1.0)
+            assert lm.crash_count() >= 1
+        # Every job result really is in the shared cache, addressable
+        # by fingerprint through the store surface.
+        cache = ResultCache(root / "cache")
+        for job in jobs:
+            assert cache.get(job) is not None
+        assert {r["fp"] for r in read_jsonl(
+            batch.batch_dir / EXECUTIONS_NAME
+        )} == {job_fingerprint(j) for j in jobs}

@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Gating service smoke: the daemon survives losing a worker.
+
+The service tier's promise (DESIGN.md section 13) is exactly-once batch
+execution over crash-prone workers.  This script checks the promise the
+blunt way CI can trust:
+
+1. start a ``repro serve`` daemon on a loopback TCP socket,
+2. submit a 16-job batch (one job per shard) over the wire,
+3. start two ``repro worker`` processes sharing the daemon's root —
+   one throttled so it holds each lease for a visible window,
+4. SIGKILL the throttled worker while it provably holds a lease,
+5. stream ``watch`` until the batch completes,
+6. assert the merged results are fingerprint-identical to a serial
+   in-process run, that no job fingerprint appears twice in the
+   per-batch execution log (zero duplicate executions), and that the
+   orphaned lease was reclaimed through a crash tombstone.
+
+A regression in lease expiry, reclaim arbitration or WAL recovery
+either hangs the drain (caught by the deadline) or breaks one of the
+assertions.  The measurement report is published as a CI artifact.
+
+Run from the repo root:  PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+N_JOBS = 16
+LEASE_TTL_S = 1.0
+DEADLINE_S = 240.0
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+def _spawn(log_dir: pathlib.Path, name: str, *args: str) -> subprocess.Popen:
+    log = open(log_dir / f"{name}.log", "wb")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=_env(), stdout=log, stderr=log,
+    )
+
+
+def _jobs():
+    from repro.config import MemoryMode
+    from repro.harness.executor import RunConfig, SimulationJob
+
+    return [
+        SimulationJob(
+            "Ohm-base", "backp", MemoryMode.PLANAR,
+            RunConfig(num_warps=8, accesses_per_warp=8, seed=seed),
+        )
+        for seed in range(N_JOBS)
+    ]
+
+
+def _wait_for_owned_lease(root: pathlib.Path, owner: str,
+                          timeout_s: float = 60.0) -> pathlib.Path:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        for lease in root.glob("b-*/leases/*.lease"):
+            try:
+                data = json.loads(lease.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if data.get("owner") == owner:
+                return lease
+        time.sleep(0.005)
+    raise RuntimeError(f"worker {owner!r} never held a lease")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", type=pathlib.Path, default=None,
+                        help="write a JSON measurement report here")
+    args = parser.parse_args(argv)
+
+    from repro.harness.batch import BatchRun, read_jsonl
+    from repro.harness.cache import job_fingerprint
+    from repro.harness.executor import SerialExecutor, execute_job
+    from repro.harness.service import (
+        EXECUTIONS_NAME,
+        LeaseManager,
+        ServiceClient,
+        wait_for_service,
+    )
+
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    root = tmp / "svc"
+    address = f"tcp:127.0.0.1:{_free_port()}"
+    jobs = _jobs()
+    failures: list[str] = []
+    procs: list[subprocess.Popen] = []
+    t0 = time.monotonic()
+    try:
+        daemon = _spawn(tmp, "serve", "serve", "--root", str(root),
+                        "--socket", address, "--poll", "0.05")
+        procs.append(daemon)
+        wait_for_service(address, timeout_s=30)
+
+        client = ServiceClient(address)
+        sub = client.submit(jobs, shard_size=1, label="service-smoke")
+        if not sub.get("ok") or sub.get("shards") != N_JOBS:
+            raise RuntimeError(f"submit failed: {sub}")
+
+        victim = _spawn(
+            tmp, "victim", "worker", "--root", str(root),
+            "--owner", "victim", "--lease-ttl", str(LEASE_TTL_S),
+            "--throttle", "0.2", "--poll", "0.02", "--drain",
+        )
+        procs.append(victim)
+        survivor = _spawn(
+            tmp, "survivor", "worker", "--root", str(root),
+            "--owner", "survivor", "--lease-ttl", str(LEASE_TTL_S),
+            "--poll", "0.02", "--drain",
+        )
+        procs.append(survivor)
+
+        lease = _wait_for_owned_lease(root, "victim")
+        killed_shard = int(lease.name.split("-")[1].split(".")[0])
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        print(f"killed victim worker mid-shard (shard {killed_shard})")
+
+        last = None
+        for rec in client.watch(sub["batch"], results=False,
+                                timeout_s=DEADLINE_S):
+            last = rec
+        if not last or last.get("event") != "done":
+            failures.append(f"watch did not reach 'done': {last}")
+        if survivor.wait(timeout=DEADLINE_S) != 0:
+            failures.append("surviving worker exited non-zero")
+        client.shutdown()
+        daemon.wait(timeout=30)
+
+        batch = BatchRun.discover(root)[0]
+        status = batch.status()
+        if not status.done:
+            failures.append(f"batch incomplete: {status}")
+
+        exec_recs = read_jsonl(batch.batch_dir / EXECUTIONS_NAME)
+        fps = [r["fp"] for r in exec_recs]
+        duplicates = len(fps) - len(set(fps))
+        if duplicates:
+            failures.append(f"{duplicates} duplicate execution(s) logged")
+
+        reclaims = LeaseManager(batch.batch_dir, "smoke",
+                                ttl_s=LEASE_TTL_S).crash_count()
+        journal = {r["shard"]: r for r in read_jsonl(batch.journal_path)}
+        if sorted(journal) != list(range(N_JOBS)):
+            failures.append("journal does not cover every shard exactly once")
+        if killed_shard in journal and "reclaimed" in journal[killed_shard]:
+            if reclaims < 1:
+                failures.append("reclaimed shard but no crash tombstone")
+
+        merged = batch.results()
+        serial = dict(zip(jobs, SerialExecutor().run_jobs(
+            jobs, fn=execute_job)))
+        mismatched = sum(
+            1 for job in jobs
+            if merged[job].fingerprint() != serial[job].fingerprint()
+        )
+        if mismatched:
+            failures.append(
+                f"{mismatched}/{N_JOBS} results differ from the serial run"
+            )
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+
+    report = {
+        "jobs": N_JOBS,
+        "killed_shard": killed_shard,
+        "executions_logged": len(fps),
+        "duplicate_executions": duplicates,
+        "lease_reclaims": reclaims,
+        "wall_s": round(time.monotonic() - t0, 3),
+        "failures": failures,
+    }
+    print(json.dumps(report, indent=2))
+    if args.report:
+        args.report.write_text(json.dumps(report, indent=2) + "\n",
+                               encoding="utf-8")
+    if failures:
+        print(f"FAIL: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("OK: daemon + 2 workers survived a SIGKILL with exactly-once "
+          "results")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
