@@ -655,6 +655,148 @@ def cmd_workloads_replay(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------
+# `repro scenario` — open-loop traffic scenarios (DESIGN.md section 14)
+# --------------------------------------------------------------------
+
+
+def _resolve_scenario(name: str):
+    from repro.scenarios import get_scenario
+
+    try:
+        return get_scenario(name)
+    except KeyError as exc:
+        raise SystemExit(f"repro: {exc.args[0]}")
+
+
+def cmd_scenario_list(_args: argparse.Namespace) -> int:
+    """`repro scenario list`: the scenario registry as a table."""
+    from repro.scenarios import SCENARIOS
+
+    rows = [
+        (
+            spec.name,
+            spec.arrivals.kind,
+            spec.degradation.kind if spec.degradation else "-",
+            spec.title,
+        )
+        for spec in SCENARIOS.values()
+    ]
+    print(
+        format_table(
+            ["name", "arrivals", "degradation", "title"], rows, title="scenarios"
+        )
+    )
+    return 0
+
+
+def cmd_scenario_describe(args: argparse.Namespace) -> int:
+    """`repro scenario describe`: spec, mix, policy and schedule."""
+    spec = _resolve_scenario(args.name)
+    print(f"{spec.name}  [{spec.title}]")
+    if spec.summary:
+        print(f"  {spec.summary}\n")
+    a = spec.arrivals
+    print(
+        f"  arrivals   : {a.kind}, offered load {a.offered_load:.0%}"
+        + (
+            f", on-fraction {a.on_fraction:.0%}, period {a.period_frac:.0%} "
+            "of horizon"
+            if a.kind == "bursty"
+            else f", depth {a.depth:.0%}, period {a.period_frac:.0%} of horizon"
+            if a.kind == "diurnal"
+            else ""
+        )
+    )
+    print(
+        f"  policy     : {spec.capacity_slots} SM slots, FIFO queue limit "
+        f"{spec.queue_limit}, horizon {spec.horizon_services:.0f} mean "
+        f"services, {spec.num_epochs} epochs, seed {spec.seed}"
+    )
+    if spec.degradation:
+        params = ", ".join(f"{k}={v}" for k, v in spec.degradation.params)
+        print(f"  degradation: {spec.degradation.kind} ({params or 'defaults'})")
+    print("  tenants:")
+    for t in spec.tenants:
+        print(
+            f"    {t.name:10s} {t.workload} on {t.platform}/{t.mode}, "
+            f"weight {t.weight:g}, {t.slots} slot(s), "
+            f"SLO {t.slo_multiplier:g}x solo service"
+        )
+    return 0
+
+
+def _print_scenario_result(result) -> None:
+    print(f"scenario        : {result.scenario} (seed {result.seed})")
+    print(f"horizon         : {result.horizon_ps / 1e6:.2f} us")
+    t = result.totals
+    print(
+        f"arrivals        : {t['arrivals']} "
+        f"(admitted {t['admitted']}, rejected {t['rejected']})"
+    )
+    print(
+        f"completed       : {t['completed']} "
+        f"({t['in_flight']} in flight at horizon)"
+    )
+    print(
+        f"slo violations  : {t['slo_violations']}   peak slots "
+        f"{t['max_slots_used']}/{result.capacity_slots}, peak queue "
+        f"{t['max_queued']}"
+    )
+    if result.degradation:
+        pairs = ", ".join(f"{k}={v:g}" for k, v in result.degradation.items())
+        print(f"degradation     : {pairs}")
+    rows = [
+        (
+            name,
+            f"{m['arrivals']:.0f}",
+            f"{m['rejected']:.0f}",
+            f"{m['completed']:.0f}",
+            f"{m['p50_latency_ps'] / 1e6:.2f}",
+            f"{m['p99_latency_ps'] / 1e6:.2f}",
+            f"{m['p99_queue_ps'] / 1e6:.2f}",
+            f"{m['slo_violations']:.0f}",
+        )
+        for name, m in result.tenants.items()
+    ]
+    print(
+        format_table(
+            [
+                "tenant", "arr", "rej", "done",
+                "p50 us", "p99 us", "q-p99 us", "slo-viol",
+            ],
+            rows,
+            title="per-tenant",
+        )
+    )
+    print(f"fingerprint     : {result.fingerprint()}")
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    """`repro scenario run`: one open-loop scenario end to end."""
+    from repro.scenarios import run_scenario
+
+    spec = _resolve_scenario(args.name)
+    runner = _make_runner(args)
+    result = run_scenario(spec, runner, validate=bool(args.validate))
+    if args.format == "json":
+        payload = result.to_dict()
+        payload["fingerprint"] = result.fingerprint()
+        payload["checks_run"] = result.checks_run
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+    else:
+        _print_scenario_result(result)
+        if result.checks_run:
+            print(f"audit           : {result.checks_run} checks passed")
+    _finish(runner)
+    return 0
+
+
+# --------------------------------------------------------------------
 # `repro trace` — composable NDJSON pipeline stages
 # --------------------------------------------------------------------
 
@@ -1321,6 +1463,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sizing(p_wl_rep)
     p_wl_rep.set_defaults(fn=cmd_workloads_replay)
+
+    p_scn = sub.add_parser(
+        "scenario",
+        help="open-loop traffic scenarios: arrivals, SLOs, degradation "
+        "(DESIGN.md section 14)",
+    )
+    scn_sub = p_scn.add_subparsers(dest="scenario_command", required=True)
+
+    p_scn_list = scn_sub.add_parser("list", help="every registered scenario")
+    p_scn_list.set_defaults(fn=cmd_scenario_list)
+
+    p_scn_desc = scn_sub.add_parser(
+        "describe",
+        help="a scenario's arrival process, tenant mix, admission "
+        "policy and degradation schedule",
+    )
+    p_scn_desc.add_argument("name")
+    p_scn_desc.set_defaults(fn=cmd_scenario_describe)
+
+    p_scn_run = scn_sub.add_parser(
+        "run",
+        help="run one open-loop scenario: measure per-class service "
+        "times (cached/journaled), replay the seeded arrival stream "
+        "through admission and capacity queueing, report per-tenant "
+        "p50/p99 latency, queueing delay and SLO violations",
+    )
+    p_scn_run.add_argument("name")
+    p_scn_run.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="report format (default: table)",
+    )
+    p_scn_run.add_argument(
+        "-o", "--output", default=None,
+        help="write the json report to this file instead of stdout",
+    )
+    add_sizing(p_scn_run)
+    p_scn_run.set_defaults(fn=cmd_scenario_run)
 
     p_batch = sub.add_parser(
         "batch", help="sharded, journaled, resumable experiment batches"

@@ -100,8 +100,14 @@ class DynamicWavelengthAllocator:
             abs(ideal[i] - self.current[i]) <= self.hysteresis for i in range(self.n)
         ):
             return AllocationDecision(dict(self.current), retuned_wavelengths=0)
+        # Every wavelength that changes hands retunes *two* rings: the
+        # losing controller detunes its ring off the wavelength and the
+        # gaining controller tunes one onto it (HPCA'13 §III).  Gains
+        # and losses are symmetric (the total is conserved), so count
+        # both sides: sum of |delta| = 2 x wavelengths moved = rings
+        # retuned.
         moved = sum(
-            max(0, ideal[i] - self.current[i]) for i in range(self.n)
+            abs(ideal[i] - self.current[i]) for i in range(self.n)
         )
         self.current = ideal
         self.rebalances += 1

@@ -1,0 +1,41 @@
+"""Open-loop traffic scenarios: arrivals, SLOs and degradation.
+
+The layer that turns the closed-loop figure-reproducer into a
+capacity-planning tool (ROADMAP item 4): tenants *arrive* by a seeded
+process, queue for SM capacity under an admission policy, and report
+per-tenant latency percentiles, queueing delay and SLO violations while
+time-varying degradation schedules age the hardware models the paper
+already implies — Start-Gap wear, BER drift, wavelength drift, channel
+failures.  See DESIGN.md §14 and docs/SCENARIOS.md.
+"""
+
+from repro.scenarios.arrivals import ARRIVAL_KINDS, ArrivalProcess, arrival_times_ps
+from repro.scenarios.degradation import (
+    DEGRADATION_KINDS,
+    DegradationSpec,
+    build_schedule,
+)
+from repro.scenarios.openloop import ScenarioResult, run_scenario
+from repro.scenarios.spec import (
+    SCENARIOS,
+    ScenarioSpec,
+    TenantClass,
+    get_scenario,
+    register_scenario,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "arrival_times_ps",
+    "DEGRADATION_KINDS",
+    "DegradationSpec",
+    "build_schedule",
+    "ScenarioResult",
+    "run_scenario",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "TenantClass",
+    "get_scenario",
+    "register_scenario",
+]

@@ -1,0 +1,409 @@
+"""Time-varying degradation schedules for open-loop scenarios.
+
+Each schedule divides the scenario horizon into epochs and, per epoch,
+(a) drives the *real* hardware model the degradation lives in —
+:class:`~repro.optical.ber.BerModel` for laser aging,
+:class:`~repro.xpoint.translation.RegionTranslator`/Start-Gap for XPoint
+wear, :class:`~repro.optical.dynamic.DynamicWavelengthAllocator` for
+wavelength drift — and (b) folds the effect back into the queueing model
+as a pair of multipliers:
+
+* ``service_scale`` — how much longer a job dispatched in this epoch
+  takes (retransmissions under BER drift, write amplification under
+  wear, retuning stalls under drift);
+* ``capacity_scale`` — what fraction of SM capacity is available
+  (channel failures take slots away until recovery).
+
+Schedules are declared as a frozen :class:`DegradationSpec` (so
+scenario specs stay hashable/fingerprintable) and realized by
+:func:`build_schedule`; realization is deterministic for a fixed
+``(spec, seed, num_epochs)``.  Every schedule knows how to audit its own
+conservation story under ``--validate``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import OpticalChannelConfig
+from repro.optical.ber import BerModel
+from repro.optical.dynamic import DynamicWavelengthAllocator
+from repro.optical.power import OpticalPowerModel
+from repro.sim.audit import Auditor, check_startgap
+from repro.xpoint.translation import RegionTranslator
+
+DEGRADATION_KINDS = ("ber_drift", "xpoint_wear", "channel_flap", "wavelength_drift")
+
+#: Retransmission factor is capped here: past it the link is considered
+#: dead and the scenario should be showing SLO violations, not modelling
+#: ever-longer retries.
+MAX_RETRANSMIT_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class DegradationSpec:
+    """Declarative degradation description (hashable, fingerprintable).
+
+    ``params`` is a tuple of ``(key, value)`` pairs so the spec stays
+    frozen; :func:`build_schedule` turns it back into kwargs.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEGRADATION_KINDS:
+            raise ValueError(
+                f"unknown degradation kind {self.kind!r}; "
+                f"pick from {DEGRADATION_KINDS}"
+            )
+
+    def kwargs(self) -> Dict[str, float]:
+        return dict(self.params)
+
+
+@dataclass
+class EpochState:
+    service_scale: float = 1.0
+    capacity_scale: float = 1.0
+
+
+class Schedule:
+    """Base: a realized degradation schedule over ``num_epochs`` epochs."""
+
+    kind = "none"
+
+    def __init__(self, num_epochs: int, seed: int) -> None:
+        if num_epochs < 1:
+            raise ValueError("need at least one epoch")
+        self.num_epochs = num_epochs
+        self.seed = seed
+        self.epochs: List[EpochState] = []
+
+    def state(self, epoch: int) -> EpochState:
+        return self.epochs[min(epoch, self.num_epochs - 1)]
+
+    def report(self) -> Dict[str, float]:
+        """Scalar summary folded into the scenario result (sorted keys)."""
+        raise NotImplementedError
+
+    def audit(self, auditor: Auditor) -> None:
+        """Kind-specific conservation checks (run under ``--validate``)."""
+
+
+class BerDriftSchedule(Schedule):
+    """Laser aging: received power decays, BER climbs, reads retransmit.
+
+    Power at epoch ``e`` is ``1 - (1 - end_power_frac) * e / (E - 1)``
+    of nominal; the BER comes from the calibrated receiver model and the
+    service scale is the expected transmissions per line,
+    ``1 / (1 - p_line)`` with ``p_line = 1 - (1 - BER)^bits_per_line``,
+    capped at :data:`MAX_RETRANSMIT_FACTOR`.
+    """
+
+    kind = "ber_drift"
+
+    def __init__(
+        self,
+        num_epochs: int,
+        seed: int,
+        end_power_frac: float = 0.25,
+        bits_per_line: float = 1024,
+    ) -> None:
+        super().__init__(num_epochs, seed)
+        if not 0 < end_power_frac <= 1:
+            raise ValueError("end_power_frac must be in (0, 1]")
+        cfg = OpticalChannelConfig()
+        self.model = BerModel.calibrated(cfg)
+        nominal_mw = OpticalPowerModel(cfg).demand_path().received_power_mw
+        self.bers: List[float] = []
+        for e in range(num_epochs):
+            frac = 1.0 - (1.0 - end_power_frac) * (
+                e / (num_epochs - 1) if num_epochs > 1 else 1.0
+            )
+            ber = self.model.ber(nominal_mw * frac)
+            p_line = 1.0 - (1.0 - ber) ** bits_per_line
+            if p_line >= 1.0 - 1.0 / MAX_RETRANSMIT_FACTOR:
+                scale = MAX_RETRANSMIT_FACTOR
+            else:
+                scale = min(MAX_RETRANSMIT_FACTOR, 1.0 / (1.0 - p_line))
+            self.bers.append(ber)
+            self.epochs.append(EpochState(service_scale=scale))
+
+    def report(self) -> Dict[str, float]:
+        return {
+            "ber_initial": self.bers[0],
+            "ber_final": self.bers[-1],
+            "retransmit_factor_final": self.epochs[-1].service_scale,
+        }
+
+    def audit(self, auditor: Auditor) -> None:
+        for e, ber in enumerate(self.bers):
+            auditor.check(
+                "scenario.ber_range",
+                f"epoch{e}",
+                0.0 <= ber <= 0.5,
+                "BER outside [0, 0.5]",
+                expected=0.5,
+                actual=ber,
+            )
+        auditor.check(
+            "scenario.ber_monotone",
+            "drift",
+            all(a <= b + 1e-18 for a, b in zip(self.bers, self.bers[1:])),
+            "BER decreased while power decayed",
+            expected="non-decreasing",
+            actual=self.bers,
+        )
+
+
+class XPointWearSchedule(Schedule):
+    """Millions of background writes age a real Start-Gap translator.
+
+    Each epoch pushes ``writes_per_epoch`` writes (spread round-robin
+    over the regions) through :meth:`RegionTranslator.record_writes` —
+    the closed-form bulk path — and the service scale follows the write
+    amplification ``(writes + 2 * gap_moves) / writes`` weighted by the
+    workload's write share: every gap rotation costs the media one extra
+    read and one extra write.
+    """
+
+    kind = "xpoint_wear"
+
+    def __init__(
+        self,
+        num_epochs: int,
+        seed: int,
+        writes_per_epoch: float = 2_000_000,
+        write_share: float = 0.5,
+        capacity_bytes: float = 1 << 22,
+        row_bytes: float = 256,
+        start_gap_period: float = 100,
+    ) -> None:
+        super().__init__(num_epochs, seed)
+        if writes_per_epoch < 1:
+            raise ValueError("writes_per_epoch must be >= 1")
+        if not 0 <= write_share <= 1:
+            raise ValueError("write_share must be in [0, 1]")
+        self.translator = RegionTranslator(
+            int(capacity_bytes),
+            int(row_bytes),
+            start_gap_period=int(start_gap_period),
+        )
+        self.writes_per_epoch = int(writes_per_epoch)
+        self.total_writes = 0
+        regions = self.translator.num_regions
+        region_rows = self.translator.region_rows
+        for e in range(num_epochs):
+            base, extra = divmod(self.writes_per_epoch, regions)
+            moves = 0
+            for r in range(regions):
+                # Round-robin the epoch's writes over the regions; the
+                # remainder rotates with the epoch so no region is
+                # systematically favoured.
+                n = base + (1 if (r + e) % regions < extra else 0)
+                addr = r * region_rows * int(row_bytes)
+                moves += self.translator.record_writes(addr, n)
+            self.total_writes += self.writes_per_epoch
+            writes = self.writes_per_epoch
+            amp = (writes + 2.0 * moves) / writes
+            self.epochs.append(
+                EpochState(service_scale=1.0 + write_share * (amp - 1.0))
+            )
+
+    def report(self) -> Dict[str, float]:
+        writes = self.total_writes
+        moves = self.translator.total_gap_moves
+        return {
+            "wear_total_writes": float(writes),
+            "wear_gap_moves": float(moves),
+            "wear_write_amplification": (writes + 2.0 * moves) / writes,
+        }
+
+    def audit(self, auditor: Auditor) -> None:
+        # The translator aged outside any GPU run: its rotation count is
+        # its own ground truth, and the register/permutation invariants
+        # must hold after millions of writes.
+        check_startgap(
+            auditor, "scenario.wear", self.translator,
+            self.translator.total_gap_moves,
+        )
+        period = self.translator.gaps[0].period
+        auditor.check_equal(
+            "scenario.wear_moves",
+            "wear",
+            self.translator.total_gap_moves,
+            sum(
+                (self._region_writes(r)) // period
+                for r in range(self.translator.num_regions)
+            ),
+            "gap moves != per-region writes // period",
+        )
+
+    def _region_writes(self, region: int) -> int:
+        """Writes this schedule pushed into ``region`` across epochs."""
+        regions = self.translator.num_regions
+        base, extra = divmod(self.writes_per_epoch, regions)
+        total = 0
+        for e in range(self.num_epochs):
+            total += base + (1 if (region + e) % regions < extra else 0)
+        return total
+
+
+class ChannelFlapSchedule(Schedule):
+    """Seeded channel failure/recovery injection.
+
+    Each epoch, every *up* channel fails with ``fail_prob`` and every
+    *down* channel recovers with ``recover_prob`` (all draws from one
+    seeded RNG, in channel order).  Capacity scales with the up
+    fraction; at least one channel is always kept up so the scenario
+    degrades rather than deadlocks.
+    """
+
+    kind = "channel_flap"
+
+    def __init__(
+        self,
+        num_epochs: int,
+        seed: int,
+        num_channels: float = 6,
+        fail_prob: float = 0.15,
+        recover_prob: float = 0.5,
+    ) -> None:
+        super().__init__(num_epochs, seed)
+        n = int(num_channels)
+        if n < 1:
+            raise ValueError("need at least one channel")
+        if not 0 <= fail_prob <= 1 or not 0 <= recover_prob <= 1:
+            raise ValueError("probabilities must be in [0, 1]")
+        rng = random.Random(seed)
+        up = [True] * n
+        self.failures = 0
+        self.recoveries = 0
+        self.up_history: List[int] = []
+        for _ in range(num_epochs):
+            for i in range(n):
+                if up[i]:
+                    if sum(up) > 1 and rng.random() < fail_prob:
+                        up[i] = False
+                        self.failures += 1
+                elif rng.random() < recover_prob:
+                    up[i] = True
+                    self.recoveries += 1
+            live = sum(up)
+            self.up_history.append(live)
+            self.epochs.append(EpochState(capacity_scale=live / n))
+        self.still_down = n - sum(up)
+
+    def report(self) -> Dict[str, float]:
+        return {
+            "chan_failures": float(self.failures),
+            "chan_recoveries": float(self.recoveries),
+            "chan_min_up": float(min(self.up_history)),
+        }
+
+    def audit(self, auditor: Auditor) -> None:
+        auditor.check_equal(
+            "scenario.chan_episodes",
+            "flap",
+            self.failures,
+            self.recoveries + self.still_down,
+            "failures != recoveries + channels still down",
+        )
+        auditor.check(
+            "scenario.chan_liveness",
+            "flap",
+            min(self.up_history) >= 1,
+            "all channels down in some epoch",
+            expected=1,
+            actual=min(self.up_history),
+        )
+
+
+class WavelengthDriftSchedule(Schedule):
+    """Skewed per-epoch demand drives real allocator rebalances.
+
+    Demands follow a seeded random walk over the controllers; each epoch
+    the :class:`DynamicWavelengthAllocator` rebalances and the epoch's
+    service scale charges the retuning window against the epoch length
+    through ``retune_weight``.
+    """
+
+    kind = "wavelength_drift"
+
+    def __init__(
+        self,
+        num_epochs: int,
+        seed: int,
+        total_wavelengths: float = 96,
+        num_controllers: float = 6,
+        retune_weight: float = 0.05,
+    ) -> None:
+        super().__init__(num_epochs, seed)
+        self.allocator = DynamicWavelengthAllocator(
+            int(total_wavelengths), int(num_controllers)
+        )
+        rng = random.Random(seed)
+        n = int(num_controllers)
+        demands = [1.0] * n
+        self.retuned_total = 0
+        self.share_history: List[Dict[int, int]] = []
+        for _ in range(num_epochs):
+            hot = rng.randrange(n)
+            demands = [
+                max(0.0, d * 0.5 + (10.0 if i == hot else 0.0) + rng.random())
+                for i, d in enumerate(demands)
+            ]
+            decision = self.allocator.rebalance(demands)
+            self.retuned_total += decision.retuned_wavelengths
+            self.share_history.append(dict(decision.wavelengths_per_controller))
+            frac = decision.retuned_wavelengths / self.allocator.total
+            self.epochs.append(EpochState(service_scale=1.0 + retune_weight * frac))
+
+    def report(self) -> Dict[str, float]:
+        return {
+            "drift_rebalances": float(self.allocator.rebalances),
+            "drift_retuned_rings": float(self.retuned_total),
+        }
+
+    def audit(self, auditor: Auditor) -> None:
+        total = self.allocator.total
+        floor = self.allocator.min_per_controller
+        for e, shares in enumerate(self.share_history):
+            auditor.check_equal(
+                "scenario.drift_conserved",
+                f"epoch{e}",
+                sum(shares.values()),
+                total,
+                "wavelength shares do not sum to the total",
+            )
+            auditor.check(
+                "scenario.drift_floor",
+                f"epoch{e}",
+                min(shares.values()) >= floor,
+                "a controller fell below the guaranteed minimum",
+                expected=floor,
+                actual=min(shares.values()),
+            )
+
+
+_SCHEDULES = {
+    cls.kind: cls
+    for cls in (
+        BerDriftSchedule,
+        XPointWearSchedule,
+        ChannelFlapSchedule,
+        WavelengthDriftSchedule,
+    )
+}
+
+
+def build_schedule(
+    spec: Optional[DegradationSpec], num_epochs: int, seed: int
+) -> Optional[Schedule]:
+    """Realize a declarative spec (``None`` passes through)."""
+    if spec is None:
+        return None
+    return _SCHEDULES[spec.kind](num_epochs, seed, **spec.kwargs())

@@ -541,6 +541,7 @@ class Auditor:
                 c.get(f"{media}.reads", 0.0),
                 "ECC decodes + rotations != media reads",
             )
+            check_startgap(self, name, xp.translator, rotations)
 
     def _check_host(self, model: "GpuModel", c) -> None:
         if "pcie.transfers" not in c:
@@ -709,3 +710,51 @@ class Auditor:
                 continue
             seen.add(id(dev))
             yield dev
+
+
+def check_startgap(auditor: Auditor, name: str, translator, rotations: float) -> None:
+    """Start-Gap invariants for one :class:`RegionTranslator`.
+
+    Shared between the post-run XPoint audit and the wear scenarios
+    (which age translators outside a GPU run):
+
+    * the sum of per-region gap moves equals the controller's
+      ``gap_rotations`` counter (every rotation paid its media copy);
+    * each region's ``start``/``gap`` registers reconcile with its move
+      count in closed form — the gap's offset cycles through
+      ``num_lines + 1`` slots and each completed cycle bumps ``start``;
+    * every *exercised* region's logical→physical map is still a
+      permutation that avoids the gap slot (translation stayed
+      injective through any number of rotations).
+    """
+    auditor.check_equal(
+        "xpoint.startgap_rotations",
+        name,
+        translator.total_gap_moves,
+        rotations,
+        "sum of per-region gap moves != gap_rotations counter",
+    )
+    for region, g in enumerate(translator.gaps):
+        cycle = g.num_lines + 1
+        ok = (
+            g.gap == g.num_lines - (g.gap_moves % cycle)
+            and g.start == (g.gap_moves // cycle) % g.num_lines
+        )
+        auditor.check(
+            "xpoint.startgap_registers",
+            f"{name}.region{region}",
+            ok,
+            "start/gap registers do not reconcile with the gap-move count",
+            expected=g.gap_moves,
+            actual=(g.start, g.gap),
+        )
+        if g.gap_moves:
+            mapping = g.mapping()
+            auditor.check(
+                "xpoint.startgap_permutation",
+                f"{name}.region{region}",
+                len(set(mapping)) == g.num_lines and g.gap not in mapping,
+                "logical->physical map is not a gap-avoiding permutation",
+                expected=g.num_lines,
+                actual=len(set(mapping)),
+            )

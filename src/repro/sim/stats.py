@@ -138,6 +138,28 @@ class Histogram:
         """Total samples recorded (maintained incrementally)."""
         return self._count
 
+    def percentile(self, p: float) -> int:
+        """Nearest-rank percentile, resolved to its bin start.
+
+        Returns the start of the bin holding the sample at rank
+        ``ceil(p/100 * count)`` (1-indexed, samples ordered by bin) —
+        the conventional nearest-rank definition, quantized to bin
+        resolution.  Bin starts are exact ints, so percentile values
+        are reproducible across platforms; an empty histogram reports
+        ``0``.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self._count == 0:
+            return 0
+        rank = max(1, -(-int(p * self._count) // 100))  # ceil without floats
+        seen = 0
+        for b, c in sorted(self.bins.items()):
+            seen += c
+            if seen >= rank:
+                return b * self.bin_width
+        return b * self.bin_width  # pragma: no cover - unreachable
+
 
 @dataclass
 class Stats:

@@ -79,9 +79,13 @@ def make_phased(
     """
     if not phases:
         raise ValueError(f"{name}: need at least one phase")
+    if all(frac == 0 for _, frac in phases):
+        raise ValueError(f"{name}: at least one phase needs a positive fraction")
     for member, frac in phases:
-        if frac <= 0:
-            raise ValueError(f"{name}: phase {member.name!r} needs a positive fraction")
+        if frac < 0:
+            raise ValueError(
+                f"{name}: phase {member.name!r} needs a non-negative fraction"
+            )
     spec = _blend_spec(name, "composed", [(d.spec, f) for d, f in phases])
     return make_def(
         name,
@@ -130,7 +134,15 @@ def make_multi_tenant(
 
 
 def _split_accesses(fractions: Sequence[float], total: int) -> List[int]:
-    """Largest-remainder split of ``total`` accesses over phases."""
+    """Largest-remainder split of ``total`` accesses over phases.
+
+    A phase declared with fraction ``0.0`` asked for *nothing* and gets
+    exactly zero accesses; the minimum-one floor below applies only to
+    positive fractions rounded down to zero.  (Remainder units can never
+    land on a declared zero either: its fractional part is exactly 0.0,
+    and there are always at least ``remainder`` phases with a strictly
+    positive fractional part ahead of it in the sort.)
+    """
     norm = sum(fractions)
     raw = [f / norm * total for f in fractions]
     counts = [int(r) for r in raw]
@@ -139,12 +151,14 @@ def _split_accesses(fractions: Sequence[float], total: int) -> List[int]:
     )
     for i in remainders[: total - sum(counts)]:
         counts[i] += 1
-    # Every phase needs at least one access if the budget allows it.
-    # (A zero with total >= len(counts) implies some donor holds >= 2.)
-    while total >= len(counts) and 0 in counts:
-        donor = max(range(len(counts)), key=lambda j: counts[j])
+    # Every *declared* phase needs at least one access if the budget
+    # allows it.  (A zero with total >= len(positive) implies some donor
+    # holds >= 2.)
+    positive = [i for i, f in enumerate(fractions) if f > 0]
+    while total >= len(positive) and any(counts[i] == 0 for i in positive):
+        donor = max(positive, key=lambda j: counts[j])
         counts[donor] -= 1
-        counts[counts.index(0)] += 1
+        counts[next(i for i in positive if counts[i] == 0)] += 1
     return counts
 
 
@@ -276,6 +290,55 @@ class PhasedTraceSource(TraceSource):
 
     def blocks(self, warp_id: int) -> Iterator[Block]:
         return chain.from_iterable(m.blocks(warp_id) for m in self.members)
+
+
+class ArrivalTraceSource(TraceSource):
+    """Stagger warp start times by per-warp arrival offsets.
+
+    The open-loop scenario layer's trace-level composition: warp ``w``
+    replays the member source's stream with ``offsets[w]`` extra compute
+    gap prepended to its first access — the warp "arrives" that much
+    later in the simulated timeline — optionally relabelled with a
+    per-warp tenant.  Offsets are in the same units as block gaps
+    (compute cycles between accesses), and a zero offset leaves the
+    member's blocks untouched, so an all-zero arrival source is
+    stream-identical to its member.
+    """
+
+    def __init__(
+        self,
+        member: TraceSource,
+        offsets: Sequence[int],
+        tenants: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        if len(offsets) != member.num_warps:
+            raise ValueError(
+                f"need one offset per warp: {len(offsets)} offsets, "
+                f"{member.num_warps} warps"
+            )
+        if any(o < 0 for o in offsets):
+            raise ValueError("arrival offsets must be non-negative")
+        if tenants is not None and len(tenants) != member.num_warps:
+            raise ValueError("need one tenant label per warp (or None)")
+        self.member = member
+        self.offsets = [int(o) for o in offsets]
+        self.tenants = list(tenants) if tenants is not None else None
+        self.num_warps = member.num_warps
+
+    def tenant_of(self, warp_id: int) -> Optional[str]:
+        if self.tenants is not None:
+            return self.tenants[warp_id]
+        return self.member.tenant_of(warp_id)
+
+    def blocks(self, warp_id: int) -> Iterator[Block]:
+        offset = self.offsets[warp_id]
+        inner = self.member.blocks(warp_id)
+        if offset:
+            first = next(inner, None)
+            if first is not None:
+                gaps, addrs, writes = first
+                yield ([gaps[0] + offset] + list(gaps[1:]), addrs, writes)
+        yield from inner
 
 
 class MultiTenantTraceSource(TraceSource):

@@ -152,9 +152,13 @@ class XPointController:
         media_addr = self.translator.translate(addr)
         finish = self.device.access(media_addr, True, max(now_ps, ready_ps))
         if self.translator.record_write(addr):
-            # Start-Gap rotation: one extra read+write of a media row.
-            gap_finish = self.device.access(media_addr, False, finish)
-            self.device.access(media_addr, True, gap_finish)
+            # Start-Gap rotation: copy the line adjacent to the gap into
+            # the gap slot — one extra read+write, charged to the rows
+            # the copy actually touches (not the triggering row, which
+            # would double-charge its wear and miss the gap slot's).
+            copy_read, copy_write = self.translator.rotation_copy_addrs(addr)
+            gap_finish = self.device.access(copy_read, False, finish)
+            self.device.access(copy_write, True, gap_finish)
             self._c_gap_rotations.add(1)
 
     def read(self, addr: int, now_ps: int) -> int:
@@ -246,9 +250,17 @@ class XPointController:
             self._def_stall_writes += 1  # media access + write, batched
             wcounts[media_row] += 1
             if gap.record_write():
-                # Start-Gap rotation: one extra read+write of a media row.
-                gap_finish = self.device.access(media_addr, False, finish)
-                self.device.access(media_addr, True, gap_finish)
+                # Start-Gap rotation: copy the line adjacent to the gap
+                # into the gap slot — charged to the rows the copy
+                # actually touches (post-move registers), mirroring
+                # _drain_one_write.
+                base = region * (region_rows + 1)
+                copy_read = (base + gap.gap) * row_bytes
+                copy_write = (
+                    base + (gap.gap + 1) % (gap.num_lines + 1)
+                ) * row_bytes
+                gap_finish = self.device.access(copy_read, False, finish)
+                self.device.access(copy_write, True, gap_finish)
                 self._c_gap_rotations.add(1)
             self._c_wbuf_stalls.add(1)
             # Stall the channel until the drained write's slot frees:

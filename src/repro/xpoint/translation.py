@@ -61,6 +61,43 @@ class RegionTranslator:
         region = row // self.region_rows
         return self._gaps[region].record_write()
 
+    def record_writes(self, addr: int, writes: int) -> int:
+        """Bulk-account ``writes`` writes landing in ``addr``'s region.
+
+        Closed-form (:meth:`StartGap.advance`); returns the number of
+        gap rotations performed.  Wear scenarios use this to age a
+        region by millions of writes without a per-write loop.
+        """
+        row = (addr // self.row_bytes) % self.num_rows
+        region = row // self.region_rows
+        return self._gaps[region].advance(writes)
+
+    def rotation_copy_addrs(self, addr: int) -> tuple[int, int]:
+        """Media byte addresses (read, write) of the last gap rotation
+        in ``addr``'s region.
+
+        A rotation copies the line adjacent to the gap into the gap
+        slot — *not* the row whose write triggered the move.  Call with
+        post-move registers (right after ``record_write`` returns True).
+        """
+        row = (addr // self.row_bytes) % self.num_rows
+        region = row // self.region_rows
+        read_slot, write_slot = self._gaps[region].rotation_copy_slots()
+        base = region * (self.region_rows + 1)
+        return (
+            (base + read_slot) * self.row_bytes,
+            (base + write_slot) * self.row_bytes,
+        )
+
+    def region_of(self, addr: int) -> int:
+        """Region index an address decodes to (audit/scenario helper)."""
+        return ((addr // self.row_bytes) % self.num_rows) // self.region_rows
+
+    @property
+    def gaps(self) -> list[StartGap]:
+        """Per-region Start-Gap remappers (audit/scenario access)."""
+        return self._gaps
+
     @property
     def total_gap_moves(self) -> int:
         return sum(g.gap_moves for g in self._gaps)

@@ -53,6 +53,41 @@ class StartGap:
         self._move_gap()
         return True
 
+    def advance(self, writes: int) -> int:
+        """Bulk-account ``writes`` writes in closed form; returns gap moves.
+
+        Equivalent to calling :meth:`record_write` ``writes`` times —
+        the registers land in the identical state — but O(1), which is
+        what lets wear scenarios push millions of writes through a
+        region without a Python-level loop.  The algebra: the gap's
+        offset from its rewind position cycles through ``num_lines + 1``
+        slots, and each completed cycle bumps ``start`` once.
+        """
+        if writes < 0:
+            raise ValueError("writes must be >= 0")
+        total = self._writes_since_move + writes
+        moves = total // self.period
+        self._writes_since_move = total % self.period
+        if moves:
+            cycle = self.num_lines + 1
+            off = self.num_lines - self.gap  # moves since the last rewind
+            rewinds = (off + moves) // cycle
+            self.gap = self.num_lines - (off + moves) % cycle
+            self.start = (self.start + rewinds) % self.num_lines
+            self.gap_moves += moves
+        return moves
+
+    def rotation_copy_slots(self) -> tuple[int, int]:
+        """(read_slot, write_slot) of the copy the *last* gap move did.
+
+        Moving the gap from slot ``g`` to ``g - 1`` (or the rewind wrap
+        from ``0`` to ``num_lines``) physically copies the line that
+        occupied the destination slot into the previously-empty slot —
+        so with post-move registers the copy read the new gap's slot and
+        wrote the slot just past it.
+        """
+        return self.gap, (self.gap + 1) % (self.num_lines + 1)
+
     def _move_gap(self) -> None:
         self.gap_moves += 1
         if self.gap == 0:

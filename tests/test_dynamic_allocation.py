@@ -41,6 +41,36 @@ class TestRebalance:
         assert decision.retuned_wavelengths == 0
         assert a.rebalances == 0
 
+    def test_retunes_count_both_gained_and_detuned_rings(self):
+        # Regression: retuned_wavelengths used to count only the rings
+        # tuned *onto* newly gained wavelengths; every moved wavelength
+        # also detunes a ring on the losing controller (HPCA'13), so
+        # the count is the sum of |delta| — twice the wavelengths moved.
+        a = DynamicWavelengthAllocator(96, 6)
+        decision = a.rebalance([10, 0, 0, 0, 0, 0])
+        gains = sum(
+            max(0, decision.wavelengths_per_controller[i] - 16) for i in range(6)
+        )
+        losses = sum(
+            max(0, 16 - decision.wavelengths_per_controller[i]) for i in range(6)
+        )
+        assert gains == losses  # total conserved
+        assert decision.retuned_wavelengths == gains + losses
+        assert decision.retuned_wavelengths == 2 * gains
+
+    def test_repeated_identical_demand_does_not_churn(self):
+        # Once a rebalance lands on the ideal split, replaying the same
+        # demand vector must be a no-op (current == ideal), no matter
+        # how skewed the demand or how tight the hysteresis.
+        a = DynamicWavelengthAllocator(96, 6, hysteresis=0)
+        first = a.rebalance([7, 3, 0, 0, 0, 1])
+        assert first.retuned_wavelengths > 0
+        for _ in range(5):
+            again = a.rebalance([7, 3, 0, 0, 0, 1])
+            assert again.retuned_wavelengths == 0
+            assert again.retune_latency_ps == 0
+        assert a.rebalances == 1
+
     def test_idle_system_returns_even_split(self):
         a = DynamicWavelengthAllocator(96, 6)
         a.rebalance([100, 0, 0, 0, 0, 0])

@@ -10,6 +10,7 @@ import pytest
 from repro.config import MB, MemoryMode
 from repro.harness.executor import RunConfig, SimulationJob, execute_job
 from repro.workloads.compose import (
+    _split_accesses,
     make_multi_tenant,
     make_phased,
     tenant_assignment,
@@ -199,6 +200,29 @@ class TestComposition:
         # silently vanish from the counters — must fail loudly instead.
         with pytest.raises(ValueError, match="received 0"):
             build_traces(skewed, FOOTPRINT, 4, 8, 128, 2048, 7)
+
+    def test_split_declared_zero_stays_zero(self):
+        # Regression: the minimum-one floor used to donate an access to
+        # phases whose fraction was *declared* 0.0, not just to positive
+        # fractions rounded down to zero.
+        assert _split_accesses([0.0, 1.0], 10) == [0, 10]
+        assert _split_accesses([0.0, 0.25, 0.75], 8) == [0, 2, 6]
+        # A tiny-but-positive fraction still gets its floor access.
+        assert _split_accesses([0.001, 0.999], 10) == [1, 9]
+
+    def test_phased_accepts_zero_fraction_phase(self):
+        # A disabled phase (fraction 0.0) is a legal declaration — the
+        # scenario layer toggles phases off this way — and contributes
+        # no accesses.
+        gemm = get_workload_def("gemm_reuse")
+        chase = get_workload_def("pointer_chase")
+        defn = make_phased("zero_phase_test", [(gemm, 0.0), (chase, 1.0)])
+        traces = build_traces(defn, FOOTPRINT, 2, 16, 128, 2048, 7)
+        solo = build_traces("pointer_chase", FOOTPRINT, 2, 16, 128, 2048, 7)
+        for t, s in zip(traces, solo):
+            assert np.array_equal(t.addrs, s.addrs)
+        with pytest.raises(ValueError, match="positive fraction"):
+            make_phased("all_zero", [(gemm, 0.0), (chase, 0.0)])
 
     def test_compose_validation(self):
         gemm = get_workload_def("gemm_reuse")

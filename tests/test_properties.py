@@ -89,6 +89,39 @@ class TestCodecsCompose:
             assert codec.decode(codec.encode_first(s)) == s
 
 
+class TestSplitAccesses:
+    @given(
+        fractions=st.lists(
+            st.one_of(
+                st.just(0.0),
+                st.floats(
+                    min_value=1e-6, max_value=1.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+            ),
+            min_size=1,
+            max_size=8,
+        ).filter(lambda fs: any(f > 0 for f in fs)),
+        total=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_split_invariants(self, fractions, total):
+        """Sum preserved, no negatives, declared zeros stay zero, and
+        the floor loop terminates (the call returning at all)."""
+        from repro.workloads.compose import _split_accesses
+
+        counts = _split_accesses(fractions, total)
+        assert sum(counts) == total
+        assert all(c >= 0 for c in counts)
+        assert all(
+            c == 0 for c, f in zip(counts, fractions) if f == 0.0
+        )
+        positive = sum(1 for f in fractions if f > 0)
+        if total >= positive:
+            # Budget allows the floor: every declared phase runs.
+            assert all(c >= 1 for c, f in zip(counts, fractions) if f > 0)
+
+
 class TestStatsConservation:
     @given(st.integers(min_value=1, max_value=30))
     @settings(max_examples=15, deadline=None)

@@ -89,6 +89,61 @@ class TestStartGap:
             StartGap(4, period=0)
         with pytest.raises(ValueError):
             StartGap(4).translate(4)
+        with pytest.raises(ValueError):
+            StartGap(4).advance(-1)
+
+    @given(
+        num_lines=st.integers(min_value=1, max_value=24),
+        period=st.integers(min_value=1, max_value=7),
+        chunks=st.lists(st.integers(min_value=0, max_value=300), max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_advance_matches_sequential_writes(self, num_lines, period, chunks):
+        """advance(k) lands every register exactly where k record_write
+        calls would — the closed form the wear scenarios rely on."""
+        seq = StartGap(num_lines, period=period)
+        bulk = StartGap(num_lines, period=period)
+        for k in chunks:
+            moves = sum(seq.record_write() for _ in range(k))
+            assert bulk.advance(k) == moves
+            assert (bulk.start, bulk.gap, bulk.gap_moves) == (
+                seq.start, seq.gap, seq.gap_moves
+            )
+            assert bulk.mapping() == seq.mapping()
+
+    @given(
+        num_lines=st.integers(min_value=1, max_value=64),
+        period=st.integers(min_value=1, max_value=100),
+        writes=st.integers(min_value=0, max_value=10_000_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_multi_rotation_registers_reconcile(self, num_lines, period, writes):
+        """Millions of writes: the map stays a permutation and the
+        registers reconcile with the write count in closed form."""
+        sg = StartGap(num_lines, period=period)
+        moves = sg.advance(writes)
+        assert moves == writes // period == sg.gap_moves
+        cycle = num_lines + 1
+        assert sg.start == (moves // cycle) % num_lines
+        assert sg.gap == num_lines - (moves % cycle)
+        mapping = sg.mapping()
+        assert len(set(mapping)) == num_lines
+        assert sg.gap not in mapping
+
+    def test_rotation_copy_tracks_physical_contents(self):
+        """rotation_copy_slots names the slots each gap move actually
+        copies: simulate the physical array and check translate() agrees
+        with the contents after every move."""
+        sg = StartGap(6, period=1)
+        phys = list(range(6)) + [None]  # slot -> logical line
+        for _ in range(50):
+            assert sg.record_write()
+            read_slot, write_slot = sg.rotation_copy_slots()
+            assert phys[write_slot] is None  # copies *into* the old gap
+            phys[write_slot] = phys[read_slot]
+            phys[read_slot] = None
+            for logical in range(6):
+                assert phys[sg.translate(logical)] == logical
 
 
 class TestRegionTranslator:
@@ -110,6 +165,24 @@ class TestRegionTranslator:
     def test_capacity_check(self):
         with pytest.raises(ValueError):
             RegionTranslator(100, 256)
+
+    def test_bulk_record_writes_matches_loop(self):
+        a = RegionTranslator(1 << 14, 256, start_gap_period=3)
+        b = RegionTranslator(1 << 14, 256, start_gap_period=3)
+        loop_moves = sum(a.record_write(512) for _ in range(1000))
+        assert b.record_writes(512, 1000) == loop_moves
+        assert a.total_gap_moves == b.total_gap_moves
+        assert a.translate(512) == b.translate(512)
+
+    def test_rotation_copy_addrs_in_region(self):
+        tr = RegionTranslator(64 * 256, 256, region_rows=16, start_gap_period=1)
+        addr = 20 * 256  # region 1 (rows 16..31)
+        assert tr.record_write(addr)
+        read_addr, write_addr = tr.rotation_copy_addrs(addr)
+        # Region 1's slots occupy media rows 17..33; the first move
+        # reads slot 15 (media row 17 + 15) and writes slot 16.
+        assert read_addr == (17 + 15) * 256
+        assert write_addr == (17 + 16) * 256
 
 
 class TestController:
@@ -160,3 +233,34 @@ class TestController:
         c.write(0, 0)
         assert c.stats.get("x.ecc_decodes") == 1
         assert c.stats.get("x.ecc_encodes") == 1
+
+    def test_rotation_wear_lands_on_gap_slot(self):
+        # Regression: the Start-Gap rotation's extra read+write used to
+        # be charged to the *triggering* write's media row — double-
+        # counting that row's wear and never recording the gap slot's.
+        # The physical copy moves the line adjacent to the gap into the
+        # gap slot, two different rows entirely.
+        cfg = XPointConfig(start_gap_period=1)
+        c = XPointController(cfg, 1 << 20, Stats(), name="x")
+        c.write(0, 0)
+        c.flush(0)
+        # Fresh registers: logical row 0 -> media row 0 (the demand
+        # write).  The rotation moves region 0's gap from slot 256 to
+        # 255, copying slot 255 into slot 256.
+        assert c.stats.get("x.gap_rotations") == 1
+        assert c.device.write_counts[0] == 1  # pre-fix: 2
+        assert c.device.write_counts[256] == 1  # pre-fix: missing
+
+    def test_stall_path_rotation_wear_matches_drain_path(self):
+        # The fused buffer-full branch in write() must attribute
+        # rotation wear identically to _drain_one_write.
+        cfg = XPointConfig(start_gap_period=1)
+        a = XPointController(cfg, 1 << 20, Stats(), name="x",
+                             write_buffer_entries=1)
+        a.write(0, 0)
+        a.write(256, 0)  # full buffer: fused stall-drain of addr 0
+        b = XPointController(cfg, 1 << 20, Stats(), name="x")
+        b.write(0, 0)
+        b.flush(0)  # _drain_one_write of addr 0
+        assert dict(a.device.write_counts) == dict(b.device.write_counts)
+        assert a.stats.get("x.gap_rotations") == 1

@@ -4,8 +4,9 @@
 Three invariants keep the documentation surface honest:
 
 1. every workload name registered at import time appears in
-   docs/WORKLOADS.md (and every experiment name in README.md or
-   DESIGN.md is a soft courtesy we do not enforce);
+   docs/WORKLOADS.md and every scenario name in docs/SCENARIOS.md
+   (every experiment name in README.md or DESIGN.md is a soft
+   courtesy we do not enforce);
 2. every CLI command — including nested groups like ``batch run`` and
    ``store query`` — appears in the README CLI tour (walked straight
    out of the live argparse tree, so a new subcommand without docs
@@ -43,6 +44,17 @@ def check_workload_docs() -> list[str]:
     ]
 
 
+def check_scenario_docs() -> list[str]:
+    from repro.scenarios import SCENARIOS
+
+    doc = (REPO / "docs" / "SCENARIOS.md").read_text(encoding="utf-8")
+    return [
+        f"scenario {name!r} is registered but not documented in docs/SCENARIOS.md"
+        for name in SCENARIOS
+        if name not in doc
+    ]
+
+
 def _cli_commands() -> list[str]:
     """Every ``repro ...`` command path in the live argparse tree."""
     import argparse
@@ -75,7 +87,7 @@ def check_cli_docs() -> list[str]:
 
 
 def check_required_docs_exist() -> list[str]:
-    required = ("README.md", "docs/WORKLOADS.md", "DESIGN.md")
+    required = ("README.md", "docs/WORKLOADS.md", "docs/SCENARIOS.md", "DESIGN.md")
     return [
         f"required document {rel} is missing"
         for rel in required
@@ -108,6 +120,7 @@ def main() -> int:
     failures = []
     failures += check_required_docs_exist()
     failures += check_workload_docs()
+    failures += check_scenario_docs()
     failures += check_cli_docs()
     failures += check_examples_smoke()
     if failures:

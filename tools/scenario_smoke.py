@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Gating scenario smoke: open-loop arrivals + degradation under audit.
+
+The scenario tier's promise (DESIGN.md section 14) is a deterministic,
+conservation-audited open-loop simulation on top of the closed-loop
+harness.  This script checks the promise the blunt way CI can trust:
+
+1. run one pure-arrival scenario (``rush_hour``: bursty on-off traffic
+   against a finite queue) and one degradation scenario
+   (``xpoint_wear``: millions of real Start-Gap writes) with
+   ``validate=True`` — every conservation check (admitted == completed +
+   rejected + in-flight, capacity/queue bounds, histogram-sample counts,
+   Start-Gap register reconciliation) must pass or
+   :class:`InvariantError` fails the job;
+2. re-run both on a :class:`ParallelExecutor` and require bit-identical
+   result fingerprints — the open-loop layer must be a pure function of
+   ``(spec, RunConfig)`` regardless of execution strategy;
+3. assert the scenarios actually exercised what they claim: rush_hour
+   saw arrivals and completions, xpoint_wear aged the translator by
+   millions of writes with non-trivial write amplification;
+4. publish the per-tenant SLO report (p50/p99, queueing delay,
+   violations) as a CI artifact.
+
+Run from the repo root:  PYTHONPATH=src python tools/scenario_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+ARRIVAL_SCENARIO = "rush_hour"
+DEGRADATION_SCENARIO = "xpoint_wear"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", type=pathlib.Path, default=None,
+                        help="write the JSON SLO report here")
+    args = parser.parse_args(argv)
+
+    from repro.harness.executor import ParallelExecutor, RunConfig
+    from repro.harness.runner import Runner
+    from repro.scenarios import get_scenario, run_scenario
+    from repro.sim.audit import InvariantError
+
+    run_cfg = RunConfig(num_warps=24, accesses_per_warp=24)
+    failures: list[str] = []
+    report: dict = {"scenarios": {}}
+    t0 = time.monotonic()
+
+    for name in (ARRIVAL_SCENARIO, DEGRADATION_SCENARIO):
+        spec = get_scenario(name)
+        try:
+            serial = run_scenario(spec, Runner(run_cfg), validate=True)
+        except InvariantError as exc:
+            failures.append(f"{name}: invariant violation under audit: {exc}")
+            continue
+        parallel = run_scenario(
+            spec, Runner(run_cfg, executor=ParallelExecutor(max_workers=2)),
+            validate=True,
+        )
+        if serial.fingerprint() != parallel.fingerprint():
+            failures.append(
+                f"{name}: serial and parallel fingerprints differ "
+                f"({serial.fingerprint()[:12]} vs {parallel.fingerprint()[:12]})"
+            )
+        if serial.totals["arrivals"] == 0 or serial.totals["completed"] == 0:
+            failures.append(f"{name}: scenario saw no traffic")
+        report["scenarios"][name] = {
+            "fingerprint": serial.fingerprint(),
+            "checks_run": serial.checks_run,
+            "totals": serial.totals,
+            "degradation": serial.degradation,
+            "tenants": serial.tenants,
+        }
+
+    rh = report["scenarios"].get(ARRIVAL_SCENARIO, {})
+    if rh and rh["totals"]["rejected"] + rh["totals"]["slo_violations"] == 0:
+        failures.append(
+            f"{ARRIVAL_SCENARIO}: bursty overload produced neither "
+            "rejections nor SLO violations — the queue was never stressed"
+        )
+    xw = report["scenarios"].get(DEGRADATION_SCENARIO, {})
+    if xw:
+        writes = xw["degradation"].get("wear_total_writes", 0)
+        amp = xw["degradation"].get("wear_write_amplification", 0)
+        if writes < 1_000_000:
+            failures.append(
+                f"{DEGRADATION_SCENARIO}: only {writes:.0f} writes aged the "
+                "translator — multi-rotation wear was not exercised"
+            )
+        if not amp > 1.0:
+            failures.append(
+                f"{DEGRADATION_SCENARIO}: write amplification {amp} is not "
+                "> 1 — Start-Gap rotations produced no extra wear"
+            )
+
+    report["wall_s"] = round(time.monotonic() - t0, 3)
+    report["failures"] = failures
+    print(json.dumps(report, indent=2))
+    if args.report:
+        args.report.write_text(json.dumps(report, indent=2) + "\n",
+                               encoding="utf-8")
+    if failures:
+        print(f"FAIL: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("OK: both scenarios audited clean with executor-independent "
+          "fingerprints")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
