@@ -1,7 +1,6 @@
 """Table II: workload characteristics, verified against the generated
 traces (measured APKI and read ratio vs the table's values)."""
 
-import numpy as np
 
 from conftest import bench_once, report
 

@@ -14,7 +14,7 @@ from repro.sim.records import RequestKind
 from repro.sim.stats import Stats
 
 
-class ElectricalChannel(ChannelPort):
+class ElectricalChannel(ChannelPort):  # reprolint: allow(R2) inherits ChannelPort's instance-__dict__ audit seam (transfer_window rebinding)
     """A single electrical channel slice owned by one memory controller."""
 
     def __init__(

@@ -530,7 +530,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
     )
     from datetime import datetime, timezone
 
-    timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")  # reprolint: allow(R3) perf-history metadata stamp; never feeds a fingerprint
     if args.output:
         payload = write_bench(
             args.output, measurements, timestamp=timestamp, git_rev=git_revision()
@@ -596,6 +596,35 @@ def cmd_perf(args: argparse.Namespace) -> int:
             print(f"repro perf: regression gate FAILED: {names}", file=sys.stderr)
             return 1
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """`repro lint`: run reprolint (DESIGN.md section 15) on src/repro.
+
+    The linter lives in ``tools/reprolint`` next to the sources it
+    checks, so this command needs the repository checkout — an
+    installed-only ``repro`` points the user at the in-repo form.
+    """
+    repo_root = Path(__file__).resolve().parents[2]
+    if not (repo_root / "tools" / "reprolint").is_dir():
+        raise SystemExit(
+            "repro: lint needs the repository checkout "
+            "(tools/reprolint not found; run `python -m tools.reprolint` "
+            "from the repo root)"
+        )
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    from tools.reprolint.cli import main as lint_main
+
+    forwarded: list = list(args.paths)
+    forwarded += ["--format", args.format]
+    if args.select:
+        forwarded += ["--select", args.select]
+    if args.show_suppressed:
+        forwarded.append("--show-suppressed")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -1812,6 +1841,33 @@ def build_parser() -> argparse.ArgumentParser:
         "and exit non-zero on a >10%% events/sec regression in any case",
     )
     p_perf.set_defaults(fn=cmd_perf)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo's own AST rule-checker "
+        "(hot-path / determinism / audit-placement rules)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
+    p_lint.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (e.g. R2,R3; default: all)",
+    )
+    p_lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print pragma-suppressed findings with their reasons",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue (DESIGN.md section 15) and exit",
+    )
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_list = sub.add_parser("list", help="list platforms/workloads/experiments")
     p_list.set_defaults(fn=cmd_list)

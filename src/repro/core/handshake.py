@@ -19,7 +19,7 @@ that to pin the paper's sequencing.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim.engine import ns

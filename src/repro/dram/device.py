@@ -17,14 +17,14 @@ from repro.dram.timing import DramTiming
 from repro.sim.stats import Stats
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DramAddress:
     bank: int
     row: int
     col: int
 
 
-class DramDevice:
+class DramDevice:  # reprolint: allow(R2) the slice fast path probes dram.__dict__ to detect instance patches (core/slices.py _dram_constant_pack)
     """Bank array + address decode for one DRAM device."""
 
     def __init__(

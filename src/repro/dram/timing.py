@@ -24,7 +24,7 @@ class AccessOutcome(enum.Enum):
     ROW_CONFLICT = "row_conflict"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DramTiming:
     """Precomputed picosecond timing derived from a config."""
 

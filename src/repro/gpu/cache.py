@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     hits: int = 0
     misses: int = 0
@@ -40,7 +40,7 @@ class CacheStats:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvictedLine:
     addr: int
     dirty: bool
@@ -48,6 +48,11 @@ class EvictedLine:
 
 class SetAssocCache:
     """Classic set-associative write-back, write-allocate cache."""
+
+    __slots__ = (
+        "line_bytes", "ways", "num_sets", "name", "stats",
+        "_tags", "_dirty", "_lru", "_fill", "_tick",
+    )
 
     def __init__(self, size_bytes: int, ways: int, line_bytes: int, name: str = "cache") -> None:
         if size_bytes % (ways * line_bytes) != 0:

@@ -27,7 +27,7 @@ from repro.workloads.synthetic import WarpTrace
 from repro.workloads.trace import TraceRecorder
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RunResult:
     """Metrics of one (platform, workload, mode) simulation."""
 
@@ -119,7 +119,7 @@ class RunResult:
         )
 
 
-class GpuModel:
+class GpuModel:  # reprolint: allow(R2) once-per-run orchestrator, never allocated per event; audit/recorder seams attach run-scoped state
     """Assembles SMs and warps around a platform's memory system."""
 
     def __init__(
@@ -248,7 +248,7 @@ class GpuModel:
             mean_mem_latency_ps=lat.mean,
             counters=counters,
         )
-        if self.auditor is not None:
+        if self.auditor is not None:  # reprolint: allow(R4) post-run finish hook — runs once per run, not per event (§10.2)
             # Post-run conservation checks; a strict auditor raises
             # InvariantError here with every violation attached.
             self.auditor.finish(self, result)

@@ -17,6 +17,8 @@ from repro.sim.stats import Stats
 class Interconnect:
     """Fixed-latency, bandwidth-capped crossbar."""
 
+    __slots__ = ("latency_ps", "_bits_per_ps", "_busy_until", "stats", "_cdict")
+
     def __init__(
         self,
         latency_ns: float = 20.0,

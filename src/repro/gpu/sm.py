@@ -29,7 +29,7 @@ L1_HIT_LATENCY_CYCLES = 4
 L2_HIT_LATENCY_CYCLES = 30
 
 
-class StreamingMultiprocessor:
+class StreamingMultiprocessor:  # reprolint: allow(R2) the fused warp drain probes sm.__dict__ to detect instance patches (gpu/warp.py uniformity check)
     """One SM: issue bandwidth + the memory path of its warps."""
 
     def __init__(

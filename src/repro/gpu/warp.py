@@ -30,7 +30,6 @@ from array import array
 from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 from repro.sim.engine import (
-    LANE_IDLE,
     LANE_SEQ_BITS,
     LANE_SEQ_LIMIT,
     LANE_SEQ_MASK,

@@ -47,6 +47,45 @@ FIG20A_WAVEGUIDES = (1, 2, 4, 8)
 MODES = (MemoryMode.PLANAR, MemoryMode.TWO_LEVEL)
 
 
+
+# -- picklable spec plumbing ------------------------------------------------
+#
+# Spec callables must be named module-level functions, never lambdas or
+# closures: registry entries are re-resolved by name inside executor
+# worker processes, and reprolint R5 enforces the rule mechanically.
+
+def _no_jobs(run_cfg: RunConfig) -> Tuple[SimulationJob, ...]:
+    """Analytic figures (layout, cost, link budget) need no simulations."""
+    return ()
+
+
+def _rows_as_is(rows: List[dict]) -> List[dict]:
+    """Identity tabulate: the reducer already emits flat rows."""
+    return rows
+
+
+def _payload_as_row(payload: dict) -> List[dict]:
+    """Tabulate a single-dict payload as its one row."""
+    return [payload]
+
+
+def _fig20b_reduce(_results) -> List[LinkBudget]:
+    return figure20b_budgets(default_config().optical)
+
+
+def _fig20b_tabulate(budgets: List[LinkBudget]) -> List[dict]:
+    return [
+        {
+            "label": b.label,
+            "ber": b.ber,
+            "received_power_mw": b.received_power_mw,
+            "laser_scale": b.laser_scale,
+            "reliable": b.reliable,
+        }
+        for b in budgets
+    ]
+
+
 def batch_jobs_for(
     names: Tuple[str, ...], run_cfg: RunConfig
 ) -> Tuple[SimulationJob, ...]:
@@ -143,9 +182,9 @@ def make_fig3_spec(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> ExperimentSpec
             "workload", "data_move_frac", "storage_frac", "gpu_frac",
             "dma_time_frac", "dma_energy_frac",
         ),
-        jobs=lambda run_cfg: (),
+        jobs=_no_jobs,
         reduce=_fig3_reduce(workloads),
-        tabulate=lambda rows: rows,
+        tabulate=_rows_as_is,
     )
 
 
@@ -438,7 +477,7 @@ def make_fig20a_spec(
         columns=("waveguides", "platform", "norm_performance"),
         jobs=_fig20a_jobs(workloads, waveguide_counts),
         reduce=_fig20a_reduce(workloads, waveguide_counts),
-        tabulate=lambda rows: rows,
+        tabulate=_rows_as_is,
     )
 
 
@@ -469,18 +508,9 @@ def make_fig20b_spec() -> ExperimentSpec:
         name="fig20b",
         title="Fig. 20b — BER of each platform/function",
         columns=("label", "ber", "received_power_mw", "laser_scale", "reliable"),
-        jobs=lambda run_cfg: (),
-        reduce=lambda _results: figure20b_budgets(default_config().optical),
-        tabulate=lambda budgets: [
-            {
-                "label": b.label,
-                "ber": b.ber,
-                "received_power_mw": b.received_power_mw,
-                "laser_scale": b.laser_scale,
-                "reliable": b.reliable,
-            }
-            for b in budgets
-        ],
+        jobs=_no_jobs,
+        reduce=_fig20b_reduce,
+        tabulate=_fig20b_tabulate,
     )
 
 
@@ -526,9 +556,9 @@ def make_fig15_spec() -> ExperimentSpec:
         columns=(
             "layout", "transmitters", "receivers", "total", "reduction_vs_general",
         ),
-        jobs=lambda run_cfg: (),
+        jobs=_no_jobs,
         reduce=_fig15_reduce,
-        tabulate=lambda rows: rows,
+        tabulate=_rows_as_is,
     )
 
 
@@ -575,9 +605,9 @@ def make_table3_spec() -> ExperimentSpec:
             "xpoint_price", "modulators", "detectors", "mrr_price",
             "total_cost", "cost_increase",
         ),
-        jobs=lambda run_cfg: (),
+        jobs=_no_jobs,
         reduce=_table3_reduce,
-        tabulate=lambda rows: rows,
+        tabulate=_rows_as_is,
     )
 
 
@@ -693,7 +723,7 @@ def make_families_spec() -> ExperimentSpec:
         ),
         jobs=_families_jobs,
         reduce=_families_reduce,
-        tabulate=lambda rows: rows,
+        tabulate=_rows_as_is,
     )
 
 
@@ -736,7 +766,7 @@ def make_headline_spec(workloads: Tuple[str, ...] = ALL_WORKLOADS) -> Experiment
         columns=("speedup_vs_origin", "speedup_vs_ohm_base"),
         jobs=_mode_matrix_jobs(("Ohm-BW", "Origin", "Ohm-base"), workloads),
         reduce=_headline_reduce(workloads),
-        tabulate=lambda payload: [payload],
+        tabulate=_payload_as_row,
     )
 
 

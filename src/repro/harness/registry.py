@@ -17,8 +17,8 @@ entry, not a new module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.config import MemoryMode
 from repro.gpu.gpu import RunResult

@@ -9,7 +9,7 @@ of the paper's "intensive memory accesses" trigger).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable
 
 
 class HotnessTracker:

@@ -11,7 +11,7 @@ division helps when controller load is skewed but pays a reallocation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.optical.mrr import FULL_TUNE_PS

@@ -24,7 +24,7 @@ conservation story under ``--validate``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import OpticalChannelConfig

@@ -69,7 +69,7 @@ if TYPE_CHECKING:  # avoid the cycle: gpu.gpu imports this module
     from repro.gpu.gpu import GpuModel, RunResult
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InvariantViolation:
     """One broken conservation law, with both sides of the ledger."""
 
@@ -175,6 +175,8 @@ class Auditor:
     check failed; non-strict auditors just accumulate (the ``repro
     audit`` sweep reads :attr:`violations` afterwards).
     """
+
+    __slots__ = ("strict", "violations", "checks_run", "_tallies")
 
     def __init__(self, strict: bool = False) -> None:
         self.strict = strict

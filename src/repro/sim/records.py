@@ -23,7 +23,7 @@ class RequestKind(enum.Enum):
     HOST_DMA = "host_dma"
 
 
-@dataclass
+@dataclass(slots=True)
 class Access:
     """A single memory access emitted by a warp (post-L2, line granular)."""
 

@@ -161,7 +161,7 @@ class Histogram:
         return b * self.bin_width  # pragma: no cover - unreachable
 
 
-@dataclass
+@dataclass(slots=True)
 class Stats:
     """A run's shared scoreboard of named counters and latency stats."""
 

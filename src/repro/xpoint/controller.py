@@ -30,7 +30,7 @@ from repro.xpoint.translation import RegionTranslator
 CONTROLLER_LATENCY_NS = 5.0
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferedOp:
     addr: int
     is_write: bool
@@ -46,6 +46,17 @@ class BufferedOp:
 
 class XPointController:
     """Logic-layer controller stacked on the XPoint die."""
+
+    __slots__ = (
+        "cfg", "stats", "name", "device", "translator",
+        "read_buffer_entries", "write_buffer_entries", "_write_buffer",
+        "_wbuf_addr_counts", "_ctrl_latency_ps", "_busy_until_ps",
+        "_c_gap_rotations", "_c_wbuf_hits", "_c_ecc_decodes",
+        "_c_ecc_encodes", "_c_wbuf_stalls", "_c_snarfs", "_cdict",
+        "_k_wbuf_hits", "_k_ecc_decodes", "_k_ecc_encodes", "_translate",
+        "_media_access", "_k_media_acc", "_k_media_reads",
+        "_k_media_writes", "_def_reads", "_def_stall_writes", "_fp",
+    )
 
     def __init__(
         self,

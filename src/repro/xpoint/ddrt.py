@@ -35,7 +35,7 @@ class TxnKind(enum.Enum):
     SWAP = "swap"  # Ohm-GPU's SWAP-CMD rides the same side band
 
 
-@dataclass
+@dataclass(slots=True)
 class DdrTTransaction:
     """One posted command and its lifecycle."""
 
@@ -63,6 +63,8 @@ class DdrTBus:
     A bounded number of transactions may be outstanding — the credit
     scheme real DDR-T uses for flow control.
     """
+
+    __slots__ = ("max_outstanding", "_live", "completed")
 
     def __init__(self, max_outstanding: int = 64) -> None:
         if max_outstanding < 1:

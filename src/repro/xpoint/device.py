@@ -19,6 +19,12 @@ from repro.sim.stats import Stats
 class XPointDevice:
     """Bank-parallel XPoint array with asymmetric read/write latency."""
 
+    __slots__ = (
+        "cfg", "capacity_bytes", "read_ps", "write_ps", "stats", "name",
+        "_bank_busy_until", "write_counts", "_c_accesses", "_c_writes",
+        "_c_reads",
+    )
+
     def __init__(
         self,
         cfg: XPointConfig,

@@ -18,7 +18,7 @@ PARITY_BITS = 7
 CODE_BITS = DATA_BITS + PARITY_BITS + 1  # 72
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodeResult:
     data: int
     corrected: bool
@@ -27,6 +27,8 @@ class DecodeResult:
 
 class SecDedCodec:
     """Encode/decode 64-bit words into 72-bit SECDED codewords."""
+
+    __slots__ = ("_data_positions",)
 
     def __init__(self) -> None:
         # Positions 1..71 (1-indexed); powers of two hold parity bits.

@@ -18,6 +18,8 @@ class RegionTranslator:
     bounded to one region row instead of the whole device.
     """
 
+    __slots__ = ("row_bytes", "num_rows", "region_rows", "num_regions", "_gaps")
+
     def __init__(
         self,
         capacity_bytes: int,

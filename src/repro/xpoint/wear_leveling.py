@@ -14,6 +14,11 @@ from __future__ import annotations
 class StartGap:
     """Algebraic Start-Gap remapper over ``num_lines`` logical lines."""
 
+    __slots__ = (
+        "num_lines", "period", "start", "gap", "_writes_since_move",
+        "gap_moves",
+    )
+
     def __init__(self, num_lines: int, period: int = 100) -> None:
         if num_lines < 1:
             raise ValueError("need at least one line")

@@ -1,0 +1,35 @@
+"""R4 fixture: auditor conditionals are construction/post-run time
+only (DESIGN.md section 10.2) — a per-event `if self.auditor` branch is
+exactly the cost the guarded-handle pattern removes."""
+
+
+class ChannelSlice:
+    __slots__ = ("auditor", "served")
+
+    def __init__(self, auditor):
+        # Construction-time guard: this is where the audit handle is
+        # installed, so the branch is sanctioned here.
+        if auditor is not None:
+            self.auditor = auditor
+        else:
+            self.auditor = None
+        self.served = 0
+
+    def serve(self, addr):
+        if self.auditor is not None:  # EXPECT: R4
+            self.auditor.record(addr)
+        self.served += 1
+        return self.served
+
+    def pressure(self):
+        return 1 if self.auditor else 0  # EXPECT: R4
+
+    def audit(self, auditor):
+        # Post-run audit hooks are construction-class by name.
+        if auditor.strict:
+            raise RuntimeError("strict audit failed")
+
+    def _install_probes(self, auditor):
+        # _install* helpers run once at wiring time.
+        if auditor is not None:
+            self.auditor = auditor

@@ -1,0 +1,15 @@
+"""Invalid-pragma fixture: reason-less, unknown-rule and allow(R0)
+pragmas are R0 findings in their own right and suppress nothing — the
+underlying R2 findings stay live."""
+
+
+class NoReason:  # reprolint: allow(R2)
+    pass
+
+
+class UnknownRule:  # reprolint: allow(R9) the rule id does not exist
+    pass
+
+
+class MetaSuppress:  # reprolint: allow(R0) pragma hygiene is never suppressible
+    pass

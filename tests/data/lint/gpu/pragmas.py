@@ -1,0 +1,15 @@
+"""Valid-pragma fixture: every finding here is suppressed with a
+reasoned allow(...) pragma, so the file is clean and the suppressions
+show up (with their reasons) in the report's suppressed list."""
+
+
+class DictSeam:  # reprolint: allow(R2) fixture: the audit wrapper rebinds a bound method per instance
+    def __init__(self):
+        self.window = None
+
+
+class Probe:  # reprolint: allow(R2) fixture: the fast path probes the instance __dict__ for uniformity
+    def tick(self):
+        if self.auditor:  # reprolint: allow(R4) fixture: branch kept to prove multi-rule files suppress per line
+            return 1
+        return 0

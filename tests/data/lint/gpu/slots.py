@@ -1,0 +1,37 @@
+"""R2 fixture: gpu/ is a slotted package, so every class here either
+carries __slots__ (directly or via @dataclass(slots=True)), inherits
+from a structurally exempt base, or is a finding."""
+
+import enum
+from dataclasses import dataclass
+
+
+class BareRecord:  # EXPECT: R2
+    def __init__(self):
+        self.x = 1
+
+
+class SlottedRecord:
+    __slots__ = ("x",)
+
+    def __init__(self):
+        self.x = 1
+
+
+@dataclass(slots=True)
+class SlottedData:
+    x: int = 0
+
+
+@dataclass
+class PlainData:  # EXPECT: R2
+    x: int = 0
+
+
+class ModelError(RuntimeError):
+    """Exceptions never sit on the per-event path: exempt."""
+
+
+class Kind(enum.Enum):
+    READ = 1
+    WRITE = 2

@@ -1,0 +1,13 @@
+"""R3 non-trigger: harness/ is determinism-exempt — leases, cache GC
+and perf history legitimately read the wall clock, and none of it
+feeds a result fingerprint."""
+
+import time
+
+
+def lease_heartbeat():
+    return time.time()
+
+
+def lease_deadline(ttl_s):
+    return time.monotonic() + ttl_s

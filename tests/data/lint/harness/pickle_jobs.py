@@ -1,0 +1,24 @@
+"""R5 fixture: lambdas and closure-local functions cannot cross the
+executor pickle boundary (SimulationJob) or be re-resolved by name in
+workers (ExperimentSpec / WorkloadDef registry entries)."""
+
+
+def module_jobs(run_cfg):
+    """Module-level functions pickle by reference: always fine."""
+    return ()
+
+
+JOBS = (
+    SimulationJob("ohm-bw", "gemm", post=lambda r: r),  # EXPECT: R5
+    SimulationJob("ohm-bw", "spmv", post=module_jobs),
+)
+
+
+def build_specs():
+    def local_jobs(run_cfg):
+        return ()
+
+    bad = ExperimentSpec(name="fig7", jobs=local_jobs)  # EXPECT: R5
+    good = ExperimentSpec(name="fig8", jobs=module_jobs)
+    also_good = WorkloadDef(name="gemm", source=module_jobs)
+    return bad, good, also_good

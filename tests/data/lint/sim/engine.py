@@ -1,0 +1,31 @@
+"""R1 fixture: this rel path matches the registered hot module sim/engine.py.
+
+Every formatting construct below is either hot (EXPECT: R1) or sits in
+one of the documented cold positions: module level, a dunder method, or
+inside a ``raise`` statement.
+"""
+
+BANNER = f"engine build {1 + 1}"  # module level: cold
+
+
+class Engine:
+    __slots__ = ("key", "count")
+
+    def __init__(self, name):
+        # Construction-time key pre-formatting is exactly what Rule 1
+        # prescribes — dunders are cold.
+        self.key = f"{name}.events"
+        self.count = 0
+
+    def run(self, n):
+        for i in range(n):
+            k = f"{self.key}.{i}"  # EXPECT: R1
+            m = "count: %d" % i  # EXPECT: R1
+            c = "{}.suffix".format(i)  # EXPECT: R1
+            j = self.key + ".tail"  # EXPECT: R1
+            self.count += len(k) + len(m) + len(c) + len(j)
+        if n < 0:
+            raise ValueError(f"bad event count {n}")  # raise path: cold
+
+    def snapshot(self):
+        return "%s done" % self.key  # EXPECT: R1

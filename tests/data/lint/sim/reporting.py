@@ -1,0 +1,11 @@
+"""R1 non-trigger: same constructs as engine.py, but this module is not
+in the hot registry, so formatting here is free.  Functions only — a
+class would owe __slots__ under R2 (sim/ is a slotted package)."""
+
+
+def describe(key, i):
+    a = f"{key}.{i}"
+    b = "count: %d" % i
+    c = "{}.suffix".format(i)
+    d = key + ".tail"
+    return a, b, c, d

@@ -1,0 +1,29 @@
+"""R3 fixture: wall-clock and entropy reads vs. the seeded-instance
+discipline.  workloads/ is outside the harness exemption, so the
+golden-fingerprint contract applies."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+from time import monotonic  # EXPECT: R3
+
+import numpy as np
+
+
+def stamp():
+    t = time.time()  # EXPECT: R3
+    now = datetime.now()  # EXPECT: R3
+    raw = os.urandom(8)  # EXPECT: R3
+    tag = uuid.uuid4()  # EXPECT: R3
+    x = random.random()  # EXPECT: R3
+    return t, now, raw, tag, x, monotonic
+
+
+def seeded(seed):
+    # The sanctioned forms: seeded instances, never the process-global
+    # RNG or the wall clock.
+    rng = random.Random(seed)
+    nrng = np.random.default_rng(seed)
+    return rng.random() + float(nrng.random())

@@ -3,7 +3,6 @@ builders, memory-system routing and slice behaviours."""
 
 import pytest
 
-from repro.channel.electrical import ElectricalChannel
 from repro.config import MemoryMode, default_config
 from repro.core.functions import (
     CAPS_AUTO_RW,
@@ -11,13 +10,10 @@ from repro.core.functions import (
     CAPS_NONE,
     CAPS_WOM,
     FunctionKind,
-    MigrationCaps,
 )
 from repro.core.handshake import DdrMonitor, DdrSequenceGenerator, SwapState
-from repro.core.memsystem import MemorySystem
 from repro.core.platforms import PLATFORMS, build_memory_system
-from repro.core.slices import DramOnlySlice, OriginSlice, PlanarSlice, TwoLevelSlice
-from repro.optical.channel import VirtualChannel
+from repro.core.slices import PlanarSlice, TwoLevelSlice
 from repro.sim.records import MemRequest
 from repro.sim.stats import Stats
 

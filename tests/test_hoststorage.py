@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import GB, HostConfig, default_config
+from repro.config import HostConfig, default_config
 from repro.hoststorage.gpudirect import GpuSsdSystem
 from repro.hoststorage.pcie import HostLink
 from repro.hoststorage.ssd import Ssd

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import MemoryMode, OpticalChannelConfig, default_config
+from repro.config import MemoryMode, default_config
 from repro.optical.ber import (
     ANCHOR_BER,
     RELIABILITY_REQUIREMENT,

@@ -27,14 +27,11 @@ from repro.workloads.registry import (
     get_workload_def,
 )
 from repro.workloads.source import (
-    GeneratedTraceSource,
-    MaterializedTraceSource,
     TraceSource,
     WarpStream,
     materialize,
 )
 from repro.workloads.trace import (
-    ChunkedTraceWriter,
     FileTraceSource,
     TraceFormatError,
     TraceMeta,

@@ -12,7 +12,10 @@ Three invariants keep the documentation surface honest:
    out of the live argparse tree, so a new subcommand without docs
    fails here);
 3. every example script under examples/ runs to completion in smoke
-   mode (REPRO_SMOKE=1).
+   mode (REPRO_SMOKE=1);
+4. every reprolint rule id registered in tools/reprolint (plus the R0
+   pragma-hygiene meta rule) is documented in DESIGN.md section 15 —
+   a new rule without catalogue prose fails here.
 
 Run locally::
 
@@ -31,6 +34,7 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))  # for tools.reprolint (the rule registry)
 
 
 def check_workload_docs() -> list[str]:
@@ -86,6 +90,30 @@ def check_cli_docs() -> list[str]:
     ]
 
 
+def check_lint_rule_docs() -> list[str]:
+    """Every registered reprolint rule id must appear in DESIGN.md §15."""
+    from tools.reprolint import PRAGMA_RULE_ID, RULES
+
+    design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+    marker = "## 15."
+    idx = design.find(marker)
+    if idx < 0:
+        return ["DESIGN.md has no section 15 (the reprolint rule catalogue)"]
+    section = design[idx:]
+    nxt = section.find("\n## ", len(marker))
+    if nxt > 0:
+        section = section[:nxt]
+    failures = []
+    for rid in sorted(RULES) + [PRAGMA_RULE_ID]:
+        name = RULES[rid].name if rid in RULES else "pragma-hygiene"
+        if f"**{rid} — {name}**" not in section:
+            failures.append(
+                f"reprolint rule {rid} ({name}) is registered but has no "
+                f"'**{rid} — {name}**' entry in the DESIGN.md §15 catalogue"
+            )
+    return failures
+
+
 def check_required_docs_exist() -> list[str]:
     required = ("README.md", "docs/WORKLOADS.md", "docs/SCENARIOS.md", "DESIGN.md")
     return [
@@ -122,6 +150,7 @@ def main() -> int:
     failures += check_workload_docs()
     failures += check_scenario_docs()
     failures += check_cli_docs()
+    failures += check_lint_rule_docs()
     failures += check_examples_smoke()
     if failures:
         for f in failures:
@@ -130,7 +159,8 @@ def main() -> int:
         return 1
     print(
         "docs-consistency: all registered workloads documented, "
-        "all CLI commands in the README tour, all examples run"
+        "all CLI commands in the README tour, all lint rules in the "
+        "DESIGN.md catalogue, all examples run"
     )
     return 0
 

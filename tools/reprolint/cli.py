@@ -1,0 +1,117 @@
+"""reprolint command line.
+
+Run from the repo root (both forms are equivalent; ``repro lint``
+forwards here)::
+
+    python -m tools.reprolint                  # lint src/repro
+    python -m tools.reprolint --format json
+    python -m tools.reprolint --select R2,R3 src/repro/sim
+    python -m tools.reprolint --list-rules
+
+Exit status: 0 clean, 1 unsuppressed findings, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+REPO = Path(__file__).resolve().parent.parent.parent
+DEFAULT_ROOT = REPO / "src" / "repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST rule-checker for the repo's hot-path, "
+                    "determinism and audit-placement rules",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print pragma-suppressed findings with their reasons",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from tools.reprolint import rules as _rules  # noqa: F401  (registers rules)
+    from tools.reprolint.core import PRAGMA_RULE_ID, RULES, run_lint
+
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for r in sorted(RULES.values(), key=lambda r: r.id):
+            print(f"{r.id}  {r.name}  [{r.design_ref}]")
+            print(f"    {r.summary}")
+        print(f"{PRAGMA_RULE_ID}  pragma-hygiene  [suppression grammar]")
+        print("    reported automatically: malformed / reason-less / "
+              "unknown-rule pragmas (never suppressible)")
+        return 0
+
+    select = None
+    if args.select:
+        select = {s.strip() for s in args.select.split(",") if s.strip()}
+        unknown = select - set(RULES) - {PRAGMA_RULE_ID}
+        if unknown:
+            print(f"reprolint: unknown rule id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    roots = args.paths or [DEFAULT_ROOT]
+    missing = [p for p in roots if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"reprolint: no such path: {p}", file=sys.stderr)
+        return 2
+
+    # Rebase rel paths onto src/repro for any path inside it, so
+    # `reprolint src/repro/sim` keeps the sim/ package prefix that
+    # scopes the hot-module and slotted-package rules.
+    report = run_lint(roots, select=select, rel_to=DEFAULT_ROOT)
+
+    if args.format == "json":
+        payload = {
+            "files_checked": report.files_checked,
+            "findings": [f.to_dict() for f in report.findings],
+            "suppressed": [
+                dict(f.to_dict(), reason=reason)
+                for f, reason in report.suppressed
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for f in report.findings:
+            print(f.format())
+        if args.show_suppressed:
+            for f, reason in report.suppressed:
+                print(f"{f.format()}  [suppressed: {reason}]")
+        status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+        print(
+            f"reprolint: {status} across {report.files_checked} file(s), "
+            f"{len(report.suppressed)} suppression(s) with reasons",
+            file=sys.stderr,
+        )
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""reprolint core: findings, pragmas, the rule registry and the runner.
+
+The linter is a plain ``ast`` pass — no third-party dependencies — so
+it runs anywhere the repo checks out, including the minimal CI lint
+job.  Repo-specific knowledge (which modules are hot paths, which
+classes may skip ``__slots__``) lives in :mod:`tools.reprolint.config`;
+the rule implementations live in :mod:`tools.reprolint.rules`.
+
+Suppression grammar (one physical line, same line as the finding)::
+
+    # reprolint: allow(R2) the audit seam rebinds transfer_window per instance
+    # reprolint: allow(R1,R3) <reason covering both rules>
+
+The reason is mandatory: an ``allow(...)`` pragma without one is itself
+a finding (rule ``R0``) and suppresses nothing, so every exception in
+the tree carries its justification next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+# Rule R0 is the pragma-hygiene meta rule: malformed suppressions are
+# findings in their own right and can never be suppressed themselves.
+PRAGMA_RULE_ID = "R0"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*allow\(\s*([A-Za-z0-9_,\s-]*)\s*\)\s*(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str  # scan-root-relative posix path
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A parsed ``# reprolint: allow(...)`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class ParsedFile:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path  # absolute
+    rel: str  # posix path relative to the scan root (e.g. "sim/engine.py")
+    source: str
+    tree: ast.AST
+    pragmas: List[Pragma]
+    pragma_errors: List[Finding]
+    # id(node) -> parent node, for ancestor walks (raise-exemption etc.)
+    parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parents.get(id(node))
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(id(cur))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    id: str
+    name: str
+    summary: str
+    design_ref: str  # which DESIGN.md rule this enforces ("§7 Rule 1", ...)
+    check: Callable[["LintContext"], Iterable[Finding]]
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(id: str, name: str, summary: str, design_ref: str):
+    """Class-free registration decorator for rule check functions."""
+
+    def wrap(fn: Callable[["LintContext"], Iterable[Finding]]):
+        if id in RULES:
+            raise ValueError(f"duplicate rule id {id!r}")
+        RULES[id] = Rule(id=id, name=name, summary=summary,
+                         design_ref=design_ref, check=fn)
+        return fn
+
+    return wrap
+
+
+@dataclass
+class LintContext:
+    """Everything a rule check sees: the parsed file plus the config."""
+
+    file: ParsedFile
+    config: "LintConfig"  # forward ref into tools.reprolint.config
+
+
+def _parse_pragmas(
+    source: str, rel: str, known_rules: Iterable[str]
+) -> Tuple[List[Pragma], List[Finding]]:
+    """Extract allow-pragmas from comments via tokenize (never from
+    string literals), rejecting reason-less and unknown-rule pragmas."""
+    pragmas: List[Pragma] = []
+    errors: List[Finding] = []
+    known = set(known_rules)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:
+        return pragmas, errors  # the parse-error finding covers it
+    for line, text in comments:
+        m = _PRAGMA_RE.search(text)
+        if m is None:
+            if "reprolint" in text and "allow" in text:
+                errors.append(Finding(
+                    rel, line, PRAGMA_RULE_ID,
+                    "malformed reprolint pragma (expected "
+                    "'# reprolint: allow(<rules>) <reason>')",
+                ))
+            continue
+        ids = tuple(r.strip() for r in m.group(1).split(",") if r.strip())
+        reason = m.group(2).strip()
+        bad = False
+        if not ids:
+            errors.append(Finding(
+                rel, line, PRAGMA_RULE_ID,
+                "pragma allows no rules: allow() needs at least one rule id",
+            ))
+            bad = True
+        for rid in ids:
+            if rid == PRAGMA_RULE_ID:
+                errors.append(Finding(
+                    rel, line, PRAGMA_RULE_ID,
+                    "rule R0 (pragma hygiene) cannot be suppressed",
+                ))
+                bad = True
+            elif rid not in known:
+                errors.append(Finding(
+                    rel, line, PRAGMA_RULE_ID,
+                    f"pragma names unknown rule {rid!r} "
+                    f"(known: {', '.join(sorted(known))})",
+                ))
+                bad = True
+        if not reason:
+            errors.append(Finding(
+                rel, line, PRAGMA_RULE_ID,
+                f"pragma allow({m.group(1).strip()}) has no reason — "
+                "every suppression must say why",
+            ))
+            bad = True
+        if not bad:
+            pragmas.append(Pragma(line=line, rules=ids, reason=reason))
+    return pragmas, errors
+
+
+def parse_file(path: Path, rel: str) -> Tuple[Optional[ParsedFile], List[Finding]]:
+    """Parse one file; on a syntax error return a parse finding instead."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, [Finding(
+            rel, exc.lineno or 1, PRAGMA_RULE_ID,
+            f"file does not parse: {exc.msg}",
+        )]
+    pragmas, pragma_errors = _parse_pragmas(source, rel, RULES.keys())
+    parsed = ParsedFile(
+        path=path, rel=rel, source=source, tree=tree,
+        pragmas=pragmas, pragma_errors=pragma_errors,
+    )
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parsed.parents[id(child)] = parent
+    return parsed, pragma_errors
+
+
+@dataclass
+class LintReport:
+    """The runner's result: what fired, what was excused, what was seen."""
+
+    findings: List[Finding]  # unsuppressed, sorted
+    suppressed: List[Tuple[Finding, str]]  # (finding, reason)
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_source_files(roots: Iterable[Path]) -> Iterator[Tuple[Path, Path]]:
+    """Yield (absolute path, scan root) for every .py under the roots."""
+    for root in roots:
+        root = root.resolve()
+        if root.is_file():
+            yield root, root.parent
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            yield path, root
+
+
+def run_lint(
+    roots: Iterable[Path],
+    config: Optional["LintConfig"] = None,
+    select: Optional[Iterable[str]] = None,
+    rel_to: Optional[Path] = None,
+) -> LintReport:
+    """Lint every .py file under the roots and fold in suppressions.
+
+    ``rel_to`` rebases rel paths for files underneath it: the package
+    prefix (``sim/``, ``gpu/``) is what scopes R1/R2/R4, so scanning a
+    subtree of the real source tree must not strip it.  Files outside
+    ``rel_to`` stay relative to their scan root (the fixture corpus).
+    """
+    from tools.reprolint import rules as _rules  # noqa: F401  (registers rules)
+    from tools.reprolint.config import LintConfig
+
+    cfg = config if config is not None else LintConfig()
+    selected = set(select) if select is not None else None
+    findings: List[Finding] = []
+    suppressed: List[Tuple[Finding, str]] = []
+    files = 0
+
+    for path, root in iter_source_files(roots):
+        files += 1
+        base = root
+        if rel_to is not None:
+            try:
+                path.relative_to(rel_to)
+            except ValueError:
+                pass
+            else:
+                base = rel_to
+        rel = path.relative_to(base).as_posix()
+        parsed, errors = parse_file(path, rel)
+        raw: List[Finding] = list(errors)
+        if parsed is not None:
+            ctx = LintContext(file=parsed, config=cfg)
+            for r in RULES.values():
+                if selected is not None and r.id not in selected:
+                    continue
+                raw.extend(r.check(ctx))
+            reasons = {
+                (p.line, rid): p.reason
+                for p in parsed.pragmas
+                for rid in p.rules
+            }
+        else:
+            reasons = {}
+        for f in raw:
+            reason = reasons.get((f.line, f.rule))
+            if reason is not None and f.rule != PRAGMA_RULE_ID:
+                suppressed.append((f, reason))
+            else:
+                findings.append(f)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    suppressed.sort(key=lambda fr: (fr[0].path, fr[0].line, fr[0].rule))
+    return LintReport(findings=findings, suppressed=suppressed,
+                      files_checked=files)

@@ -101,7 +101,6 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     from repro.harness.batch import BatchRun, read_jsonl
-    from repro.harness.cache import job_fingerprint
     from repro.harness.executor import SerialExecutor, execute_job
     from repro.harness.service import (
         EXECUTIONS_NAME,
